@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 12 reproduction: activation sparsity during end-to-end
+ * training. For each conv layer we print the sparsity progression at
+ * sampled epochs (the paper plots first-to-last epoch per layer).
+ */
+
+#include "bench_util.h"
+
+using namespace save;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    int samples = flags.getInt("samples", 5);
+
+    for (const NetworkModel &net :
+         {vgg16Dense(), resnet50Dense(), resnet50Pruned()}) {
+        ActivationProfile act = net.profile();
+        std::printf("%s training: input-activation sparsity "
+                    "(epochs sampled: first..last)\n",
+                    net.name.c_str());
+        std::printf("%-14s", "layer");
+        for (int s = 0; s < samples; ++s) {
+            int64_t e = net.steps() > 1
+                ? s * (net.steps() - 1) / (samples - 1)
+                : 0;
+            std::printf(" ep%-4ld", static_cast<long>(e));
+        }
+        std::printf("\n");
+        for (int l = 0; l < net.numKernels(); ++l) {
+            std::printf("%-14s",
+                        net.convLayers[static_cast<size_t>(l)]
+                            .name.c_str());
+            for (int s = 0; s < samples; ++s) {
+                int64_t e = net.steps() > 1
+                    ? s * (net.steps() - 1) / (samples - 1)
+                    : 0;
+                std::printf(" %5.1f%%", 100 * act.at(l, e));
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("GNMT omitted as in the paper: activation sparsity is "
+                "constantly 20%% (dropout).\n");
+    return 0;
+}

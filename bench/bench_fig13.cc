@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 13 reproduction: the weight-pruning schedules (Zhu-Gupta
+ * ramps) for ResNet-50 (epochs) and GNMT (iterations).
+ */
+
+#include "bench_util.h"
+
+using namespace save;
+
+int
+main()
+{
+    {
+        PruningSchedule p = PruningSchedule::resnet50();
+        std::printf("ResNet-50 training with pruning (epoch -> weight "
+                    "sparsity):\n");
+        for (int64_t e = 0; e < p.totalSteps; e += 4)
+            std::printf("  epoch %3ld: %5.1f%%\n", static_cast<long>(e),
+                        100 * p.sparsityAt(e));
+        std::printf("  epoch %3ld: %5.1f%%  (final)\n",
+                    static_cast<long>(p.totalSteps - 1),
+                    100 * p.finalSparsity());
+    }
+    std::printf("\n");
+    {
+        PruningSchedule p = PruningSchedule::gnmt();
+        std::printf("GNMT training with pruning (iteration -> weight "
+                    "sparsity):\n");
+        for (int64_t s = 0; s < p.totalSteps; s += 2)
+            std::printf("  iter %6ldK: %5.1f%%\n",
+                        static_cast<long>(s * 10),
+                        100 * p.sparsityAt(s));
+        std::printf("  iter %6ldK: %5.1f%%  (final)\n",
+                    static_cast<long>((p.totalSteps - 1) * 10),
+                    100 * p.finalSparsity());
+    }
+    std::printf("\nPaper: ResNet-50 ramps from epoch 32 to 80%% at "
+                "epoch 60; GNMT ramps from iteration 40K to 90%% at "
+                "190K.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 14 reproduction: whole-network inference and end-to-end
+ * training time, normalized to the baseline (2 VPUs @1.7GHz, no
+ * SAVE), for:
+ *   (a) CNN inference   (b) GNMT inference
+ *   (c) CNN training    (d) GNMT training
+ * across {SAVE 2 VPUs, SAVE 1 VPU @2.1GHz, static, dynamic} in FP32
+ * and mixed precision, with the paper's phase breakdown (first layer
+ * split out; forward / backward-input / backward-weights).
+ *
+ * Flags: --grid=1 reproduces the paper's full 10% sparsity sampling
+ * (slower); the default --grid=3 samples every 30% and interpolates.
+ */
+
+#include "bench_util.h"
+
+using namespace save;
+
+namespace {
+
+void
+printRow(const char *cfg, const PhaseBreakdown &bd, double base_total)
+{
+    std::printf("  %-9s %6.2fx  (1st %5.1f%%, fwd %5.1f%%, bwd-in "
+                "%5.1f%%, bwd-w %5.1f%%)\n",
+                cfg, base_total / bd.total(),
+                100 * bd.firstLayer / bd.total(),
+                100 * bd.forward / bd.total(),
+                100 * bd.bwdInput / bd.total(),
+                100 * bd.bwdWeights / bd.total());
+}
+
+void
+printNet(const char *title, const NetResult &r, bool training)
+{
+    double base = r.baseline2.total();
+    std::printf("%s  (baseline: %.3f ms)\n", title, base / 1e6);
+    printRow("baseline", r.baseline2, base);
+    printRow("2 VPUs", r.save2, base);
+    printRow("1 VPU", r.save1, base);
+    if (training)
+        printRow("static", r.saveStatic, base);
+    printRow("dynamic", r.saveDynamic, base);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    TrainingEstimator est(MachineConfig{}, SaveConfig{},
+                          estimatorOptions(flags));
+
+    struct Entry
+    {
+        NetworkModel net;
+        Precision prec;
+        const char *label;
+    };
+    const Entry cnn_entries[] = {
+        {vgg16Dense(), Precision::Fp32, "VGG16 FP32 dense"},
+        {resnet50Dense(), Precision::Fp32, "ResNet-50 FP32 dense"},
+        {resnet50Pruned(), Precision::Fp32, "ResNet-50 FP32 pruned"},
+        {vgg16Dense(), Precision::Bf16, "VGG16 MP dense"},
+        {resnet50Dense(), Precision::Bf16, "ResNet-50 MP dense"},
+        {resnet50Pruned(), Precision::Bf16, "ResNet-50 MP pruned"},
+    };
+    const Entry gnmt_entries[] = {
+        {gnmtPruned(), Precision::Fp32, "GNMT FP32 pruned"},
+        {gnmtPruned(), Precision::Bf16, "GNMT MP pruned"},
+    };
+
+    std::printf("=== Fig. 14a: CNN inference ===\n");
+    for (const Entry &e : cnn_entries)
+        printNet(e.label, est.inference(e.net, e.prec), false);
+
+    std::printf("\n=== Fig. 14b: GNMT inference ===\n");
+    for (const Entry &e : gnmt_entries)
+        printNet(e.label, est.inference(e.net, e.prec), false);
+
+    std::printf("\n=== Fig. 14c: CNN end-to-end training ===\n");
+    for (const Entry &e : cnn_entries)
+        printNet(e.label, est.training(e.net, e.prec), true);
+
+    std::printf("\n=== Fig. 14d: GNMT end-to-end training ===\n");
+    for (const Entry &e : gnmt_entries)
+        printNet(e.label, est.training(e.net, e.prec), true);
+
+    std::printf("\nslice simulations: %lu\n",
+                static_cast<unsigned long>(est.simulations()));
+    std::printf("Paper (dynamic, MP): inference 1.68x/1.37x/1.59x "
+                "(VGG/ResNet/ResNet-pruned), 1.39x GNMT; training "
+                "1.64x/1.29x/1.42x, 1.28x GNMT.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 16 reproduction: histogram of per-kernel speedup caps across
+ * the paper's 93 studied kernels (VGG16 + ResNet-50 conv layers and
+ * GNMT LSTM cells), for FP32 / mixed precision with 2 VPUs or 1 VPU.
+ *
+ * A kernel's cap is its speedup over the baseline at saturating
+ * sparsity (90% of both kinds), the asymptote of Fig. 15.
+ */
+
+#include <map>
+
+#include "bench_util.h"
+#include "stats/stats.h"
+
+using namespace save;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    MachineConfig m;
+    Engine base(m, SaveConfig::baseline());
+    Engine sv(m, SaveConfig{});
+
+    std::vector<KernelSpec> kernels = allStudiedKernels();
+    std::printf("studied kernels: %zu (13 VGG16 + 53 ResNet-50 conv, "
+                "27 GNMT cells)\n\n",
+                kernels.size());
+
+    // Cache per (shape, kSteps) so the 93 kernels reuse slice sims.
+    struct Key
+    {
+        int mr, nr, ks;
+        uint8_t pattern, prec, vpus;
+        auto operator<=>(const Key &) const = default;
+    };
+    std::map<Key, double> cache;
+
+    auto cap = [&](const KernelSpec &spec, Precision prec, int vpus) {
+        GemmConfig g = sliceFor(spec, prec, 0.9, 0.9, flags);
+        Key key{g.mr, g.nrVecs, g.kSteps,
+                static_cast<uint8_t>(g.pattern),
+                static_cast<uint8_t>(prec), static_cast<uint8_t>(vpus)};
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        GemmConfig dense = g;
+        dense.bsSparsity = dense.nbsSparsity = 0.0;
+        auto rb = base.runGemm(dense, 1, 2);
+        auto rs = sv.runGemm(g, 1, vpus);
+        double s = speedup(rb, rs);
+        cache.emplace(key, s);
+        return s;
+    };
+
+    std::vector<double> edges{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 99.0};
+    struct Config
+    {
+        Precision prec;
+        int vpus;
+        const char *label;
+    };
+    const Config configs[] = {
+        {Precision::Fp32, 2, "FP32 2 VPUs"},
+        {Precision::Fp32, 1, "FP32 1 VPU"},
+        {Precision::Bf16, 2, "MP 2 VPUs"},
+        {Precision::Bf16, 1, "MP 1 VPU"},
+    };
+
+    for (const Config &cfg : configs) {
+        Histogram conv_h(edges), lstm_h(edges);
+        double log_sum = 0;
+        for (const KernelSpec &spec : kernels) {
+            double s = cap(spec, cfg.prec, cfg.vpus);
+            bool is_lstm = spec.name.rfind("gnmt", 0) == 0;
+            (is_lstm ? lstm_h : conv_h).sample(s);
+            log_sum += std::log(s);
+        }
+        std::printf("%s  (geomean cap %.2fx)\n", cfg.label,
+                    std::exp(log_sum / kernels.size()));
+        for (int b = 0; b < conv_h.bucketCount(); ++b) {
+            std::printf("  %-9s conv: %2lu  lstm: %2lu\n",
+                        (b == conv_h.bucketCount() - 1
+                             ? ">2.0x"
+                             : (conv_h.bucketLabel(b) + "x").c_str()),
+                        static_cast<unsigned long>(conv_h.count(b)),
+                        static_cast<unsigned long>(lstm_h.count(b)));
+        }
+        std::printf("\n");
+    }
+    std::printf("Paper geomean caps: FP32 1.39x (2 VPUs) / 1.62x "
+                "(1 VPU); MP 1.48x / 1.77x.\n");
+    return 0;
+}

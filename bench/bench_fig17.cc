@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 17 reproduction: broadcast-cache designs on an
+ * embedded-broadcast kernel — the FP32 back-propagation of weights of
+ * ResNet3_2 with 2 VPUs — at 0% and 40% broadcasted sparsity, swept
+ * over non-broadcasted sparsity.
+ */
+
+#include "bench_util.h"
+
+using namespace save;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    int step = flags.getInt("grid", 1);
+
+    MachineConfig m;
+    NetworkModel net = resnet50Pruned();
+    KernelSpec spec = makeConvKernel(findConvLayer(net, "resnet3_2b"),
+                                     Phase::BwdWeights, net.batch);
+    std::printf("kernel %s: %dx%d %s\n\n", spec.name.c_str(),
+                spec.shape.mr, spec.shape.nrVecs * 16,
+                spec.shape.pattern == BroadcastPattern::Embedded
+                    ? "embedded-broadcast"
+                    : "explicit-broadcast");
+
+    Engine base(m, SaveConfig::baseline());
+    GemmConfig dense = sliceFor(spec, Precision::Fp32, 0, 0, flags);
+    auto rb = base.runGemm(dense, 1, 2);
+
+    struct Design
+    {
+        BcastCacheKind kind;
+        const char *label;
+    };
+    const Design designs[] = {
+        {BcastCacheKind::None, "No B$"},
+        {BcastCacheKind::Mask, "B$ w/ masks"},
+        {BcastCacheKind::Data, "B$ w/ data"},
+    };
+
+    for (double bs : {0.0, 0.4}) {
+        std::printf("BS = %s:\n%-13s", fmtPct(bs), "NBS");
+        for (int w = 0; w < 10; w += step)
+            std::printf(" %5d%%", w * 10);
+        std::printf("\n");
+        for (const Design &d : designs) {
+            SaveConfig s;
+            s.bcache = d.kind;
+            Engine e(m, s);
+            std::printf("%-13s", d.label);
+            for (int w = 0; w < 10; w += step) {
+                GemmConfig g = sliceFor(
+                    spec, Precision::Fp32, bs, w * 0.1, flags,
+                    31 + static_cast<uint64_t>(w));
+                auto r = e.runGemm(g, 1, 2);
+                std::printf(" %6.2f", speedup(rb, r));
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("Paper: without a B$ there is no speedup at any "
+                "sparsity; the data design keeps gaining with NBS "
+                "while the mask design is limited by L1 bandwidth on "
+                "non-zero broadcasts.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 19 reproduction: SAVE's mixed-precision multiplicand-lane
+ * compression (SecV) on the MP back-propagation of input of
+ * ResNet4_1a, with 1 VPU, swept over non-broadcasted sparsity.
+ * Speedups are over the 2-VPU baseline.
+ */
+
+#include "bench_util.h"
+
+using namespace save;
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    int step = flags.getInt("grid", 1);
+
+    MachineConfig m;
+    NetworkModel net = resnet50Pruned();
+    KernelSpec spec = makeConvKernel(findConvLayer(net, "resnet4_1a"),
+                                     Phase::BwdInput, net.batch);
+    std::printf("kernel %s: %dx%d mixed precision\n\n",
+                spec.name.c_str(), spec.shape.mr,
+                spec.shape.nrVecs * 16);
+
+    Engine base(m, SaveConfig::baseline());
+    GemmConfig dense = sliceFor(spec, Precision::Bf16, 0, 0, flags);
+    auto rb = base.runGemm(dense, 1, 2);
+
+    SaveConfig with_mp;
+    SaveConfig without_mp;
+    without_mp.mpCompress = false;
+    Engine ew(m, with_mp), eo(m, without_mp);
+
+    std::printf("%-18s", "NBS");
+    for (int w = 0; w < 10; w += step)
+        std::printf(" %5d%%", w * 10);
+    std::printf("\n%-18s", "w/o MP technique");
+    for (int w = 0; w < 10; w += step) {
+        GemmConfig g = sliceFor(spec, Precision::Bf16, 0.0, w * 0.1,
+                                flags, 71 + static_cast<uint64_t>(w));
+        std::printf(" %6.2f", speedup(rb, eo.runGemm(g, 1, 1)));
+    }
+    std::printf("\n%-18s", "w/ MP technique");
+    for (int w = 0; w < 10; w += step) {
+        GemmConfig g = sliceFor(spec, Precision::Bf16, 0.0, w * 0.1,
+                                flags, 71 + static_cast<uint64_t>(w));
+        std::printf(" %6.2f", speedup(rb, ew.runGemm(g, 1, 1)));
+    }
+    std::printf("\n\nPaper: the MP technique improves speedup at every "
+                "sparsity level, sometimes substantially (exploitable "
+                "sparsity without it is only the square of the ML "
+                "sparsity).\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): host cost of one
+ * simulated slice per scheduler policy and precision. Useful for
+ * sizing the estimator's sampling budget and catching performance
+ * regressions in the scheduler loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "engine/engine.h"
+
+namespace save {
+namespace {
+
+GemmConfig
+sliceConfig(Precision prec)
+{
+    GemmConfig g;
+    g.mr = 7;
+    g.nrVecs = 3;
+    g.kSteps = 96;
+    g.tiles = 2;
+    g.pattern = BroadcastPattern::Embedded;
+    g.precision = prec;
+    g.bsSparsity = 0.3;
+    g.nbsSparsity = 0.5;
+    return g;
+}
+
+void
+BM_BaselineSlice(benchmark::State &state)
+{
+    MachineConfig m;
+    Engine e(m, SaveConfig::baseline());
+    GemmConfig g = sliceConfig(Precision::Fp32);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles += e.runGemm(g, 1, 2).cycles;
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BaselineSlice)->Unit(benchmark::kMillisecond);
+
+void
+BM_SaveRvcSlice(benchmark::State &state)
+{
+    MachineConfig m;
+    Engine e(m, SaveConfig{});
+    GemmConfig g = sliceConfig(Precision::Fp32);
+    uint64_t cycles = 0;
+    for (auto _ : state)
+        cycles += e.runGemm(g, 1, 2).cycles;
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SaveRvcSlice)->Unit(benchmark::kMillisecond);
+
+void
+BM_SaveHcSlice(benchmark::State &state)
+{
+    MachineConfig m;
+    SaveConfig s;
+    s.policy = SchedPolicy::HC;
+    Engine e(m, s);
+    GemmConfig g = sliceConfig(Precision::Fp32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.runGemm(g, 1, 2).cycles);
+}
+BENCHMARK(BM_SaveHcSlice)->Unit(benchmark::kMillisecond);
+
+void
+BM_SaveMixedPrecisionSlice(benchmark::State &state)
+{
+    MachineConfig m;
+    Engine e(m, SaveConfig{});
+    GemmConfig g = sliceConfig(Precision::Bf16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.runGemm(g, 1, 2).cycles);
+}
+BENCHMARK(BM_SaveMixedPrecisionSlice)->Unit(benchmark::kMillisecond);
+
+void
+BM_MulticoreSlice(benchmark::State &state)
+{
+    MachineConfig m;
+    Engine e(m, SaveConfig{});
+    GemmConfig g = sliceConfig(Precision::Fp32);
+    int cores = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.runGemm(g, cores, 2).cycles);
+}
+BENCHMARK(BM_MulticoreSlice)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace save
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table I reproduction: the modeled architecture configuration.
+ */
+
+#include "bench_util.h"
+#include "stats/stats.h"
+
+using namespace save;
+
+int
+main()
+{
+    MachineConfig m;
+    TextTable t({"component", "configuration"});
+    char buf[160];
+
+    std::snprintf(buf, sizeof(buf),
+                  "%d cores, no SMT, %d RS entries, %d ROB entries, "
+                  "%d-issue, 1 VPU at %.1fGHz or %d VPUs at %.1fGHz",
+                  m.cores, m.rsEntries, m.robEntries, m.issueWidth,
+                  m.freq1VpuGhz, m.numVpus, m.freq2VpuGhz);
+    t.addRow({"Core", buf});
+
+    std::snprintf(buf, sizeof(buf),
+                  "%d lines direct-mapped, with data or with masks",
+                  m.bcacheEntries);
+    t.addRow({"B$", buf});
+
+    std::snprintf(buf, sizeof(buf), "%dKB/core private, %d-way, LRU",
+                  m.l1SizeKb, m.l1Ways);
+    t.addRow({"L1-D/I", buf});
+
+    std::snprintf(buf, sizeof(buf),
+                  "%dMB/core private, inclusive, %d-way, LRU",
+                  m.l2SizeKb / 1024, m.l2Ways);
+    t.addRow({"L2", buf});
+
+    std::snprintf(buf, sizeof(buf),
+                  "%.3fMB/core, shared, inclusive, %d-way, SRRIP, NUCA",
+                  m.l3SizeKbPerCore / 1024.0, m.l3Ways);
+    t.addRow({"L3", buf});
+
+    std::snprintf(buf, sizeof(buf),
+                  "2D-mesh, XY routing, %d-cycle hop", m.nocHopCycles);
+    t.addRow({"NoC", buf});
+
+    std::snprintf(buf, sizeof(buf),
+                  "%.1fGB/s BW, %d channels, %.0fns latency", m.dramGBps,
+                  m.dramChannels, m.dramLatNs);
+    t.addRow({"Memory", buf});
+
+    std::printf("Table I: Architecture configuration.\n\n%s\n",
+                t.render().c_str());
+
+    std::printf("VFMA latency: FP32 %d cycles, mixed-precision %d "
+                "cycles (paper SecVI).\n",
+                m.fp32FmaLatency, m.mpFmaLatency);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table reproduction harnesses:
+ * trivial flag parsing and the standard slice configuration used
+ * across figures.
+ *
+ * Common flags:
+ *   --grid=N    sparsity-grid stride for estimator-driven figures
+ *   --ksteps=N  slice K length
+ *   --tiles=N   register tiles per slice
+ *   --cores=N   active cores per slice simulation
+ */
+
+#ifndef SAVE_BENCH_BENCH_UTIL_H
+#define SAVE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dnn/estimator.h"
+#include "dnn/networks.h"
+#include "engine/engine.h"
+
+namespace save {
+
+/** Tiny --key=value flag reader. */
+class Flags
+{
+  public:
+    Flags(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    int
+    getInt(const char *name, int def) const
+    {
+        std::string prefix = std::string("--") + name + "=";
+        for (int i = 1; i < argc_; ++i)
+            if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) ==
+                0)
+                return std::atoi(argv_[i] + prefix.size());
+        return def;
+    }
+
+    bool
+    has(const char *name) const
+    {
+        std::string flag = std::string("--") + name;
+        for (int i = 1; i < argc_; ++i)
+            if (flag == argv_[i])
+                return true;
+        return false;
+    }
+
+  private:
+    int argc_;
+    char **argv_;
+};
+
+/** Estimator options from flags (grid=3 keeps default runs quick;
+ *  --grid=1 reproduces the paper's full 10% sampling). */
+inline EstimatorOptions
+estimatorOptions(const Flags &flags)
+{
+    EstimatorOptions o;
+    o.gridStep = flags.getInt("grid", 3);
+    o.kSteps = flags.getInt("ksteps", o.kSteps);
+    o.tiles = flags.getInt("tiles", o.tiles);
+    o.cores = flags.getInt("cores", o.cores);
+    return o;
+}
+
+/** Slice config for a one-off kernel sweep. */
+inline GemmConfig
+sliceFor(const KernelSpec &spec, Precision prec, double bs, double nbs,
+         const Flags &flags, uint64_t seed = 7)
+{
+    GemmConfig g = spec.slice(prec, bs, nbs,
+                              flags.getInt("ksteps", 192), seed);
+    g.tiles = flags.getInt("tiles", 6);
+    return g;
+}
+
+inline const char *
+fmtPct(double s)
+{
+    static char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", 100 * s);
+    return buf;
+}
+
+} // namespace save
+
+#endif // SAVE_BENCH_BENCH_UTIL_H

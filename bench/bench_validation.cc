@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Methodology validation (DESIGN.md substitution 5): the figure
+ * benches estimate layer time as steady-state-slice time x MAC scale,
+ * with the B panel pre-warmed into L3. Here we simulate complete
+ * cache-blocked layer GEMMs — cold B, real panel loop, real store
+ * traffic — and compare against the slice extrapolation, for the
+ * baseline and for SAVE.
+ */
+
+#include <memory>
+
+#include "bench_util.h"
+#include "sim/multicore.h"
+
+using namespace save;
+
+namespace {
+
+double
+runWorkload(const SaveConfig &scfg, const GemmWorkload &w,
+            MemoryImage &image, bool warm_b)
+{
+    MachineConfig m;
+    m.cores = 1;
+    m.dramGBps /= 28.0;
+    Multicore mc(m, scfg, 2, &image);
+    // Paper warm-up: A (the producing phase's output) is hot in L3;
+    // B is only pre-warmed for the steady-state slices.
+    for (uint64_t off = 0; off < w.aBytes; off += kLineBytes)
+        mc.hierarchy().warmL3(w.aBase + off);
+    if (warm_b)
+        for (uint64_t off = 0; off < w.bBytes; off += kLineBytes)
+            mc.hierarchy().warmL3(w.bBase + off);
+    VectorTrace t(w.trace);
+    mc.bindTraces({&t});
+    uint64_t cycles = mc.run(1'000'000'000);
+    return static_cast<double>(cycles) / m.coreFreqGhz(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Flags flags(argc, argv);
+    int panels = flags.getInt("panels", 8);
+    int tiles = flags.getInt("tiles", 24);
+    int ksteps = flags.getInt("ksteps", 128);
+
+    std::printf("Slice-extrapolation vs full blocked-layer "
+                "simulation (7x48 embedded kernel, one core's share "
+                "of the machine).\n\n");
+    std::printf("full layer: %d N-panels x %d M-tiles x %d K steps "
+                "(B cold, %d KB streamed)\n\n",
+                panels, tiles, ksteps,
+                panels * ksteps * 3 * 64 / 1024);
+    std::printf("%-8s %-10s %-12s %-12s %-8s %-10s\n", "NBS", "config",
+                "full(us)", "slice est.", "error", "speedup f/s");
+
+    for (double nbs : {0.0, 0.5, 0.8}) {
+        GemmConfig g;
+        g.mr = 7;
+        g.nrVecs = 3;
+        g.kSteps = ksteps;
+        g.tiles = tiles;
+        g.pattern = BroadcastPattern::Embedded;
+        g.nbsSparsity = nbs;
+        g.seed = 400 + static_cast<uint64_t>(nbs * 10);
+
+        // Slice: the estimator's configuration (fewer tiles, warm B).
+        GemmConfig slice = g;
+        slice.tiles = 6;
+        double scale = static_cast<double>(panels) *
+                       static_cast<double>(g.tiles) / slice.tiles;
+
+        double full_base, full_save, est_base, est_save;
+        {
+            MemoryImage img;
+            GemmWorkload w = buildBlockedGemm(g, panels, img);
+            full_base = runWorkload(SaveConfig::baseline(), w, img,
+                                    false);
+        }
+        {
+            MemoryImage img;
+            GemmWorkload w = buildBlockedGemm(g, panels, img);
+            full_save = runWorkload(SaveConfig{}, w, img, false);
+        }
+        {
+            MemoryImage img;
+            GemmWorkload w = buildGemm(slice, img);
+            est_base =
+                scale *
+                runWorkload(SaveConfig::baseline(), w, img, true);
+        }
+        {
+            MemoryImage img;
+            GemmWorkload w = buildGemm(slice, img);
+            est_save = scale * runWorkload(SaveConfig{}, w, img, true);
+        }
+
+        auto row = [&](const char *cfg, double full, double est) {
+            std::printf("%5.0f%%   %-10s %10.1f %12.1f %6.1f%%\n",
+                        100 * nbs, cfg, full / 1000, est / 1000,
+                        100 * (est - full) / full);
+        };
+        row("baseline", full_base, est_base);
+        row("SAVE", full_save, est_save);
+        std::printf("%-8s %-10s full %.2fx   slice-est %.2fx\n\n", "",
+                    "speedup", full_base / full_save,
+                    est_base / est_save);
+    }
+    std::printf("The reproduction target is the speedup ratio; the "
+                "slice method's absolute-time error reflects the cold "
+                "weight streaming it deliberately amortizes away.\n");
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * SAVE is not DNN-specific: "it can potentially speed up any vector
+ * workload with sparsity" (paper abstract). This example hand-builds
+ * a non-GEMM trace — a masked n-body-style force accumulation where
+ * many interaction coefficients are zero — runs it through the
+ * baseline and SAVE pipelines, and checks bitwise equivalence against
+ * in-order execution.
+ *
+ *   ./custom_sparse_workload [coefficient_sparsity]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "sim/multicore.h"
+#include "sim/reference.h"
+#include "util/random.h"
+
+using namespace save;
+
+namespace {
+
+/**
+ * Build the trace: 24 accumulator registers of "forces", grouped into
+ * 6 particle groups of 4; each step loads one sparse coefficient
+ * vector per group (its neighbor-interaction strengths, mostly zero
+ * beyond the cutoff radius) and a broadcast position, then every
+ * accumulator in the group gathers a contribution.
+ */
+struct Workload
+{
+    std::vector<Uop> trace;
+    uint64_t inputBase = 0;
+    uint64_t inputBytes = 0;
+    uint64_t forcesBase = 0;
+};
+
+Workload
+buildTrace(MemoryImage &mem, double sparsity)
+{
+    const int accumulators = 24;
+    const int groups = 6;
+    const int blocks = 512;
+    /** A neighbor tile's coefficients stay in registers while several
+     *  broadcast positions stream past (typical cached-tile n-body
+     *  structure); reloaded every tileReuse steps. */
+    const int tileReuse = 8;
+    Rng rng(2024);
+
+    Workload w;
+    uint64_t coeff = mem.allocRegion(
+        static_cast<uint64_t>(blocks / tileReuse) * groups *
+        kLineBytes);
+    uint64_t pos =
+        mem.allocRegion(static_cast<uint64_t>(blocks) * 4);
+    w.forcesBase = mem.allocRegion(
+        static_cast<uint64_t>(accumulators) * kLineBytes);
+    w.inputBase = coeff;
+    w.inputBytes = pos + static_cast<uint64_t>(blocks) * 4 - coeff;
+    uint64_t forces_base = w.forcesBase;
+
+    for (uint64_t i = 0; i < static_cast<uint64_t>(blocks / tileReuse) *
+                                 groups * kVecLanes;
+         ++i) {
+        float v = rng.chance(sparsity) ? 0.0f : rng.nonZeroValue();
+        mem.writeF32(coeff + 4 * i, v);
+    }
+    for (int b = 0; b < blocks; ++b)
+        mem.writeF32(pos + 4 * static_cast<uint64_t>(b),
+                     rng.nonZeroValue());
+
+    std::vector<Uop> trace;
+    // Registers: 0..23 accumulators, 24..29 coefficients, 30 position.
+    const int preg = accumulators + groups;
+    for (int a = 0; a < accumulators; ++a)
+        trace.push_back(Uop::loadVec(
+            a, forces_base + static_cast<uint64_t>(a) * 64));
+    for (int b = 0; b < blocks; ++b) {
+        if (b % tileReuse == 0) {
+            for (int g = 0; g < groups; ++g)
+                trace.push_back(Uop::loadVec(
+                    accumulators + g,
+                    coeff +
+                        (static_cast<uint64_t>(b / tileReuse) * groups +
+                         static_cast<uint64_t>(g)) *
+                            kLineBytes));
+        }
+        trace.push_back(Uop::broadcastLoad(
+            preg, pos + 4 * static_cast<uint64_t>(b)));
+        // Group by consecutive accumulator numbers so the R-states
+        // (dst mod 3) of a group's chains differ and rotate-vertical
+        // coalescing can separate their identical sparsity patterns.
+        for (int a = 0; a < accumulators; ++a)
+            trace.push_back(
+                Uop::vfma(a, preg, accumulators + a / 4));
+    }
+    for (int a = 0; a < accumulators; ++a)
+        trace.push_back(Uop::storeVec(
+            a, forces_base + static_cast<uint64_t>(a) * 64));
+    w.trace = std::move(trace);
+    return w;
+}
+
+/** Run and return wall time in ns at the active core frequency. The
+ *  input data (coefficients, positions) is warmed into L3, matching
+ *  the paper's protocol of warm inputs from the producing phase. */
+double
+runOn(const SaveConfig &scfg, const Workload &w, MemoryImage &image,
+      int vpus)
+{
+    MachineConfig m;
+    m.cores = 1;
+    Multicore mc(m, scfg, vpus, &image);
+    for (uint64_t off = 0; off < w.inputBytes; off += kLineBytes)
+        mc.hierarchy().warmL3(w.inputBase + off);
+    VectorTrace t(w.trace);
+    mc.bindTraces({&t});
+    uint64_t cycles = mc.run(1'000'000);
+    return static_cast<double>(cycles) / m.coreFreqGhz(vpus);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double sparsity = argc > 1 ? std::atof(argv[1]) : 0.7;
+
+    MemoryImage base_img;
+    Workload w = buildTrace(base_img, sparsity);
+    double base_ns = runOn(SaveConfig::baseline(), w, base_img, 2);
+
+    MemoryImage save2_img;
+    buildTrace(save2_img, sparsity);
+    double save2_ns = runOn(SaveConfig{}, w, save2_img, 2);
+
+    MemoryImage save1_img;
+    buildTrace(save1_img, sparsity);
+    double save1_ns = runOn(SaveConfig{}, w, save1_img, 1);
+
+    MemoryImage ref_img;
+    buildTrace(ref_img, sparsity);
+    ArchExecutor ref(&ref_img);
+    ref.run(w.trace);
+
+    uint64_t forces = w.forcesBase;
+    bool ok = true;
+    for (uint64_t off = 0; off < 24 * 64; off += 4)
+        ok &= save2_img.readU32(forces + off) ==
+                  ref_img.readU32(forces + off) &&
+              save1_img.readU32(forces + off) ==
+                  ref_img.readU32(forces + off);
+
+    std::printf("masked force accumulation, %.0f%% zero "
+                "coefficients:\n",
+                100 * sparsity);
+    std::printf("  baseline (2 VPUs @1.7GHz): %8.2f us\n",
+                base_ns / 1000);
+    std::printf("  SAVE (2 VPUs @1.7GHz)    : %8.2f us  (%.2fx)\n",
+                save2_ns / 1000, base_ns / save2_ns);
+    std::printf("  SAVE (1 VPU @2.1GHz)     : %8.2f us  (%.2fx)\n",
+                save1_ns / 1000, base_ns / save1_ns);
+    std::printf("  bitwise equivalence vs in-order execution: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

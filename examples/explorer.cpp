@@ -1,0 +1,147 @@
+/**
+ * @file
+ * save-explorer: a command-line front end to the simulator for quick
+ * what-if studies without writing code.
+ *
+ *   ./explorer [options]
+ *     --mr=N --nr=N --ksteps=N --tiles=N     kernel shape
+ *     --pattern=explicit|embedded            broadcast pattern
+ *     --precision=fp32|bf16                  multiplicand precision
+ *     --bs=F --nbs=F                         sparsity fractions
+ *     --policy=baseline|vc|rvc|hc            scheduler policy
+ *     --no-lwd --no-bcache --no-mp           feature ablations
+ *     --vpus=1|2 --cores=N                   machine shape
+ *     --verify                               check vs in-order exec
+ *     --stats                                dump all counters
+ *
+ * Example: a pruned-weights kernel on one boosted VPU:
+ *   ./explorer --mr=28 --nr=1 --pattern=embedded --nbs=0.8 --vpus=1
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine/engine.h"
+
+using namespace save;
+
+namespace {
+
+struct Args
+{
+    int argc;
+    char **argv;
+
+    double
+    num(const char *name, double def) const
+    {
+        std::string p = std::string("--") + name + "=";
+        for (int i = 1; i < argc; ++i)
+            if (!std::strncmp(argv[i], p.c_str(), p.size()))
+                return std::atof(argv[i] + p.size());
+        return def;
+    }
+
+    std::string
+    str(const char *name, const char *def) const
+    {
+        std::string p = std::string("--") + name + "=";
+        for (int i = 1; i < argc; ++i)
+            if (!std::strncmp(argv[i], p.c_str(), p.size()))
+                return argv[i] + p.size();
+        return def;
+    }
+
+    bool
+    flag(const char *name) const
+    {
+        std::string f = std::string("--") + name;
+        for (int i = 1; i < argc; ++i)
+            if (f == argv[i])
+                return true;
+        return false;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args{argc, argv};
+    if (args.flag("help")) {
+        std::printf("see the header comment of explorer.cpp for "
+                    "options\n");
+        return 0;
+    }
+
+    GemmConfig g;
+    g.mr = static_cast<int>(args.num("mr", 7));
+    g.nrVecs = static_cast<int>(args.num("nr", 3));
+    g.kSteps = static_cast<int>(args.num("ksteps", 192));
+    g.tiles = static_cast<int>(args.num("tiles", 6));
+    g.bsSparsity = args.num("bs", 0.0);
+    g.nbsSparsity = args.num("nbs", 0.5);
+    g.seed = static_cast<uint64_t>(args.num("seed", 1));
+    g.pattern = args.str("pattern", "embedded") == std::string("explicit")
+        ? BroadcastPattern::Explicit
+        : BroadcastPattern::Embedded;
+    g.precision = args.str("precision", "fp32") == std::string("bf16")
+        ? Precision::Bf16
+        : Precision::Fp32;
+
+    SaveConfig s;
+    std::string pol = args.str("policy", "rvc");
+    if (pol == "baseline")
+        s = SaveConfig::baseline();
+    else if (pol == "vc")
+        s.policy = SchedPolicy::VC;
+    else if (pol == "hc")
+        s.policy = SchedPolicy::HC;
+    else
+        s.policy = SchedPolicy::RVC;
+    if (args.flag("no-lwd"))
+        s.laneWiseDep = false;
+    if (args.flag("no-bcache"))
+        s.bcache = BcastCacheKind::None;
+    if (args.flag("no-mp"))
+        s.mpCompress = false;
+
+    MachineConfig m;
+    int vpus = static_cast<int>(args.num("vpus", 2));
+    int cores = static_cast<int>(args.num("cores", 1));
+
+    Engine baseline(m, SaveConfig::baseline());
+    Engine engine(m, s);
+    auto rb = baseline.runGemm(g, cores, 2);
+    auto r = engine.runGemm(g, cores, vpus);
+
+    std::printf("kernel: %dx%d tile, %d K steps x %d tiles, %s %s, "
+                "BS=%.0f%% NBS=%.0f%%\n",
+                g.mr, g.nrVecs * 16, g.kSteps, g.tiles,
+                g.pattern == BroadcastPattern::Explicit ? "explicit"
+                                                        : "embedded",
+                g.precision == Precision::Bf16 ? "bf16" : "fp32",
+                100 * g.bsSparsity, 100 * g.nbsSparsity);
+    std::printf("machine: %d core(s), %d VPU(s) @ %.1fGHz, policy "
+                "%s%s\n",
+                cores, vpus, m.coreFreqGhz(vpus), pol.c_str(),
+                s.enabled && s.laneWiseDep ? "+lwd" : "");
+    std::printf("baseline (2 VPUs): %8.2f us\n", rb.timeNs / 1000);
+    std::printf("configured       : %8.2f us   speedup %.2fx\n",
+                r.timeNs / 1000, speedup(rb, r));
+
+    if (args.flag("stats"))
+        std::printf("\n%s", r.stats.dump("  ").c_str());
+
+    if (args.flag("verify")) {
+        std::string why;
+        bool ok = engine.verifyGemm(g, vpus, &why);
+        std::printf("verification: %s %s\n", ok ? "PASS" : "FAIL",
+                    why.c_str());
+        return ok ? 0 : 1;
+    }
+    return 0;
+}

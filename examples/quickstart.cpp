@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: simulate one sparse GEMM micro-kernel on the baseline
+ * machine and on SAVE, and print the speedup plus key statistics.
+ *
+ *   ./quickstart [bs_sparsity] [nbs_sparsity]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/engine.h"
+
+int
+main(int argc, char **argv)
+{
+    double bs = argc > 1 ? std::atof(argv[1]) : 0.0;
+    double nbs = argc > 2 ? std::atof(argv[2]) : 0.6;
+
+    save::MachineConfig machine;
+    machine.cores = 4;
+
+    save::GemmConfig gemm;
+    gemm.mr = 4;
+    gemm.nrVecs = 6;
+    gemm.kSteps = 256;
+    gemm.bsSparsity = bs;
+    gemm.nbsSparsity = nbs;
+
+    save::Engine baseline(machine, save::SaveConfig::baseline());
+    save::Engine with_save(machine, save::SaveConfig{});
+
+    auto rb = baseline.runGemm(gemm, /*cores=*/1, /*vpus=*/2);
+    auto rs = with_save.runGemm(gemm, /*cores=*/1, /*vpus=*/2);
+
+    std::printf("GEMM slice: %dx%d register tile, %d K steps, "
+                "BS=%.0f%% NBS=%.0f%%\n",
+                gemm.mr, gemm.nrVecs * 16, gemm.kSteps, 100 * bs,
+                100 * nbs);
+    std::printf("  baseline : %8lu cycles  (%.1f us)\n",
+                static_cast<unsigned long>(rb.cycles),
+                rb.timeNs / 1000.0);
+    std::printf("  SAVE     : %8lu cycles  (%.1f us)\n",
+                static_cast<unsigned long>(rs.cycles),
+                rs.timeNs / 1000.0);
+    std::printf("  speedup  : %.2fx\n", save::speedup(rb, rs));
+    std::printf("\nbaseline stats:\n%s", rb.stats.dump("  ").c_str());
+    std::printf("\nSAVE stats:\n%s", rs.stats.dump("  ").c_str());
+
+    bool ok = with_save.verifyGemm(gemm);
+    std::printf("\nfunctional equivalence vs in-order reference: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ResNet-50 inference under weight pruning: how SAVE's benefit grows
+ * with the pruning rate, and where disabling one VPU and boosting the
+ * clock (paper SecIV-D) starts to win.
+ *
+ *   ./resnet_inference [--grid=N]
+ */
+
+#include <cstdio>
+
+#include "dnn/estimator.h"
+#include "dnn/networks.h"
+
+using namespace save;
+
+int
+main(int argc, char **argv)
+{
+    EstimatorOptions opt;
+    opt.gridStep = 3;
+    for (int i = 1; i < argc; ++i)
+        if (sscanf(argv[i], "--grid=%d", &opt.gridStep) == 1)
+            break;
+
+    TrainingEstimator est(MachineConfig{}, SaveConfig{}, opt);
+
+    std::printf("ResNet-50 inference on a 28-core machine, mixed "
+                "precision.\n");
+    std::printf("%-10s %-12s %-10s %-10s %-10s %s\n", "pruning",
+                "baseline", "SAVE 2VPU", "SAVE 1VPU", "dynamic",
+                "best config");
+    for (double target : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9}) {
+        NetworkModel net =
+            target > 0 ? resnet50Pruned() : resnet50Dense();
+        net.schedule.targetSparsity = target;
+        NetResult r = est.inference(net, Precision::Bf16);
+        double base = r.baseline2.total();
+        std::printf("%8.0f%%  %9.2f ms  %8.2fx  %8.2fx  %8.2fx  %s\n",
+                    100 * target, base / 1e6, base / r.save2.total(),
+                    base / r.save1.total(),
+                    base / r.saveDynamic.total(),
+                    r.save1.total() < r.save2.total()
+                        ? "1 VPU @2.1GHz"
+                        : "2 VPUs @1.7GHz");
+    }
+    std::printf("\nTakeaway: dense inference already gains from "
+                "activation sparsity; pruning past ~60%% makes the "
+                "boosted single-VPU configuration the better choice "
+                "(paper SecVII-B).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "dnn/activation_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace save {
+
+ActivationProfile::ActivationProfile(Kind kind, int num_layers,
+                                     int64_t num_steps)
+    : kind_(kind), layers_(num_layers), steps_(num_steps)
+{
+    SAVE_ASSERT(num_layers >= 1 && num_steps >= 1, "empty profile");
+}
+
+double
+ActivationProfile::at(int layer, int64_t step) const
+{
+    SAVE_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    if (layer == 0)
+        return 0.0; // raw input is dense
+
+    double depth = layers_ > 1
+        ? static_cast<double>(layer) / static_cast<double>(layers_ - 1)
+        : 0.0;
+    double t = steps_ > 1
+        ? static_cast<double>(std::clamp<int64_t>(step, 0, steps_ - 1)) /
+              static_cast<double>(steps_ - 1)
+        : 1.0;
+    // Sparsity settles during the first ~20% of training.
+    double settle = 1.0 - std::exp(-t * 8.0);
+
+    switch (kind_) {
+      case Kind::Vgg16: {
+        double base = 0.45 + 0.42 * depth;
+        double s = base * (0.80 + 0.20 * settle);
+        return std::clamp(s, 0.0, 0.93);
+      }
+      case Kind::Resnet50Dense:
+      case Kind::Resnet50Pruned: {
+        double base = 0.22 + 0.34 * depth;
+        // Block-entry convs read the post-add activations, whose
+        // positive residual bias lowers ReLU sparsity.
+        if (layer % 3 == 1)
+            base *= 0.55;
+        double s = base * (0.75 + 0.25 * settle);
+        if (kind_ == Kind::Resnet50Pruned)
+            s += 0.04 * settle; // pruning slightly raises act sparsity
+        return std::clamp(s, 0.0, 0.75);
+      }
+      case Kind::Gnmt:
+        return 0.20; // dropout rate; constant (paper SecVI)
+    }
+    return 0.0;
+}
+
+} // namespace save

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Activation-sparsity profiles over training (paper Fig. 12).
+ *
+ * The paper profiles real training runs (or uses Rhu et al.'s
+ * published progression for VGG16). Those traces are not available,
+ * so we synthesize per-layer per-epoch curves with the same shape
+ * (DESIGN.md substitution 3):
+ *
+ *  - VGG16: ReLU sparsity is high (45-90%), grows with depth, and
+ *    rises over the first epochs before flattening.
+ *  - ResNet-50: residual connections add positive bias before ReLU
+ *    and BatchNorm recenters activations, so sparsity is lower
+ *    (15-60%) and dips at block entries.
+ *  - GNMT: no ReLU; dropout gives a constant 20%.
+ *
+ * at(layer, step) is the sparsity of the layer's INPUT activations;
+ * layer 0 reads the raw image/embedding and is always dense.
+ */
+
+#ifndef SAVE_DNN_ACTIVATION_PROFILE_H
+#define SAVE_DNN_ACTIVATION_PROFILE_H
+
+#include <cstdint>
+
+namespace save {
+
+/** Synthetic activation-sparsity progression. */
+class ActivationProfile
+{
+  public:
+    enum class Kind { Vgg16, Resnet50Dense, Resnet50Pruned, Gnmt };
+
+    ActivationProfile(Kind kind, int num_layers, int64_t num_steps);
+
+    /** Input-activation sparsity of `layer` at training step `step`. */
+    double at(int layer, int64_t step) const;
+
+    /** Sparsity at the end of training (inference operating point). */
+    double final_(int layer) const { return at(layer, steps_ - 1); }
+
+    int layers() const { return layers_; }
+    int64_t steps() const { return steps_; }
+
+  private:
+    Kind kind_;
+    int layers_;
+    int64_t steps_;
+};
+
+} // namespace save
+
+#endif // SAVE_DNN_ACTIVATION_PROFILE_H

@@ -1,0 +1,245 @@
+#include "dnn/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dnn/surface.h"
+#include "util/logging.h"
+
+namespace save {
+
+PhaseBreakdown &
+PhaseBreakdown::operator+=(const PhaseBreakdown &o)
+{
+    firstLayer += o.firstLayer;
+    forward += o.forward;
+    bwdInput += o.bwdInput;
+    bwdWeights += o.bwdWeights;
+    return *this;
+}
+
+PhaseBreakdown &
+PhaseBreakdown::operator*=(double f)
+{
+    firstLayer *= f;
+    forward *= f;
+    bwdInput *= f;
+    bwdWeights *= f;
+    return *this;
+}
+
+TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
+                                     SaveConfig save_features,
+                                     EstimatorOptions opt)
+    : mcfg_(mcfg), save_cfg_(save_features), opt_(opt),
+      base_engine_(mcfg, SaveConfig::baseline()),
+      save_engine_(mcfg, save_features)
+{
+    SAVE_ASSERT(opt_.gridStep >= 1 && opt_.gridStep <= 9,
+                "bad estimator grid step");
+}
+
+double
+TrainingEstimator::sliceTime(const Key &key)
+{
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    GemmConfig g;
+    g.mr = key.mr;
+    g.nrVecs = key.nr;
+    g.kSteps = key.kSteps;
+    g.tiles = opt_.tiles;
+    g.pattern = static_cast<BroadcastPattern>(key.pattern);
+    g.precision = static_cast<Precision>(key.precision);
+    g.nbsSparsity = key.wBin * SparsitySurface::kStep;
+    g.bsSparsity = key.aBin * SparsitySurface::kStep;
+    g.seed = opt_.seed + key.wBin * 131 + key.aBin * 17;
+
+    Engine &eng = key.saveOn ? save_engine_ : base_engine_;
+    KernelResult r = eng.runGemm(g, opt_.cores, key.vpus);
+    ++sims_;
+    cache_.emplace(key, r.timeNs);
+    return r.timeNs;
+}
+
+double
+TrainingEstimator::interpTime(Key key, double nbs, double bs)
+{
+    if (!key.saveOn) {
+        // The baseline pipeline is data-oblivious: one sample serves
+        // every sparsity point.
+        key.wBin = key.aBin = 0;
+        return sliceTime(key);
+    }
+
+    const int step = opt_.gridStep;
+    const int max_bin = ((SparsitySurface::kGrid - 1) / step) * step;
+    auto bins = [&](double s, int &lo, int &hi, double &frac) {
+        double b = std::clamp(s, 0.0, SparsitySurface::kMax) /
+                   SparsitySurface::kStep;
+        lo = std::min(static_cast<int>(b) / step * step, max_bin);
+        hi = std::min(lo + step, max_bin);
+        frac = hi > lo ? (b - lo) / (hi - lo) : 0.0;
+        frac = std::clamp(frac, 0.0, 1.0);
+    };
+    int w0, w1, a0, a1;
+    double dw, da;
+    bins(nbs, w0, w1, dw);
+    bins(bs, a0, a1, da);
+
+    auto at = [&](int w, int a) {
+        Key k = key;
+        k.wBin = static_cast<uint8_t>(w);
+        k.aBin = static_cast<uint8_t>(a);
+        return sliceTime(k);
+    };
+    double t00 = at(w0, a0), t01 = at(w0, a1);
+    double t10 = at(w1, a0), t11 = at(w1, a1);
+    return t00 * (1 - dw) * (1 - da) + t10 * dw * (1 - da) +
+           t01 * (1 - dw) * da + t11 * dw * da;
+}
+
+double
+TrainingEstimator::kernelTime(const KernelSpec &spec, Precision precision,
+                              double bs, double nbs, bool save_on,
+                              int vpus)
+{
+    GemmConfig slice = spec.slice(precision, bs, nbs, opt_.kSteps,
+                                  opt_.seed);
+    slice.tiles = opt_.tiles;
+
+    Key key{};
+    key.mr = slice.mr;
+    key.nr = slice.nrVecs;
+    key.kSteps = slice.kSteps;
+    key.pattern = static_cast<uint8_t>(slice.pattern);
+    key.precision = static_cast<uint8_t>(precision);
+    key.saveOn = save_on ? 1 : 0;
+    key.vpus = static_cast<uint8_t>(vpus);
+
+    double t_slice = interpTime(key, nbs, bs);
+    return t_slice * spec.macScale(slice);
+}
+
+namespace {
+
+/** Route a kernel's time into the right breakdown bucket. */
+void
+bucket(PhaseBreakdown &bd, Phase phase, bool first_layer, double t)
+{
+    if (first_layer)
+        bd.firstLayer += t;
+    else if (phase == Phase::Forward)
+        bd.forward += t;
+    else if (phase == Phase::BwdInput)
+        bd.bwdInput += t;
+    else
+        bd.bwdWeights += t;
+}
+
+} // namespace
+
+void
+TrainingEstimator::addEpoch(const NetworkModel &net, Precision precision,
+                            int64_t step, bool inference_only,
+                            NetResult &acc)
+{
+    ActivationProfile act = net.profile();
+    double ws = net.schedule.sparsityAt(step);
+    int n_kernels = net.numKernels();
+
+    PhaseBreakdown epoch2, epoch1; // for the per-epoch static choice
+
+    auto add_kernel = [&](const KernelSpec &spec, double bs, double nbs,
+                          bool first_layer, double mac_factor) {
+        double tb = mac_factor *
+                    kernelTime(spec, precision, bs, nbs, false, 2);
+        double t2 = mac_factor *
+                    kernelTime(spec, precision, bs, nbs, true, 2);
+        double t1 = mac_factor *
+                    kernelTime(spec, precision, bs, nbs, true, 1);
+        bucket(acc.baseline2, spec.phase, first_layer, tb);
+        bucket(acc.save2, spec.phase, first_layer, t2);
+        bucket(acc.save1, spec.phase, first_layer, t1);
+        bucket(acc.saveDynamic, spec.phase, first_layer,
+               std::min(t2, t1));
+        bucket(epoch2, spec.phase, first_layer, t2);
+        bucket(epoch1, spec.phase, first_layer, t1);
+    };
+
+    if (!net.isLstm()) {
+        for (int i = 0; i < n_kernels; ++i) {
+            const ConvLayer &layer =
+                net.convLayers[static_cast<size_t>(i)];
+            bool first = i == 0;
+            double in_act = first ? 0.0 : act.at(i, step);
+            // Output-gradient sparsity: the layer's own ReLU mask,
+            // approximated by its output activation sparsity (the
+            // next layer's input); zero under BatchNorm.
+            double grad = net.sparseGradients
+                ? act.at(std::min(i + 1, n_kernels - 1), step)
+                : 0.0;
+
+            add_kernel(makeConvKernel(layer, Phase::Forward, net.batch),
+                       in_act, ws, first, 1.0);
+            if (inference_only)
+                continue;
+            if (!first) {
+                // dX = dY * W^T: dY broadcast (BS), W^T vector (NBS).
+                add_kernel(
+                    makeConvKernel(layer, Phase::BwdInput, net.batch),
+                    grad, ws, false, 1.0);
+            }
+            // dW = X^T dY: X broadcast (BS), dY vector (NBS).
+            add_kernel(
+                makeConvKernel(layer, Phase::BwdWeights, net.batch),
+                in_act, net.sparseGradients ? grad : 0.0, first, 1.0);
+        }
+    } else {
+        for (int i = 0; i < n_kernels; ++i) {
+            const LstmCell &cell = net.cells[static_cast<size_t>(i)];
+            double in_act = act.at(i, step);
+            add_kernel(makeLstmKernel(cell, Phase::Forward), in_act, ws,
+                       false, 1.0);
+            if (inference_only)
+                continue;
+            // The merged LSTM backward computes both dX and dW: twice
+            // the forward GEMM work at gradient/weight sparsity.
+            add_kernel(makeLstmKernel(cell, Phase::BwdInput), in_act,
+                       ws, false, 2.0);
+        }
+    }
+
+    // Static: the better fixed VPU count for this whole epoch.
+    acc.saveStatic +=
+        epoch2.total() <= epoch1.total() ? epoch2 : epoch1;
+}
+
+NetResult
+TrainingEstimator::inference(const NetworkModel &net, Precision precision)
+{
+    NetResult r;
+    addEpoch(net, precision, net.steps() - 1, true, r);
+    // Inference has no epoch granularity: static == the better fixed
+    // configuration == what addEpoch already computed.
+    return r;
+}
+
+NetResult
+TrainingEstimator::training(const NetworkModel &net, Precision precision)
+{
+    NetResult r;
+    for (int64_t e = 0; e < net.steps(); ++e)
+        addEpoch(net, precision, e, false, r);
+    double inv = 1.0 / static_cast<double>(net.steps());
+    r.baseline2 *= inv;
+    r.save2 *= inv;
+    r.save1 *= inv;
+    r.saveStatic *= inv;
+    r.saveDynamic *= inv;
+    return r;
+}
+
+} // namespace save

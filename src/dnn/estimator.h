@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Whole-network inference/training time estimation — the paper's
+ * sampling methodology (SecVI):
+ *
+ *  1. For every kernel (layer x phase), simulate a steady-state slice
+ *     at sparsities on a 10% grid -> a 2D time surface.
+ *  2. Map the profiled per-epoch weight/activation sparsities onto
+ *     the surface by (bi)linear interpolation.
+ *  3. Sum layers per epoch; average epochs for the mean training
+ *     time; use final-epoch sparsity for inference.
+ *
+ * Surfaces are cached by micro-kernel shape: layers sharing a shape
+ * share a slice surface and differ only by their MAC-count scale
+ * (DESIGN.md substitution 5).
+ *
+ * Operating points (Fig. 14): the baseline machine (2 VPUs, 1.7GHz),
+ * SAVE with 2 VPUs, SAVE with 1 VPU at 2.1GHz (SecIV-D), `static`
+ * (best fixed VPU count per epoch), and `dynamic` (best per kernel).
+ */
+
+#ifndef SAVE_DNN_ESTIMATOR_H
+#define SAVE_DNN_ESTIMATOR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dnn/networks.h"
+#include "engine/engine.h"
+
+namespace save {
+
+/** Estimator tuning knobs. */
+struct EstimatorOptions
+{
+    /** Slice length (K steps) and register-tile repetitions. Longer
+     *  slices amortize prologue/drain and approach the steady-state
+     *  cap; 192x6 reproduces the paper's speedup caps well. */
+    int kSteps = 192;
+    int tiles = 6;
+    /** Active cores in each slice simulation (share of the machine). */
+    int cores = 1;
+    /** Sample every gridStep-th 10% bin (3 -> 0/30/60/90%); times in
+     *  between are linearly interpolated. 1 reproduces the paper. */
+    int gridStep = 1;
+    uint64_t seed = 7;
+};
+
+/** Per-phase time breakdown (ns), Fig. 14 bar segments. */
+struct PhaseBreakdown
+{
+    double firstLayer = 0;
+    double forward = 0;
+    double bwdInput = 0;
+    double bwdWeights = 0;
+
+    double
+    total() const
+    {
+        return firstLayer + forward + bwdInput + bwdWeights;
+    }
+
+    PhaseBreakdown &operator+=(const PhaseBreakdown &o);
+    PhaseBreakdown &operator*=(double f);
+};
+
+/** Times for all Fig. 14 operating points. */
+struct NetResult
+{
+    PhaseBreakdown baseline2;
+    PhaseBreakdown save2;
+    PhaseBreakdown save1;
+    PhaseBreakdown saveStatic;
+    PhaseBreakdown saveDynamic;
+};
+
+/** Surface-cached whole-network estimator. */
+class TrainingEstimator
+{
+  public:
+    TrainingEstimator(MachineConfig mcfg, SaveConfig save_features,
+                      EstimatorOptions opt);
+
+    /** Forward pass at end-of-training sparsity. */
+    NetResult inference(const NetworkModel &net, Precision precision);
+
+    /** Mean per-epoch time across the whole training run. */
+    NetResult training(const NetworkModel &net, Precision precision);
+
+    /**
+     * Time of one kernel at given sparsities (ns, full layer).
+     * save_on selects the SAVE feature set vs the baseline pipeline.
+     */
+    double kernelTime(const KernelSpec &spec, Precision precision,
+                      double bs, double nbs, bool save_on, int vpus);
+
+    /** Slice simulations performed so far (cache misses). */
+    uint64_t simulations() const { return sims_; }
+
+  private:
+    struct Key
+    {
+        int mr, nr, kSteps;
+        uint8_t pattern, precision, saveOn, vpus, wBin, aBin;
+        auto operator<=>(const Key &) const = default;
+    };
+
+    /** Simulated slice time in ns at binned sparsities. */
+    double sliceTime(const Key &key);
+    /** gridStep-aware bilinear interpolation over slice times. */
+    double interpTime(Key key, double nbs, double bs);
+
+    /** Accumulate one epoch of one network into the result. */
+    void addEpoch(const NetworkModel &net, Precision precision,
+                  int64_t step, bool inference_only, NetResult &acc);
+
+    MachineConfig mcfg_;
+    SaveConfig save_cfg_;
+    EstimatorOptions opt_;
+    Engine base_engine_;
+    Engine save_engine_;
+    std::map<Key, double> cache_;
+    uint64_t sims_ = 0;
+};
+
+} // namespace save
+
+#endif // SAVE_DNN_ESTIMATOR_H

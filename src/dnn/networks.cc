@@ -1,0 +1,196 @@
+#include "dnn/networks.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+namespace {
+
+ConvLayer
+conv(std::string name, int in_c, int out_c, int k, int hw, int stride = 1)
+{
+    ConvLayer l;
+    l.name = std::move(name);
+    l.inC = in_c;
+    l.outC = out_c;
+    l.kh = k;
+    l.kw = k;
+    l.ih = hw;
+    l.iw = hw;
+    l.stride = stride;
+    return l;
+}
+
+std::vector<ConvLayer>
+vgg16Layers()
+{
+    return {
+        conv("vgg1_1", 3, 64, 3, 224),    conv("vgg1_2", 64, 64, 3, 224),
+        conv("vgg2_1", 64, 128, 3, 112),  conv("vgg2_2", 128, 128, 3, 112),
+        conv("vgg3_1", 128, 256, 3, 56),  conv("vgg3_2", 256, 256, 3, 56),
+        conv("vgg3_3", 256, 256, 3, 56),  conv("vgg4_1", 256, 512, 3, 28),
+        conv("vgg4_2", 512, 512, 3, 28),  conv("vgg4_3", 512, 512, 3, 28),
+        conv("vgg5_1", 512, 512, 3, 14),  conv("vgg5_2", 512, 512, 3, 14),
+        conv("vgg5_3", 512, 512, 3, 14),
+    };
+}
+
+/** One bottleneck block: 1x1 reduce, 3x3, 1x1 expand. */
+void
+addBottleneck(std::vector<ConvLayer> &out, const std::string &prefix,
+              int in_c, int mid_c, int out_c, int hw, int stride,
+              bool downsample)
+{
+    out.push_back(conv(prefix + "a", in_c, mid_c, 1, hw, stride));
+    int hw2 = (hw - 1) / stride + 1;
+    out.push_back(conv(prefix + "b", mid_c, mid_c, 3, hw2));
+    out.push_back(conv(prefix + "c", mid_c, out_c, 1, hw2));
+    if (downsample)
+        out.push_back(conv(prefix + "ds", in_c, out_c, 1, hw, stride));
+}
+
+std::vector<ConvLayer>
+resnet50Layers()
+{
+    std::vector<ConvLayer> out;
+    out.push_back(conv("resnet1", 3, 64, 7, 224, 2));
+    struct Stage { int blocks, mid, outc, hw, stride; };
+    // conv2_x..conv5_x; conv2_1 downsamples channels only (stride 1).
+    const Stage stages[] = {
+        {3, 64, 256, 56, 1},
+        {4, 128, 512, 56, 2},
+        {6, 256, 1024, 28, 2},
+        {3, 512, 2048, 14, 2},
+    };
+    int in_c = 64;
+    int stage_no = 2;
+    for (const Stage &s : stages) {
+        int hw = s.hw;
+        for (int b = 1; b <= s.blocks; ++b) {
+            std::string prefix = "resnet" + std::to_string(stage_no) +
+                                 "_" + std::to_string(b);
+            int stride = b == 1 ? s.stride : 1;
+            addBottleneck(out, prefix, in_c, s.mid, s.outc, hw, stride,
+                          b == 1);
+            if (b == 1)
+                hw = (hw - 1) / stride + 1;
+            in_c = s.outc;
+        }
+        ++stage_no;
+    }
+    SAVE_ASSERT(out.size() == 53, "ResNet-50 should have 53 conv "
+                "layers, got ", out.size());
+    return out;
+}
+
+std::vector<LstmCell>
+gnmtCells()
+{
+    std::vector<LstmCell> cells;
+    auto cell = [](std::string name, int input, int hidden) {
+        LstmCell c;
+        c.name = std::move(name);
+        c.inputDim = input;
+        c.hiddenDim = hidden;
+        return c;
+    };
+    // Encoder: bidirectional bottom pair, then 7 unidirectional
+    // layers (the first consumes the 2048-wide concatenation).
+    cells.push_back(cell("gnmt_enc0_fwd", 1024, 1024));
+    cells.push_back(cell("gnmt_enc0_bwd", 1024, 1024));
+    cells.push_back(cell("gnmt_enc1", 2048, 1024));
+    for (int i = 2; i <= 7; ++i)
+        cells.push_back(cell("gnmt_enc" + std::to_string(i), 1024, 1024));
+    // Decoder: 8 layers, each fed the attention context (1024) next to
+    // the layer input.
+    for (int i = 0; i < 8; ++i)
+        cells.push_back(cell("gnmt_dec" + std::to_string(i), 2048, 1024));
+    // Attention GEMMs (score projections and context combination),
+    // modeled as cells with 1024-wide gates.
+    cells.push_back(cell("gnmt_att_enc_proj", 1024, 256));
+    cells.push_back(cell("gnmt_att_dec_proj", 1024, 256));
+    cells.push_back(cell("gnmt_att_combine", 2048, 256));
+    // Output projection to the 32K vocabulary, split into 7 N-slices
+    // of 4096 logits each (modeled as 1024-hidden gate GEMMs).
+    for (int i = 0; i < 7; ++i)
+        cells.push_back(cell("gnmt_proj" + std::to_string(i), 1024,
+                             1024));
+    SAVE_ASSERT(cells.size() == 27, "GNMT should enumerate 27 cells, "
+                "got ", cells.size());
+    return cells;
+}
+
+} // namespace
+
+NetworkModel
+vgg16Dense()
+{
+    NetworkModel n;
+    n.name = "VGG16";
+    n.convLayers = vgg16Layers();
+    n.profileKind = ActivationProfile::Kind::Vgg16;
+    n.schedule = PruningSchedule::none(90);
+    n.sparseGradients = true; // ReLU everywhere, no BatchNorm
+    return n;
+}
+
+NetworkModel
+resnet50Dense()
+{
+    NetworkModel n;
+    n.name = "ResNet-50";
+    n.convLayers = resnet50Layers();
+    n.profileKind = ActivationProfile::Kind::Resnet50Dense;
+    n.schedule = PruningSchedule::none(90);
+    n.sparseGradients = false; // BatchNorm removes gradient sparsity
+    return n;
+}
+
+NetworkModel
+resnet50Pruned()
+{
+    NetworkModel n = resnet50Dense();
+    n.name = "ResNet-50-pruned";
+    n.pruned = true;
+    n.profileKind = ActivationProfile::Kind::Resnet50Pruned;
+    n.schedule = PruningSchedule::resnet50();
+    return n;
+}
+
+NetworkModel
+gnmtPruned()
+{
+    NetworkModel n;
+    n.name = "GNMT-pruned";
+    n.pruned = true;
+    n.cells = gnmtCells();
+    n.profileKind = ActivationProfile::Kind::Gnmt;
+    n.schedule = PruningSchedule::gnmt();
+    n.sparseGradients = true; // dropout mask applies on backward too
+    return n;
+}
+
+const ConvLayer &
+findConvLayer(const NetworkModel &net, const std::string &name)
+{
+    for (const ConvLayer &l : net.convLayers)
+        if (l.name == name)
+            return l;
+    SAVE_FATAL("no conv layer named '", name, "' in ", net.name);
+}
+
+std::vector<KernelSpec>
+allStudiedKernels(int batch)
+{
+    std::vector<KernelSpec> out;
+    for (const auto &net : {vgg16Dense(), resnet50Dense()})
+        for (const ConvLayer &l : net.convLayers)
+            out.push_back(makeConvKernel(l, Phase::Forward, batch));
+    for (const LstmCell &c : gnmtPruned().cells)
+        out.push_back(makeLstmKernel(c, Phase::Forward));
+    SAVE_ASSERT(out.size() == 93, "expected the paper's 93 kernels, "
+                "got ", out.size());
+    return out;
+}
+
+} // namespace save

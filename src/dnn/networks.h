@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The evaluated networks (paper SecVI): VGG16 and ResNet-50 on
+ * ImageNet, GNMT on WMT'16 EN-DE. Layer tables follow the published
+ * architectures; GNMT is enumerated as 27 GEMM cells (8+1 encoder
+ * LSTMs incl. the bidirectional bottom pair, 8 decoder LSTMs, 3
+ * attention GEMMs, and the output projection split into 7 N-slices),
+ * giving the paper's 93 studied kernels together with VGG16's 13 and
+ * ResNet-50's 53 conv layers.
+ */
+
+#ifndef SAVE_DNN_NETWORKS_H
+#define SAVE_DNN_NETWORKS_H
+
+#include <string>
+#include <vector>
+
+#include "dnn/activation_profile.h"
+#include "dnn/pruning.h"
+#include "kernels/conv.h"
+#include "kernels/lstm.h"
+
+namespace save {
+
+/** A network plus everything the estimator needs to evaluate it. */
+struct NetworkModel
+{
+    std::string name;
+    bool pruned = false;
+    std::vector<ConvLayer> convLayers;
+    std::vector<LstmCell> cells;
+    ActivationProfile::Kind profileKind = ActivationProfile::Kind::Vgg16;
+    PruningSchedule schedule;
+    /** ReLU makes output gradients sparse (VGG16); BatchNorm removes
+     *  that sparsity (ResNet-50, paper SecVI). */
+    bool sparseGradients = false;
+    int batch = 32;
+
+    bool isLstm() const { return !cells.empty(); }
+    int numKernels() const
+    {
+        return static_cast<int>(convLayers.size() + cells.size());
+    }
+    int64_t steps() const { return schedule.totalSteps; }
+
+    ActivationProfile profile() const
+    {
+        return ActivationProfile(profileKind, numKernels(),
+                                 schedule.totalSteps);
+    }
+};
+
+/** VGG16 with dense weights (activation sparsity only). */
+NetworkModel vgg16Dense();
+/** ResNet-50 trained dense. */
+NetworkModel resnet50Dense();
+/** ResNet-50 with gradual magnitude pruning to 80%. */
+NetworkModel resnet50Pruned();
+/** GNMT with gradual magnitude pruning to 90%. */
+NetworkModel gnmtPruned();
+
+/** Find a conv layer by name; panics when missing. */
+const ConvLayer &findConvLayer(const NetworkModel &net,
+                               const std::string &name);
+
+/** All 93 forward kernels across the three network families. */
+std::vector<KernelSpec> allStudiedKernels(int batch = 32);
+
+} // namespace save
+
+#endif // SAVE_DNN_NETWORKS_H

@@ -1,0 +1,52 @@
+#include "dnn/pruning.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+double
+PruningSchedule::sparsityAt(int64_t step) const
+{
+    if (!prunes() || step < startStep)
+        return 0.0;
+    if (step >= endStep)
+        return targetSparsity;
+    double frac = static_cast<double>(step - startStep) /
+                  static_cast<double>(endStep - startStep);
+    double keep = 1.0 - frac;
+    // Zhu & Gupta: s_t = s_f * (1 - (1 - t')^3).
+    return targetSparsity * (1.0 - keep * keep * keep);
+}
+
+PruningSchedule
+PruningSchedule::none(int64_t total_steps)
+{
+    PruningSchedule p;
+    p.totalSteps = total_steps;
+    return p;
+}
+
+PruningSchedule
+PruningSchedule::resnet50()
+{
+    PruningSchedule p;
+    p.targetSparsity = 0.80;
+    p.startStep = 32;
+    p.endStep = 60;
+    p.totalSteps = 102;
+    return p;
+}
+
+PruningSchedule
+PruningSchedule::gnmt()
+{
+    PruningSchedule p;
+    // Units of 10K iterations: 40K -> 190K out of 340K.
+    p.targetSparsity = 0.90;
+    p.startStep = 4;
+    p.endStep = 19;
+    p.totalSteps = 34;
+    return p;
+}
+
+} // namespace save

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Magnitude-pruning schedules (paper SecVI, Fig. 13).
+ *
+ * The paper prunes with the Zhu-Gupta gradual schedule [69]: weight
+ * sparsity ramps from 0 to the target along a cubic curve between a
+ * start and an end step, then holds. ResNet-50 prunes from epoch 32
+ * to 80% at epoch 60 (training ends at 102); GNMT prunes from
+ * iteration 40K to 90% at 190K (training ends at 340K).
+ */
+
+#ifndef SAVE_DNN_PRUNING_H
+#define SAVE_DNN_PRUNING_H
+
+#include <cstdint>
+
+namespace save {
+
+/** A gradual pruning schedule. */
+struct PruningSchedule
+{
+    double targetSparsity = 0.0;
+    int64_t startStep = 0;
+    int64_t endStep = 0;
+    int64_t totalSteps = 1;
+
+    /** Weight sparsity at a training step (Zhu-Gupta cubic ramp). */
+    double sparsityAt(int64_t step) const;
+
+    /** Sparsity at the end of training (what inference sees). */
+    double finalSparsity() const { return sparsityAt(totalSteps - 1); }
+
+    bool prunes() const { return targetSparsity > 0.0; }
+
+    /** Dense training: sparsity stays zero. */
+    static PruningSchedule none(int64_t total_steps);
+
+    /** Paper Fig. 13 top: ResNet-50, epochs 32->60, 80%, 102 epochs. */
+    static PruningSchedule resnet50();
+
+    /** Paper Fig. 13 bottom: GNMT, iters 40K->190K, 90%, 340K iters.
+     *  Expressed in sampled units of 10K iterations. */
+    static PruningSchedule gnmt();
+};
+
+} // namespace save
+
+#endif // SAVE_DNN_PRUNING_H

@@ -1,0 +1,68 @@
+#include "dnn/surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace save {
+
+void
+SparsitySurface::set(int w_bin, int a_bin, double time_ns)
+{
+    SAVE_ASSERT(w_bin >= 0 && w_bin < kGrid && a_bin >= 0 &&
+                a_bin < kGrid, "bad surface bin");
+    t_[static_cast<size_t>(w_bin)][static_cast<size_t>(a_bin)] = time_ns;
+    set_[static_cast<size_t>(w_bin)][static_cast<size_t>(a_bin)] = true;
+}
+
+double
+SparsitySurface::at(int w_bin, int a_bin) const
+{
+    SAVE_ASSERT(set_[static_cast<size_t>(w_bin)]
+                    [static_cast<size_t>(a_bin)],
+                "surface bin not sampled");
+    return t_[static_cast<size_t>(w_bin)][static_cast<size_t>(a_bin)];
+}
+
+double
+SparsitySurface::timeAt(double ws, double as) const
+{
+    ws = std::clamp(ws, 0.0, kMax);
+    as = std::clamp(as, 0.0, kMax);
+    double wf = ws / kStep;
+    double af = as / kStep;
+    int w0 = std::min(static_cast<int>(wf), kGrid - 1);
+    int a0 = std::min(static_cast<int>(af), kGrid - 1);
+    int w1 = std::min(w0 + 1, kGrid - 1);
+    int a1 = std::min(a0 + 1, kGrid - 1);
+    double dw = wf - w0;
+    double da = af - a0;
+    double t00 = at(w0, a0), t01 = at(w0, a1);
+    double t10 = at(w1, a0), t11 = at(w1, a1);
+    return t00 * (1 - dw) * (1 - da) + t10 * dw * (1 - da) +
+           t01 * (1 - dw) * da + t11 * dw * da;
+}
+
+bool
+SparsitySurface::complete() const
+{
+    for (const auto &row : set_)
+        for (bool b : row)
+            if (!b)
+                return false;
+    return true;
+}
+
+SparsitySurface
+buildSurface(const std::function<double(double, double)> &fn)
+{
+    SparsitySurface s;
+    for (int w = 0; w < SparsitySurface::kGrid; ++w)
+        for (int a = 0; a < SparsitySurface::kGrid; ++a)
+            s.set(w, a, fn(w * SparsitySurface::kStep,
+                           a * SparsitySurface::kStep));
+    return s;
+}
+
+} // namespace save

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The 2D sparsity-to-time surface of the paper's sampling methodology
+ * (SecVI): each kernel is simulated at weight (NBS) and activation
+ * (BS) sparsities of 0%-90% in 10% steps, and realistic training
+ * sparsities are mapped onto the surface by bilinear interpolation.
+ */
+
+#ifndef SAVE_DNN_SURFACE_H
+#define SAVE_DNN_SURFACE_H
+
+#include <array>
+#include <functional>
+
+namespace save {
+
+/** A 10x10 grid of execution times indexed by sparsity bins. */
+class SparsitySurface
+{
+  public:
+    static constexpr int kGrid = 10;
+    static constexpr double kStep = 0.1;
+    static constexpr double kMax = 0.9;
+
+    /** Set time at (weight_bin, act_bin); bins are 0..9 for 0%..90%. */
+    void set(int w_bin, int a_bin, double time_ns);
+
+    double at(int w_bin, int a_bin) const;
+
+    /** Bilinear interpolation at arbitrary sparsities, clamped to the
+     *  sampled [0, 0.9] range. */
+    double timeAt(double weight_sparsity, double act_sparsity) const;
+
+    bool complete() const;
+
+  private:
+    std::array<std::array<double, kGrid>, kGrid> t_{};
+    std::array<std::array<bool, kGrid>, kGrid> set_{};
+};
+
+/** Build a full surface by sampling a time function on the grid. */
+SparsitySurface
+buildSurface(const std::function<double(double ws, double as)> &fn);
+
+} // namespace save
+
+#endif // SAVE_DNN_SURFACE_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * save::Engine — the library's public facade.
+ *
+ * Wraps machine construction, workload placement, cache warm-up, and
+ * simulation into a few calls:
+ *
+ *   save::Engine engine(machine_cfg, save_cfg);
+ *   auto r = engine.runGemm(gemm_cfg);
+ *   std::cout << r.timeNs << "\n";
+ *
+ * Also exposes the functional-equivalence checker used throughout the
+ * test suite (SAVE is architecturally transparent: any policy must
+ * produce bitwise-identical results to in-order execution).
+ */
+
+#ifndef SAVE_ENGINE_ENGINE_H
+#define SAVE_ENGINE_ENGINE_H
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/gemm.h"
+#include "sim/config.h"
+#include "stats/stats.h"
+
+namespace save {
+
+/** Outcome of one simulated kernel run. */
+struct KernelResult
+{
+    uint64_t cycles = 0;
+    /** Wall time at the active core frequency. */
+    double timeNs = 0.0;
+    double coreGhz = 0.0;
+    /** Aggregated core + hierarchy statistics. */
+    StatGroup stats;
+};
+
+/** Simulation façade. */
+class Engine
+{
+  public:
+    Engine(MachineConfig mcfg, SaveConfig scfg);
+
+    /**
+     * Simulate a GEMM slice on `cores` cores (sharded data-parallel)
+     * with `vpus` active VPUs per core. cores <= mcfg.cores.
+     * The machine's DRAM bandwidth is pro-rated to the active cores so
+     * a small run models those cores' share of the full machine.
+     */
+    KernelResult runGemm(const GemmConfig &cfg, int cores = 1,
+                         int vpus = 2);
+
+    /**
+     * Run the trace through the OoO pipeline and through the in-order
+     * reference; true iff final C-matrix memory is bitwise identical.
+     */
+    bool verifyGemm(const GemmConfig &cfg, int vpus = 2,
+                    std::string *detail = nullptr);
+
+    const MachineConfig &machine() const { return mcfg_; }
+    const SaveConfig &save() const { return scfg_; }
+
+  private:
+    MachineConfig mcfg_;
+    SaveConfig scfg_;
+};
+
+/** Speedup of `other` over `base` by wall time. */
+inline double
+speedup(const KernelResult &base, const KernelResult &other)
+{
+    return base.timeNs / other.timeNs;
+}
+
+} // namespace save
+
+#endif // SAVE_ENGINE_ENGINE_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bfloat-16 conversion and arithmetic helpers.
+ *
+ * BF16 is the top 16 bits of an IEEE-754 FP32 value: 1 sign bit, 8
+ * exponent bits, 7 mantissa bits. It shares FP32's dynamic range
+ * (paper SecII-B). Conversion from FP32 rounds to nearest-even, as the
+ * AVX512_BF16 VCVTNE2PS2BF16 instruction does. Mixed-precision VFMAs
+ * (VDPBF16PS) multiply BF16 inputs exactly (a 7x7-bit product fits in
+ * FP32) and accumulate in FP32.
+ */
+
+#ifndef SAVE_ISA_BF16_H
+#define SAVE_ISA_BF16_H
+
+#include <bit>
+#include <cstdint>
+
+namespace save {
+
+/** Raw bit pattern of a BF16 value. */
+using Bf16 = uint16_t;
+
+/** Widen BF16 to FP32 exactly (append 16 zero mantissa bits). */
+inline float
+bf16ToF32(Bf16 v)
+{
+    return std::bit_cast<float>(static_cast<uint32_t>(v) << 16);
+}
+
+/** Narrow FP32 to BF16 with round-to-nearest-even; NaN stays NaN. */
+inline Bf16
+f32ToBf16(float f)
+{
+    uint32_t bits = std::bit_cast<uint32_t>(f);
+    // Quiet NaNs: force a mantissa bit so the payload survives.
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu))
+        return static_cast<Bf16>((bits >> 16) | 0x0040u);
+    uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+    return static_cast<Bf16>((bits + rounding) >> 16);
+}
+
+/** True if the value is a (positive or negative) zero. */
+inline bool
+bf16IsZero(Bf16 v)
+{
+    return (v & 0x7fffu) == 0;
+}
+
+/**
+ * One multiply-accumulate step of VDPBF16PS: acc + a*b with the BF16
+ * inputs widened exactly and the product/sum computed in FP32.
+ */
+inline float
+bf16Mac(float acc, Bf16 a, Bf16 b)
+{
+    return acc + bf16ToF32(a) * bf16ToF32(b);
+}
+
+} // namespace save
+
+#endif // SAVE_ISA_BF16_H

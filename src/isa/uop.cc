@@ -1,0 +1,143 @@
+#include "isa/uop.h"
+
+#include <sstream>
+
+namespace save {
+
+bool
+Uop::isVfma() const
+{
+    return op == Opcode::VfmaPs || op == Opcode::VfmaPsBcast ||
+           op == Opcode::Vdpbf16Ps || op == Opcode::Vdpbf16PsBcast;
+}
+
+bool
+Uop::isMixedPrecision() const
+{
+    return op == Opcode::Vdpbf16Ps || op == Opcode::Vdpbf16PsBcast;
+}
+
+bool
+Uop::isLoad() const
+{
+    return op == Opcode::BroadcastLoad || op == Opcode::LoadVec ||
+           hasEmbeddedBroadcast();
+}
+
+bool
+Uop::hasEmbeddedBroadcast() const
+{
+    return op == Opcode::VfmaPsBcast || op == Opcode::Vdpbf16PsBcast;
+}
+
+std::string
+Uop::toString() const
+{
+    static const char *names[] = {
+        "vfmaps", "vfmaps.bcast", "vdpbf16ps", "vdpbf16ps.bcast",
+        "vbroadcast", "vload", "vstore", "alu", "kmovw",
+    };
+    std::ostringstream os;
+    os << names[static_cast<int>(op)];
+    if (dst >= 0)
+        os << " zmm" << int(dst);
+    if (srcA >= 0)
+        os << ", zmm" << int(srcA);
+    else if (isLoad())
+        os << ", [0x" << std::hex << addr << std::dec << "]";
+    if (srcB >= 0)
+        os << ", zmm" << int(srcB);
+    if (wmask >= 0)
+        os << " {k" << int(wmask) << "}";
+    return os.str();
+}
+
+Uop
+Uop::vfma(int dst, int a, int b, int wmask)
+{
+    Uop u;
+    u.op = Opcode::VfmaPs;
+    u.dst = static_cast<int8_t>(dst);
+    u.srcA = static_cast<int8_t>(a);
+    u.srcB = static_cast<int8_t>(b);
+    u.srcC = static_cast<int8_t>(dst);
+    u.wmask = static_cast<int8_t>(wmask);
+    return u;
+}
+
+Uop
+Uop::vfmaBcast(int dst, uint64_t addr, int b, int wmask)
+{
+    Uop u;
+    u.op = Opcode::VfmaPsBcast;
+    u.dst = static_cast<int8_t>(dst);
+    u.srcB = static_cast<int8_t>(b);
+    u.srcC = static_cast<int8_t>(dst);
+    u.wmask = static_cast<int8_t>(wmask);
+    u.addr = addr;
+    return u;
+}
+
+Uop
+Uop::vdp(int dst, int a, int b, int wmask)
+{
+    Uop u = vfma(dst, a, b, wmask);
+    u.op = Opcode::Vdpbf16Ps;
+    return u;
+}
+
+Uop
+Uop::vdpBcast(int dst, uint64_t addr, int b, int wmask)
+{
+    Uop u = vfmaBcast(dst, addr, b, wmask);
+    u.op = Opcode::Vdpbf16PsBcast;
+    return u;
+}
+
+Uop
+Uop::broadcastLoad(int dst, uint64_t addr)
+{
+    Uop u;
+    u.op = Opcode::BroadcastLoad;
+    u.dst = static_cast<int8_t>(dst);
+    u.addr = addr;
+    return u;
+}
+
+Uop
+Uop::loadVec(int dst, uint64_t addr)
+{
+    Uop u;
+    u.op = Opcode::LoadVec;
+    u.dst = static_cast<int8_t>(dst);
+    u.addr = addr;
+    return u;
+}
+
+Uop
+Uop::storeVec(int src, uint64_t addr)
+{
+    Uop u;
+    u.op = Opcode::StoreVec;
+    u.srcC = static_cast<int8_t>(src);
+    u.addr = addr;
+    return u;
+}
+
+Uop
+Uop::alu()
+{
+    return Uop{};
+}
+
+Uop
+Uop::setMask(int kreg, uint16_t imm)
+{
+    Uop u;
+    u.op = Opcode::SetMask;
+    u.wmask = static_cast<int8_t>(kreg);
+    u.maskImm = imm;
+    return u;
+}
+
+} // namespace save

@@ -1,0 +1,125 @@
+#include "kernels/conv.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace save {
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+      case Phase::Forward:    return "forward";
+      case Phase::BwdInput:   return "bwd_input";
+      case Phase::BwdWeights: return "bwd_weights";
+    }
+    return "?";
+}
+
+uint64_t
+ConvLayer::macsPerImage() const
+{
+    return static_cast<uint64_t>(oh()) * static_cast<uint64_t>(ow()) *
+           static_cast<uint64_t>(outC) * static_cast<uint64_t>(inC) *
+           static_cast<uint64_t>(kh) * static_cast<uint64_t>(kw);
+}
+
+GemmDims
+convGemmDims(const ConvLayer &l, Phase phase, int batch)
+{
+    GemmDims d;
+    int64_t spatial = static_cast<int64_t>(l.oh()) * l.ow() * batch;
+    switch (phase) {
+      case Phase::Forward:
+        // Y[M=spatial, N=outC] = X_im2col[M, K] * W[K=inC*kh*kw, N].
+        d.m = spatial;
+        d.n = l.outC;
+        d.k = static_cast<int64_t>(l.inC) * l.kh * l.kw;
+        break;
+      case Phase::BwdInput:
+        // dX[M=spatial, N=inC] = dY[M, K] * W^T[K=outC*kh*kw, N].
+        d.m = spatial;
+        d.n = l.inC;
+        d.k = static_cast<int64_t>(l.outC) * l.kh * l.kw;
+        break;
+      case Phase::BwdWeights:
+        // dW[M=inC*kh*kw, N=outC] = X^T[M, K] * dY[K=spatial, N].
+        d.m = static_cast<int64_t>(l.inC) * l.kh * l.kw;
+        d.n = l.outC;
+        d.k = spatial;
+        break;
+    }
+    return d;
+}
+
+KernelShape
+chooseShape(Phase phase, int64_t n_dim)
+{
+    KernelShape s;
+    if (phase == Phase::Forward) {
+        // Explicit-broadcast forward kernels: wide N tiles when the
+        // output-channel dimension allows it.
+        s.pattern = BroadcastPattern::Explicit;
+        int nr = static_cast<int>(
+            std::clamp<int64_t>(n_dim / kVecLanes, 1, 6));
+        static const int mr_for_nr[] = {0, 28, 14, 7, 6, 5, 4};
+        s.nrVecs = nr;
+        s.mr = mr_for_nr[nr];
+        // Explicit pattern needs two broadcast registers.
+        while (s.mr * s.nrVecs + s.nrVecs + 2 > kLogicalVecRegs)
+            --s.mr;
+        return s;
+    }
+    // Backward kernels follow the paper's SecVII-D examples: embedded
+    // broadcast, 28 accumulators with full B reuse for narrow N, or 21
+    // accumulators (7x3, B reuse 7) for wide N.
+    s.pattern = BroadcastPattern::Embedded;
+    if (n_dim >= 256) {
+        s.mr = 7;
+        s.nrVecs = 3;
+    } else {
+        s.mr = 28;
+        s.nrVecs = 1;
+    }
+    return s;
+}
+
+GemmConfig
+KernelSpec::slice(Precision precision, double bs, double nbs, int k_steps,
+                  uint64_t seed) const
+{
+    GemmConfig cfg;
+    cfg.mr = shape.mr;
+    cfg.nrVecs = shape.nrVecs;
+    cfg.pattern = shape.pattern;
+    cfg.precision = precision;
+    cfg.bsSparsity = bs;
+    cfg.nbsSparsity = nbs;
+    cfg.seed = seed;
+    int64_t k_avail = dims.k / (precision == Precision::Bf16 ? 2 : 1);
+    cfg.kSteps = static_cast<int>(
+        std::clamp<int64_t>(k_avail, 8, k_steps));
+    cfg.tiles = 1;
+    return cfg;
+}
+
+double
+KernelSpec::macScale(const GemmConfig &slice_cfg) const
+{
+    return static_cast<double>(dims.macs()) /
+           static_cast<double>(slice_cfg.macs());
+}
+
+KernelSpec
+makeConvKernel(const ConvLayer &layer, Phase phase, int batch)
+{
+    KernelSpec spec;
+    spec.name = layer.name + ":" + phaseName(phase);
+    spec.phase = phase;
+    spec.dims = convGemmDims(layer, phase, batch);
+    spec.shape = chooseShape(phase, spec.dims.n);
+    return spec;
+}
+
+} // namespace save

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Convolution layers lowered to GEMM (SecII-A), DNNL-style: the layer
+ * geometry fixes the GEMM dimensions per training phase, and a
+ * micro-kernel shape (register tiling + broadcast pattern) is chosen
+ * the way the paper's kernels are described (SecVII-D: embedded-
+ * broadcast back-propagation kernels with 28 accumulators / B reuse 28
+ * or 21 accumulators / B reuse 7).
+ */
+
+#ifndef SAVE_KERNELS_CONV_H
+#define SAVE_KERNELS_CONV_H
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/gemm.h"
+
+namespace save {
+
+/** DNN kernel phase. */
+enum class Phase : uint8_t { Forward, BwdInput, BwdWeights };
+
+const char *phaseName(Phase p);
+
+/** Full-problem GEMM dimensions. */
+struct GemmDims
+{
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+
+    uint64_t
+    macs() const
+    {
+        return static_cast<uint64_t>(m) * static_cast<uint64_t>(n) *
+               static_cast<uint64_t>(k);
+    }
+};
+
+/** Register tiling + instruction pattern of a micro-kernel. */
+struct KernelShape
+{
+    int mr = 4;
+    int nrVecs = 6;
+    BroadcastPattern pattern = BroadcastPattern::Explicit;
+
+    bool
+    operator==(const KernelShape &o) const
+    {
+        return mr == o.mr && nrVecs == o.nrVecs && pattern == o.pattern;
+    }
+};
+
+/** One simulate-able kernel: a named GEMM with a chosen micro-kernel. */
+struct KernelSpec
+{
+    std::string name;
+    Phase phase = Phase::Forward;
+    KernelShape shape;
+    GemmDims dims;
+
+    /**
+     * Slice configuration for simulation: a steady-state stretch of
+     * the micro-kernel's K loop. Layer time = slice time * macScale.
+     */
+    GemmConfig slice(Precision precision, double bs, double nbs,
+                     int k_steps = 128, uint64_t seed = 1) const;
+
+    /** Full-layer MACs divided by slice MACs. */
+    double macScale(const GemmConfig &slice_cfg) const;
+};
+
+/** A convolution layer's geometry. */
+struct ConvLayer
+{
+    std::string name;
+    int inC = 0;
+    int outC = 0;
+    int kh = 3;
+    int kw = 3;
+    int ih = 0;
+    int iw = 0;
+    int stride = 1;
+
+    int oh() const { return (ih - 1) / stride + 1; }
+    int ow() const { return (iw - 1) / stride + 1; }
+
+    /** MACs for one image. */
+    uint64_t macsPerImage() const;
+};
+
+/** GEMM dimensions of a conv layer in the given phase (im2col view). */
+GemmDims convGemmDims(const ConvLayer &layer, Phase phase, int batch);
+
+/** DNNL-style micro-kernel choice for a phase and output width. */
+KernelShape chooseShape(Phase phase, int64_t n_dim);
+
+/** Build the KernelSpec for one conv layer + phase. */
+KernelSpec makeConvKernel(const ConvLayer &layer, Phase phase, int batch);
+
+} // namespace save
+
+#endif // SAVE_KERNELS_CONV_H

@@ -1,0 +1,255 @@
+#include "kernels/gemm.h"
+
+#include "kernels/sparsity.h"
+#include "mem/hierarchy.h"
+#include "util/logging.h"
+
+namespace save {
+
+namespace {
+
+/**
+ * A-panel geometry. The panel is stored packed and k-major, as DNNL
+ * packs the broadcast operand: the mr scalars (32-bit words: one FP32
+ * value or one BF16 pair) broadcast within one k step are contiguous.
+ * This is the spatial locality the Broadcast Cache exploits (paper
+ * SecIV-A: "different scalar values in the same cache line are
+ * broadcasted nearby in time").
+ */
+uint64_t
+aWords(const GemmConfig &cfg)
+{
+    return static_cast<uint64_t>(cfg.tiles) *
+           static_cast<uint64_t>(cfg.kSteps) *
+           static_cast<uint64_t>(cfg.mr);
+}
+
+/**
+ * Register plan. Column-major accumulator numbering: VFMAs sharing a
+ * B register (same n, varying m) get consecutive accumulator numbers,
+ * so their R-states (dst mod 3) differ and rotate-vertical coalescing
+ * can break their identical sparsity patterns apart (paper SecIV-B).
+ */
+struct RegPlan
+{
+    int mr;
+    int nr;
+    int cReg(int m, int n) const { return n * mr + m; }
+    int bReg(int n) const { return mr * nr + n; }
+    int aReg(int m) const { return mr * nr + nr + (m & 1); }
+};
+
+void
+emitTile(const GemmConfig &cfg, const GemmWorkload &w, int panel,
+         int tile, std::vector<Uop> &out)
+{
+    const int mr = cfg.mr;
+    const int nr = cfg.nrVecs;
+    RegPlan plan{mr, nr};
+    const bool mp = cfg.precision == Precision::Bf16;
+    const int wm = cfg.useWriteMask ? 1 : -1;
+
+    auto a_addr = [&](int m, int step) {
+        uint64_t word;
+        if (cfg.aLayout == ALayout::PackedKMajor) {
+            word = (static_cast<uint64_t>(tile) *
+                        static_cast<uint64_t>(cfg.kSteps) +
+                    static_cast<uint64_t>(step)) *
+                       static_cast<uint64_t>(mr) +
+                   static_cast<uint64_t>(m);
+        } else {
+            // Row-major: row (tile*mr + m), column step.
+            word = (static_cast<uint64_t>(tile) *
+                        static_cast<uint64_t>(mr) +
+                    static_cast<uint64_t>(m)) *
+                       static_cast<uint64_t>(cfg.kSteps) +
+                   static_cast<uint64_t>(step);
+        }
+        return w.aBase + word * 4;
+    };
+    auto b_addr = [&](int step, int n) {
+        uint64_t vec = (static_cast<uint64_t>(panel) *
+                            static_cast<uint64_t>(cfg.kSteps) +
+                        static_cast<uint64_t>(step)) *
+                           static_cast<uint64_t>(nr) +
+                       static_cast<uint64_t>(n);
+        return w.bBase + vec * kLineBytes;
+    };
+    auto c_addr = [&](int m, int n) {
+        uint64_t row = (static_cast<uint64_t>(panel) *
+                            static_cast<uint64_t>(cfg.tiles) +
+                        static_cast<uint64_t>(tile)) *
+                           static_cast<uint64_t>(mr) +
+                       static_cast<uint64_t>(m);
+        return w.cBase +
+               (row * static_cast<uint64_t>(nr) +
+                static_cast<uint64_t>(n)) *
+                   kLineBytes;
+    };
+
+    // Load the C tile into the accumulator registers.
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            out.push_back(Uop::loadVec(plan.cReg(m, n), c_addr(m, n)));
+
+    for (int step = 0; step < cfg.kSteps; ++step) {
+        for (int n = 0; n < nr; ++n)
+            out.push_back(
+                Uop::loadVec(plan.bReg(n), b_addr(step, n)));
+
+        if (cfg.pattern == BroadcastPattern::Explicit) {
+            for (int m = 0; m < mr; ++m) {
+                int areg = plan.aReg(m);
+                out.push_back(Uop::broadcastLoad(areg, a_addr(m, step)));
+                for (int n = 0; n < nr; ++n) {
+                    int c = plan.cReg(m, n);
+                    int b = plan.bReg(n);
+                    out.push_back(mp ? Uop::vdp(c, areg, b, wm)
+                                     : Uop::vfma(c, areg, b, wm));
+                }
+            }
+        } else {
+            for (int m = 0; m < mr; ++m) {
+                for (int n = 0; n < nr; ++n) {
+                    int c = plan.cReg(m, n);
+                    int b = plan.bReg(n);
+                    uint64_t addr = a_addr(m, step);
+                    out.push_back(mp ? Uop::vdpBcast(c, addr, b, wm)
+                                     : Uop::vfmaBcast(c, addr, b, wm));
+                }
+            }
+        }
+        out.push_back(Uop::alu()); // loop bookkeeping
+    }
+
+    for (int m = 0; m < mr; ++m)
+        for (int n = 0; n < nr; ++n)
+            out.push_back(
+                Uop::storeVec(plan.cReg(m, n), c_addr(m, n)));
+}
+
+GemmWorkload
+buildWith(const GemmConfig &cfg, MemoryImage &mem, uint64_t a_base,
+          uint64_t a_bytes, Rng &rng, int n_panels = 1)
+{
+    const int mr = cfg.mr;
+    const int nr = cfg.nrVecs;
+    SAVE_ASSERT(mr >= 1 && nr >= 1 && cfg.kSteps >= 1 &&
+                cfg.tiles >= 1 && n_panels >= 1,
+                "degenerate GEMM config");
+    int regs_needed = mr * nr + nr +
+                      (cfg.pattern == BroadcastPattern::Explicit ? 2 : 0);
+    SAVE_ASSERT(regs_needed <= kLogicalVecRegs, "register tile too big: ",
+                regs_needed, " regs");
+
+    GemmWorkload w;
+    w.cfg = cfg;
+    w.aBase = a_base;
+    w.aBytes = a_bytes;
+
+    const bool mp = cfg.precision == Precision::Bf16;
+    uint64_t b_vecs = static_cast<uint64_t>(n_panels) *
+                      static_cast<uint64_t>(cfg.kSteps) *
+                      static_cast<uint64_t>(nr);
+    w.bBytes = b_vecs * kLineBytes;
+    w.bBase = mem.allocRegion(w.bBytes);
+    uint64_t c_vecs = static_cast<uint64_t>(n_panels) *
+                      static_cast<uint64_t>(cfg.tiles) *
+                      static_cast<uint64_t>(mr) *
+                      static_cast<uint64_t>(nr);
+    w.cBytes = c_vecs * kLineBytes;
+    w.cBase = mem.allocRegion(w.cBytes);
+
+    if (mp) {
+        fillBf16(mem, w.bBase, b_vecs * kMlLanes, cfg.nbsSparsity, rng);
+    } else {
+        fillF32(mem, w.bBase, b_vecs * kVecLanes, cfg.nbsSparsity, rng);
+    }
+    // Dense random C so accumulation bugs cannot hide behind zeros.
+    fillF32(mem, w.cBase, c_vecs * kVecLanes, 0.0, rng);
+
+    if (cfg.useWriteMask)
+        w.trace.push_back(Uop::setMask(1, cfg.writeMask));
+    for (int p = 0; p < n_panels; ++p)
+        for (int t = 0; t < cfg.tiles; ++t)
+            emitTile(cfg, w, p, t, w.trace);
+    return w;
+}
+
+} // namespace
+
+namespace {
+
+/** Allocate and fill the packed A panel. */
+uint64_t
+buildAPanel(const GemmConfig &cfg, MemoryImage &mem, Rng &rng,
+            uint64_t &a_bytes)
+{
+    uint64_t words = aWords(cfg);
+    a_bytes = words * 4;
+    uint64_t a_base = mem.allocRegion((a_bytes + kLineBytes - 1) /
+                                      kLineBytes * kLineBytes);
+    if (cfg.precision == Precision::Bf16)
+        fillBf16(mem, a_base, 2 * words, cfg.bsSparsity, rng);
+    else
+        fillF32(mem, a_base, words, cfg.bsSparsity, rng);
+    return a_base;
+}
+
+} // namespace
+
+GemmWorkload
+buildGemm(const GemmConfig &cfg, MemoryImage &mem)
+{
+    Rng rng(cfg.seed);
+    uint64_t a_bytes = 0;
+    uint64_t a_base = buildAPanel(cfg, mem, rng, a_bytes);
+
+    return buildWith(cfg, mem, a_base, a_bytes, rng);
+}
+
+GemmWorkload
+buildBlockedGemm(const GemmConfig &cfg, int n_panels, MemoryImage &mem)
+{
+    Rng rng(cfg.seed);
+    uint64_t a_bytes = 0;
+    uint64_t a_base = buildAPanel(cfg, mem, rng, a_bytes);
+
+    return buildWith(cfg, mem, a_base, a_bytes, rng, n_panels);
+}
+
+std::vector<GemmWorkload>
+buildShardedGemm(const GemmConfig &cfg, MemoryImage &mem, int cores)
+{
+    // All cores broadcast from the same A panel (the GEMM's shared
+    // operand); each owns a private B panel and C tile.
+    Rng rng(cfg.seed);
+    uint64_t a_bytes = 0;
+    uint64_t a_base = buildAPanel(cfg, mem, rng, a_bytes);
+
+    std::vector<GemmWorkload> out;
+    for (int c = 0; c < cores; ++c) {
+        GemmConfig per = cfg;
+        per.seed = cfg.seed + 77770 + static_cast<uint64_t>(c);
+        Rng core_rng(per.seed);
+        out.push_back(buildWith(per, mem, a_base, a_bytes, core_rng));
+    }
+    return out;
+}
+
+void
+GemmWorkload::warmup(MemHierarchy &mem) const
+{
+    // Activations (A) are warm in L3 per the paper's protocol (the
+    // previous operation produced them). The B panel is also placed in
+    // L3: a slice models the steady state of the layer's M loop, where
+    // the panel has been touched by earlier register tiles and its
+    // cold DRAM transfer is amortized over the whole M dimension
+    // (DESIGN.md substitution 5). C (the layer's output) stays cold.
+    for (uint64_t off = 0; off < aBytes; off += kLineBytes)
+        mem.warmL3(aBase + off);
+    for (uint64_t off = 0; off < bBytes; off += kLineBytes)
+        mem.warmL3(bBase + off);
+}
+
+} // namespace save

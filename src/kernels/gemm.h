@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Register-tiled GEMM micro-kernel generator in the style of the
+ * Intel DNNL kernels the paper evaluates (SecII-A/B).
+ *
+ * The micro-kernel keeps an mr x nrVecs tile of C in accumulator
+ * registers and walks the K dimension. Operand roles follow the paper:
+ * A is the broadcasted multiplicand (source of broadcasted sparsity,
+ * BS); B is the vector multiplicand (source of non-broadcasted
+ * sparsity, NBS).
+ *
+ * Two instruction patterns (SecII-B):
+ *  - Explicit broadcast: VBROADCASTSS fills a register that several
+ *    VFMAs reuse. High A reuse, more register pressure.
+ *  - Embedded broadcast: each VFMA carries a broadcast memory operand.
+ *    Denser code, but every VFMA costs an L1/B$ read.
+ */
+
+#ifndef SAVE_KERNELS_GEMM_H
+#define SAVE_KERNELS_GEMM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/uop.h"
+#include "mem/memory_image.h"
+#include "util/random.h"
+
+namespace save {
+
+class MemHierarchy;
+
+/** Broadcast style of the inner loop (SecII-B). */
+enum class BroadcastPattern : uint8_t { Explicit, Embedded };
+
+/** Element precision of the multiplicands. */
+enum class Precision : uint8_t { Fp32, Bf16 };
+
+/** Layout of the broadcast (A) panel. */
+enum class ALayout : uint8_t
+{
+    /** DNNL-style packed panel: the mr scalars of one k step are
+     *  contiguous. The broadcast cache's friendly case. */
+    PackedKMajor,
+    /** Plain row-major A[m][k]: each row's broadcasts live in a
+     *  different line, so up to mr lines are hot at once — stresses
+     *  B$ capacity/conflicts (used by ablations). */
+    RowMajor,
+};
+
+/** Micro-kernel and data configuration. */
+struct GemmConfig
+{
+    /** Register-tile rows (broadcast side). */
+    int mr = 4;
+    /** Register-tile vector columns (16 FP32 lanes each). */
+    int nrVecs = 6;
+    /** K steps in the generated slice (one B row load per step;
+     *  covers 2 K-elements per step for BF16). */
+    int kSteps = 128;
+    /** Number of register tiles walked (the M/N loop of the slice). */
+    int tiles = 1;
+    BroadcastPattern pattern = BroadcastPattern::Explicit;
+    Precision precision = Precision::Fp32;
+    ALayout aLayout = ALayout::PackedKMajor;
+    /** Zero probability of A elements (broadcasted sparsity). */
+    double bsSparsity = 0.0;
+    /** Zero probability of B elements (non-broadcasted sparsity). */
+    double nbsSparsity = 0.0;
+    uint64_t seed = 1;
+    /** Express A-side pruning through an AVX-512 write mask register
+     *  instead of zero data (exercises the WM path; tests only). */
+    bool useWriteMask = false;
+    uint16_t writeMask = 0xffffu;
+
+    /** FP32 lanes of MAC work per VFMA. */
+    int lanesPerVfma() const { return 16; }
+
+    /** Total multiply-accumulates encoded in the slice. */
+    uint64_t
+    macs() const
+    {
+        uint64_t per_step = static_cast<uint64_t>(mr) *
+                            static_cast<uint64_t>(nrVecs) * 16 *
+                            (precision == Precision::Bf16 ? 2 : 1);
+        return per_step * static_cast<uint64_t>(kSteps) *
+               static_cast<uint64_t>(tiles);
+    }
+};
+
+/** A generated slice: trace plus data placement. */
+struct GemmWorkload
+{
+    GemmConfig cfg;
+    std::vector<Uop> trace;
+    uint64_t aBase = 0;
+    uint64_t bBase = 0;
+    uint64_t cBase = 0;
+    uint64_t aBytes = 0;
+    uint64_t bBytes = 0;
+    uint64_t cBytes = 0;
+
+    /** Pre-load the A (broadcast) operand into L3, per the paper's
+     *  warm-up protocol (activations warm, weights and outputs cold). */
+    void warmup(MemHierarchy &mem) const;
+};
+
+/**
+ * Build a GEMM slice: registers matrices in `mem`, fills them with
+ * the configured sparsity, and emits the uop trace.
+ */
+GemmWorkload buildGemm(const GemmConfig &cfg, MemoryImage &mem);
+
+/**
+ * Build one slice per core for a data-parallel layer: cores share the
+ * broadcast operand A and own disjoint B/C tiles.
+ */
+std::vector<GemmWorkload> buildShardedGemm(const GemmConfig &cfg,
+                                           MemoryImage &mem, int cores);
+
+/**
+ * Build a complete cache-blocked GEMM: an outer loop over `n_panels`
+ * panels of B/C (each nrVecs vectors wide) around the usual M-tile and
+ * K loops. Unlike the steady-state slices, nothing is pre-warmed by
+ * construction: the cold streaming of B amortizes over the M loop the
+ * way a real layer's does. Used to validate the slice-extrapolation
+ * methodology (DESIGN.md substitution 5).
+ */
+GemmWorkload buildBlockedGemm(const GemmConfig &cfg, int n_panels,
+                              MemoryImage &mem);
+
+} // namespace save
+
+#endif // SAVE_KERNELS_GEMM_H

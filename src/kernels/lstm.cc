@@ -1,0 +1,38 @@
+#include "kernels/lstm.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+uint64_t
+LstmCell::macs() const
+{
+    uint64_t m = static_cast<uint64_t>(batch) *
+                 static_cast<uint64_t>(timeSteps);
+    uint64_t k = static_cast<uint64_t>(inputDim) +
+                 static_cast<uint64_t>(hiddenDim);
+    uint64_t n = 4ull * static_cast<uint64_t>(hiddenDim);
+    return m * k * n;
+}
+
+KernelSpec
+makeLstmKernel(const LstmCell &cell, Phase phase)
+{
+    SAVE_ASSERT(phase != Phase::BwdWeights,
+                "LSTM backward is a single merged phase");
+    KernelSpec spec;
+    spec.name = cell.name + ":" +
+                (phase == Phase::Forward ? "forward" : "backward");
+    spec.phase = phase;
+    spec.dims.m = static_cast<int64_t>(cell.batch) * cell.timeSteps;
+    spec.dims.n = 4ll * cell.hiddenDim;
+    spec.dims.k = static_cast<int64_t>(cell.inputDim) + cell.hiddenDim;
+    // LSTM GEMMs are large and square-ish: the explicit-broadcast
+    // pattern with a wide N tile, as DNNL's RNN kernels use.
+    spec.shape.pattern = BroadcastPattern::Explicit;
+    spec.shape.nrVecs = 6;
+    spec.shape.mr = 4;
+    return spec;
+}
+
+} // namespace save

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * LSTM cells as GEMM workloads (SecII-A: "LSTMs use GEMM as a
+ * building block"). One cell step computes the four gate
+ * pre-activations: Gates[batch, 4H] = [x_t, h_{t-1}] * W[D+H, 4H].
+ * The concatenated input is the broadcasted operand (activation /
+ * dropout sparsity -> BS); the weights are the vector operand
+ * (pruning -> NBS). GNMT's backward pass is a merged single phase
+ * (Table III).
+ */
+
+#ifndef SAVE_KERNELS_LSTM_H
+#define SAVE_KERNELS_LSTM_H
+
+#include <string>
+
+#include "kernels/conv.h"
+
+namespace save {
+
+/** One LSTM cell's GEMM geometry. */
+struct LstmCell
+{
+    std::string name;
+    /** Input feature dimension (embedding or lower-layer hidden). */
+    int inputDim = 1024;
+    int hiddenDim = 1024;
+    int batch = 64;
+    /** Time steps folded into the GEMM's M dimension. */
+    int timeSteps = 16;
+
+    uint64_t macs() const;
+};
+
+/** Build the KernelSpec for a cell. Phase::BwdInput stands for the
+ *  merged LSTM backward phase. */
+KernelSpec makeLstmKernel(const LstmCell &cell, Phase phase);
+
+} // namespace save
+
+#endif // SAVE_KERNELS_LSTM_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * SparseTrain-style software baseline (paper SecVIII, related work
+ * [20]): a pure-software scheme that exploits *broadcasted* sparsity
+ * only. The kernel loads each broadcast scalar, compares it to zero,
+ * and branches around the dependent VFMA group when it is zero. No
+ * hardware support is required, so it runs on the baseline pipeline —
+ * but it cannot touch non-broadcasted sparsity, and it pays a check
+ * overhead per broadcast scalar.
+ *
+ * The check is modeled optimistically as `checkUops` single-cycle ALU
+ * uops per broadcast (compare + branch, perfectly predicted); the
+ * broadcast load itself is reused by the compute path, as the
+ * software scheme does.
+ */
+
+#ifndef SAVE_KERNELS_SPARSETRAIN_H
+#define SAVE_KERNELS_SPARSETRAIN_H
+
+#include "kernels/gemm.h"
+
+namespace save {
+
+/**
+ * Build a GEMM slice whose trace skips, in software, every broadcast
+ * group whose scalar is zero. Same data layout and sparsity semantics
+ * as buildGemm (identical final C for identical seeds).
+ *
+ * Only the explicit-broadcast pattern is meaningful here (the scheme
+ * needs the scalar in a register to test it); embedded-broadcast
+ * configs are rewritten to explicit.
+ */
+GemmWorkload buildSparseTrainGemm(const GemmConfig &cfg,
+                                  MemoryImage &mem, int check_uops = 2);
+
+} // namespace save
+
+#endif // SAVE_KERNELS_SPARSETRAIN_H

@@ -1,0 +1,52 @@
+#include "kernels/sparsity.h"
+
+#include "isa/bf16.h"
+
+namespace save {
+
+void
+fillF32(MemoryImage &mem, uint64_t base, uint64_t count, double sparsity,
+        Rng &rng)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        float v = rng.chance(sparsity) ? 0.0f : rng.nonZeroValue();
+        mem.writeF32(base + 4 * i, v);
+    }
+}
+
+void
+fillBf16(MemoryImage &mem, uint64_t base, uint64_t count, double sparsity,
+         Rng &rng)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        Bf16 v = rng.chance(sparsity) ? Bf16{0}
+                                      : f32ToBf16(rng.nonZeroValue());
+        mem.writeBf16(base + 2 * i, v);
+    }
+}
+
+double
+measuredSparsityF32(const MemoryImage &mem, uint64_t base, uint64_t count)
+{
+    uint64_t zeros = 0;
+    for (uint64_t i = 0; i < count; ++i)
+        if (mem.readF32(base + 4 * i) == 0.0f)
+            ++zeros;
+    return count == 0 ? 0.0
+                      : static_cast<double>(zeros) /
+                            static_cast<double>(count);
+}
+
+double
+measuredSparsityBf16(const MemoryImage &mem, uint64_t base, uint64_t count)
+{
+    uint64_t zeros = 0;
+    for (uint64_t i = 0; i < count; ++i)
+        if (bf16IsZero(mem.readBf16(base + 2 * i)))
+            ++zeros;
+    return count == 0 ? 0.0
+                      : static_cast<double>(zeros) /
+                            static_cast<double>(count);
+}
+
+} // namespace save

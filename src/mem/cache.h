@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU and SRRIP replacement.
+ *
+ * Tags-only: data lives in the MemoryImage. The hierarchy uses these
+ * for hit/miss decisions; an eviction callback lets inclusive outer
+ * levels back-invalidate inner levels (and the broadcast cache).
+ */
+
+#ifndef SAVE_MEM_CACHE_H
+#define SAVE_MEM_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace save {
+
+/** Replacement policy selection. */
+enum class ReplPolicy : uint8_t { Lru, Srrip };
+
+/** Set-associative tag array. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param ways Associativity (sets = size / (ways * 64) rounded
+     *             down to at least 1; non-power-of-two set counts are
+     *             allowed and indexed by modulo, as with the paper's
+     *             19-way 2.375MB L3 slices).
+     */
+    SetAssocCache(uint64_t size_bytes, int ways,
+                  ReplPolicy policy = ReplPolicy::Lru);
+
+    /** True if the line containing addr is present; updates recency. */
+    bool access(uint64_t addr);
+
+    /** True if present, without touching replacement state. */
+    bool probe(uint64_t addr) const;
+
+    /**
+     * Insert the line containing addr, evicting if needed.
+     * @return evicted line address, or kNoEviction.
+     */
+    uint64_t fill(uint64_t addr);
+
+    /** Remove the line if present (back-invalidation). */
+    bool invalidate(uint64_t addr);
+
+    static constexpr uint64_t kNoEviction = ~0ull;
+
+    int numSets() const { return num_sets_; }
+    int numWays() const { return ways_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Way
+    {
+        uint64_t line = ~0ull;
+        bool valid = false;
+        uint32_t lru = 0;   // higher == more recently used
+        uint8_t rrpv = 3;   // SRRIP re-reference prediction value
+    };
+
+    int setIndex(uint64_t line) const;
+    Way *lookup(uint64_t line);
+    const Way *lookup(uint64_t line) const;
+    int victimWay(int set);
+    void touch(Way &w);
+
+    int num_sets_;
+    int ways_;
+    ReplPolicy policy_;
+    uint32_t lru_clock_ = 0;
+    std::vector<Way> ways_store_;
+    StatGroup stats_;
+};
+
+} // namespace save
+
+#endif // SAVE_MEM_CACHE_H

@@ -1,0 +1,41 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+#include "mem/memory_image.h"
+#include "util/logging.h"
+
+namespace save {
+
+Dram::Dram(double total_gbps, int channels, double latency_ns)
+    : latency_ns_(latency_ns)
+{
+    SAVE_ASSERT(channels >= 1, "DRAM needs channels");
+    SAVE_ASSERT(total_gbps > 0, "DRAM needs bandwidth");
+    double per_channel_gbps = total_gbps / channels;
+    service_ns_ = static_cast<double>(kLineBytes) / per_channel_gbps;
+    channel_free_ns_.assign(static_cast<size_t>(channels), 0.0);
+}
+
+double
+Dram::request(uint64_t line_addr, double now_ns)
+{
+    uint64_t line = line_addr / kLineBytes;
+    line ^= line >> 5;
+    size_t ch = static_cast<size_t>(line % channel_free_ns_.size());
+
+    double start = std::max(now_ns, channel_free_ns_[ch]);
+    channel_free_ns_[ch] = start + service_ns_;
+    stats_.add("requests");
+    stats_.add("bytes", static_cast<double>(kLineBytes));
+    stats_.add("queue_ns", start - now_ns);
+    return start + latency_ns_;
+}
+
+void
+Dram::reset()
+{
+    std::fill(channel_free_ns_.begin(), channel_free_ns_.end(), 0.0);
+}
+
+} // namespace save

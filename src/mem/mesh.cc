@@ -1,0 +1,48 @@
+#include "mem/mesh.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "mem/memory_image.h"
+#include "util/logging.h"
+
+namespace save {
+
+MeshNoc::MeshNoc(int tiles, int hop_cycles)
+    : tiles_(tiles), hop_cycles_(hop_cycles)
+{
+    SAVE_ASSERT(tiles >= 1, "mesh needs tiles");
+    rows_ = static_cast<int>(std::sqrt(static_cast<double>(tiles)));
+    while (rows_ > 1 && tiles % rows_ != 0)
+        --rows_;
+    cols_ = tiles / rows_;
+}
+
+int
+MeshNoc::hops(int src_tile, int dst_tile) const
+{
+    SAVE_ASSERT(src_tile >= 0 && src_tile < tiles_, "bad src tile");
+    SAVE_ASSERT(dst_tile >= 0 && dst_tile < tiles_, "bad dst tile");
+    int sx = src_tile % cols_, sy = src_tile / cols_;
+    int dx = dst_tile % cols_, dy = dst_tile / cols_;
+    // XY routing: walk X first, then Y; hop count is Manhattan distance.
+    return std::abs(sx - dx) + std::abs(sy - dy);
+}
+
+int
+MeshNoc::latencyCycles(int src_tile, int dst_tile) const
+{
+    return hops(src_tile, dst_tile) * hop_cycles_;
+}
+
+int
+MeshNoc::sliceOf(uint64_t line_addr) const
+{
+    // Static line-interleaved hash across slices, with a simple bit mix
+    // so strided streams spread evenly.
+    uint64_t line = line_addr / kLineBytes;
+    line ^= line >> 7;
+    return static_cast<int>(line % static_cast<uint64_t>(tiles_));
+}
+
+} // namespace save

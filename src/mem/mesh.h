@@ -1,0 +1,48 @@
+/**
+ * @file
+ * 2D-mesh network-on-chip model with XY (dimension-ordered) routing
+ * and a fixed per-hop latency, as in the paper's Table I. One tile per
+ * core; L3 slice i is co-located with core i (NUCA).
+ */
+
+#ifndef SAVE_MEM_MESH_H
+#define SAVE_MEM_MESH_H
+
+#include <cstdint>
+
+namespace save {
+
+/** Mesh geometry and routing-latency helper. */
+class MeshNoc
+{
+  public:
+    /**
+     * @param tiles Number of tiles (== cores). The mesh is laid out as
+     *              the most-square grid with cols >= rows, e.g. 28
+     *              tiles -> 7x4.
+     * @param hop_cycles Uncore cycles per hop (link + router).
+     */
+    MeshNoc(int tiles, int hop_cycles);
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+
+    /** Manhattan hop count between two tiles under XY routing. */
+    int hops(int src_tile, int dst_tile) const;
+
+    /** One-way latency in uncore cycles. */
+    int latencyCycles(int src_tile, int dst_tile) const;
+
+    /** Home L3 slice tile for a line address (static hash). */
+    int sliceOf(uint64_t line_addr) const;
+
+  private:
+    int tiles_;
+    int cols_;
+    int rows_;
+    int hop_cycles_;
+};
+
+} // namespace save
+
+#endif // SAVE_MEM_MESH_H

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Mixed-precision chain scheduling (paper SecV).
+ *
+ * VDPBF16PS maps two BF16 multiplicand lanes (MLs) onto one FP32
+ * accumulator lane (AL), so vertical coalescing alone only skips an AL
+ * when both of its MLs are ineffectual. SAVE additionally compresses
+ * effectual MLs *horizontally* across VFMAs that share an accumulator
+ * chain: up to two queued MLs are packed into each temp AL slot, in
+ * program order (which preserves the FP accumulation order and hence
+ * bitwise reproducibility, SecV-A), with the partial result forwarded
+ * to the next chained operation at half the VFMA latency (SecV-B/C).
+ */
+
+#include "isa/bf16.h"
+#include "sim/mgu.h"
+#include "save/scheduler.h"
+#include "sim/core.h"
+#include "util/logging.h"
+
+#include <algorithm>
+
+namespace save {
+
+void
+VectorScheduler::onVfmaAllocated(int rs_idx)
+{
+    RsEntry &e = c_.rs.at(rs_idx);
+    if (!e.uop.isMixedPrecision() || !c_.scfg.mpCompress ||
+        !c_.scfg.enabled || c_.scfg.policy == SchedPolicy::Baseline) {
+        return;
+    }
+
+    int chain_id = -1;
+    auto it = c_.vfma_dst_to_rs_.find(e.pc);
+    if (it != c_.vfma_dst_to_rs_.end() && it->second != rs_idx) {
+        const RsEntry &prod = c_.rs.at(it->second);
+        if (prod.valid && prod.uop.dst == e.uop.dst &&
+            prod.chainId >= 0 && chains_.count(prod.chainId)) {
+            chain_id = prod.chainId;
+        }
+    }
+    if (chain_id < 0) {
+        chain_id = next_chain_id_++;
+        Chain ch;
+        ch.rot = e.rot;
+        chains_.emplace(chain_id, std::move(ch));
+    }
+    e.chainId = chain_id;
+    Chain &ch = chains_.at(chain_id);
+    ch.nodes.push_back({rs_idx, e.seq});
+    if (ch.nodes.size() == 1)
+        ch.frontSeq = e.seq;
+}
+
+void
+VectorScheduler::onEntryReleased(int rs_idx)
+{
+    (void)rs_idx; // chain nodes detect released entries by seq mismatch
+}
+
+void
+VectorScheduler::rebuildAfterSquash()
+{
+    if (!c_.scfg.enabled || !c_.scfg.mpCompress) {
+        chains_.clear();
+        return;
+    }
+    // Discard partial results: any AL whose final value has not been
+    // scheduled for writeback gets all of its effectual MLs back and
+    // will be recomputed from the accumulator input (SecV-B).
+    for (int idx : c_.rs.order()) {
+        RsEntry &e = c_.rs.at(idx);
+        if (!e.uop.isMixedPrecision() || !e.elmValid)
+            continue;
+        for (int al = 0; al < kVecLanes; ++al) {
+            if ((e.alScheduled >> al) & 1)
+                continue;
+            uint32_t al_mls = e.elm & (0x3u << (kMlPerAl * al));
+            if (al_mls)
+                e.pendingMl |= al_mls;
+        }
+        e.pendingAl = mpAlMask(e.pendingMl);
+        e.chainId = -1;
+    }
+    // Rebuild the chain structures over the survivors, in age order,
+    // using the surviving dst->RS links.
+    chains_.clear();
+    std::vector<int> order = c_.rs.order();
+    for (int idx : order) {
+        RsEntry &e = c_.rs.at(idx);
+        if (e.uop.isMixedPrecision())
+            onVfmaAllocated(idx);
+    }
+}
+
+bool
+VectorScheduler::nodeConsumed(const ChainNode &n, int al) const
+{
+    const RsEntry &e = c_.rs.at(n.rsIdx);
+    if (!e.valid || e.seq != n.seq)
+        return true; // released: everything consumed
+    if (!e.elmValid)
+        return false;
+    return (e.pendingMl & (0x3u << (kMlPerAl * al))) == 0;
+}
+
+void
+VectorScheduler::advanceCursor(Chain &chain, int al)
+{
+    int &cur = chain.cursor[static_cast<size_t>(al)];
+    while (cur < static_cast<int>(chain.nodes.size())) {
+        const ChainNode &n = chain.nodes[static_cast<size_t>(cur)];
+        const RsEntry &e = c_.rs.at(n.rsIdx);
+        bool stale = !e.valid || e.seq != n.seq;
+        if (!stale) {
+            if (!e.elmValid)
+                break; // ELM unknown: cannot prove this node is done
+            if (e.pendingMl & (0x3u << (kMlPerAl * al)))
+                break; // effectual work remains here
+        }
+        ++cur;
+    }
+}
+
+void
+VectorScheduler::trimChain(int chain_id)
+{
+    auto it = chains_.find(chain_id);
+    if (it == chains_.end())
+        return;
+    Chain &ch = it->second;
+    while (!ch.nodes.empty()) {
+        const ChainNode &n = ch.nodes.front();
+        const RsEntry &e = c_.rs.at(n.rsIdx);
+        if (e.valid && e.seq == n.seq)
+            break;
+        ch.nodes.pop_front();
+        for (auto &cur : ch.cursor)
+            cur = std::max(0, cur - 1);
+        if (!ch.nodes.empty())
+            ch.frontSeq = ch.nodes.front().seq;
+    }
+    if (ch.nodes.empty())
+        chains_.erase(it);
+}
+
+void
+VectorScheduler::scheduleChainAl(Chain &chain, int al,
+                                 std::vector<Temp> &temps)
+{
+    advanceCursor(chain, al);
+    int &cursor = chain.cursor[static_cast<size_t>(al)];
+    if (cursor >= static_cast<int>(chain.nodes.size()))
+        return;
+
+    const ChainNode &front = chain.nodes[static_cast<size_t>(cursor)];
+    RsEntry &e = c_.rs.at(front.rsIdx);
+    SAVE_ASSERT(e.valid && e.seq == front.seq, "cursor on stale node");
+    if (!e.elmValid)
+        return;
+    c_.refreshReadiness(e);
+    if (!e.aReady || !e.bReady)
+        return;
+
+    ChainAl &ca = chain.al[static_cast<size_t>(al)];
+    if (!ca.init) {
+        // Chain base: the accumulator input of the cursor node, read
+        // from the register file once its lane has been published.
+        if (!c_.prf.laneIsReady(e.pc, al))
+            return;
+        ca.value = c_.prf.value(e.pc).f32(al);
+        ca.readyCycle = c_.now();
+        ca.init = true;
+    }
+    if (ca.readyCycle > c_.now())
+        return; // waiting on the forwarded partial result
+
+    int temp_lane = (al + chain.rot + kVecLanes) % kVecLanes;
+    int vpu = claimSlot(temps, temp_lane, 1, false);
+    if (vpu < 0)
+        return;
+
+    float v = ca.value;
+    int taken = 0;
+    int cur = cursor;
+    while (taken < kMlPerAl &&
+           cur < static_cast<int>(chain.nodes.size())) {
+        const ChainNode &n = chain.nodes[static_cast<size_t>(cur)];
+        RsEntry &e2 = c_.rs.at(n.rsIdx);
+        if (!e2.valid || e2.seq != n.seq) {
+            ++cur;
+            continue;
+        }
+        if (!e2.elmValid)
+            break;
+        c_.refreshReadiness(e2);
+        if (!e2.aReady || !e2.bReady)
+            break;
+
+        uint32_t al_mask = 0x3u << (kMlPerAl * al);
+        if ((e2.pendingMl & al_mask) == 0) {
+            // No effectual MLs here: the node passes the accumulator
+            // through at this AL (handled by the generic pass-through
+            // path); the chain value is unchanged.
+            ++cur;
+            continue;
+        }
+
+        const VecReg &a = c_.operandA(e2);
+        const VecReg &b = c_.operandB(e2);
+        for (int s = 0; s < kMlPerAl && taken < kMlPerAl; ++s) {
+            int ml = kMlPerAl * al + s;
+            if (!((e2.pendingMl >> ml) & 1))
+                continue;
+            v = bf16Mac(v, a.bf16(ml), b.bf16(ml));
+            e2.pendingMl &= ~(1u << ml);
+            ++taken;
+        }
+        if ((e2.pendingMl & al_mask) == 0) {
+            // This VFMA's lane is architecturally complete: the running
+            // value at this point in the chain is its destination value
+            // (SecV-B: intermediate results are written back exactly).
+            c_.schedulePublish(
+                e2.dstPhys, al, v, e2.robIdx,
+                c_.now() + static_cast<uint64_t>(c_.fmaLatency(true)));
+            e2.pendingAl &= static_cast<uint16_t>(~(1u << al));
+            e2.alScheduled |= static_cast<uint16_t>(1u << al);
+            maybeRelease(n.rsIdx);
+            ++cur;
+        } else {
+            break; // slot full with MLs left in this node
+        }
+    }
+
+    SAVE_ASSERT(taken > 0, "claimed a slot without consuming MLs");
+    cursor = cur;
+    ca.value = v;
+    ca.readyCycle =
+        c_.now() +
+        static_cast<uint64_t>(std::max(1, c_.fmaLatency(true) / 2));
+    c_.stats().add("mp_mls_issued", taken);
+}
+
+void
+VectorScheduler::scheduleChains(std::vector<Temp> &temps)
+{
+    if (chains_.empty())
+        return;
+
+    // Oldest chain first (front-entry program order).
+    std::vector<std::pair<uint64_t, int>> order;
+    order.reserve(chains_.size());
+    for (auto &[id, ch] : chains_)
+        order.emplace_back(ch.frontSeq, id);
+    std::sort(order.begin(), order.end());
+
+    for (auto &[seq, id] : order) {
+        (void)seq;
+        Chain &ch = chains_.at(id);
+        for (int al = 0; al < kVecLanes; ++al)
+            scheduleChainAl(ch, al, temps);
+    }
+    for (auto &[seq, id] : order) {
+        (void)seq;
+        trimChain(id);
+    }
+}
+
+} // namespace save

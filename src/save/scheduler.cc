@@ -1,0 +1,298 @@
+#include "save/scheduler.h"
+
+#include "isa/bf16.h"
+#include "sim/core.h"
+#include "util/bitutil.h"
+#include "util/logging.h"
+
+namespace save {
+
+VectorScheduler::VectorScheduler(Core &core) : c_(core) {}
+
+uint16_t
+VectorScheduler::schedulableAls(const RsEntry &e) const
+{
+    if (!e.elmValid || !e.aReady || !e.bReady)
+        return 0;
+    uint16_t m = e.pendingAl;
+    if (m == 0)
+        return 0;
+    if (c_.scfg.laneWiseDep)
+        return m & c_.prf.laneReady(e.pc);
+    return c_.prf.fullyReady(e.pc) ? m : 0;
+}
+
+void
+VectorScheduler::maybeRelease(int rs_idx)
+{
+    const RsEntry &e = c_.rs.at(rs_idx);
+    if (e.valid && e.pendingAl == 0 && e.passPending == 0)
+        c_.releaseEntry(rs_idx);
+}
+
+int
+VectorScheduler::claimSlot(std::vector<Temp> &temps, int lane, int type,
+                           bool hc)
+{
+    for (size_t v = 0; v < temps.size(); ++v) {
+        Temp &t = temps[v];
+        if (t.type != -1 && (t.type != type || t.hc != hc))
+            continue;
+        if (hc) {
+            if (t.count >= kVecLanes)
+                continue;
+        } else {
+            if ((t.lanesUsed >> lane) & 1)
+                continue;
+            t.lanesUsed |= static_cast<uint16_t>(1u << lane);
+        }
+        t.type = type;
+        t.hc = hc;
+        ++t.count;
+        return static_cast<int>(v);
+    }
+    return -1;
+}
+
+void
+VectorScheduler::passThrough()
+{
+    // Lanes whose product is ineffectual forward the accumulator input
+    // to the destination; modeled as a one-cycle register move without
+    // a VPU slot (paper SecIII: fully-ineffectual uops are removed
+    // from the RS without issuing).
+    // Iterate over a copy: maybeRelease mutates the order list.
+    std::vector<int> order = c_.rs.order();
+    for (int idx : order) {
+        RsEntry &e = c_.rs.at(idx);
+        if (!e.valid || !e.uop.isVfma() || !e.elmValid || !e.passPending)
+            continue;
+        uint16_t avail = e.passPending & c_.prf.laneReady(e.pc);
+        if (!c_.scfg.laneWiseDep && !c_.prf.fullyReady(e.pc))
+            avail = 0;
+        if (!avail)
+            continue;
+        const VecReg &cval = c_.prf.value(e.pc);
+        for (int lane = 0; lane < kVecLanes; ++lane) {
+            if (!((avail >> lane) & 1))
+                continue;
+            c_.schedulePublish(e.dstPhys, lane, cval.f32(lane), e.robIdx,
+                               c_.now() + 1);
+            c_.stats().add("passthrough_lanes");
+        }
+        e.passPending &= static_cast<uint16_t>(~avail);
+        maybeRelease(idx);
+    }
+}
+
+void
+VectorScheduler::scheduleBaseline(std::vector<Temp> &temps)
+{
+    std::vector<int> order = c_.rs.order();
+    for (int idx : order) {
+        RsEntry &e = c_.rs.at(idx);
+        if (!e.valid || !e.uop.isVfma() || e.issued)
+            continue;
+        c_.refreshReadiness(e);
+        if (!e.aReady || !e.bReady || !c_.prf.fullyReady(e.pc))
+            continue;
+
+        bool mp = e.uop.isMixedPrecision();
+        int vpu = -1;
+        for (size_t v = 0; v < temps.size(); ++v) {
+            if (temps[v].type == -1) {
+                vpu = static_cast<int>(v);
+                break;
+            }
+        }
+        if (vpu < 0)
+            break;
+        Temp &t = temps[static_cast<size_t>(vpu)];
+        t.type = mp ? 1 : 0;
+        t.lanesUsed = 0xffffu;
+        t.count = kVecLanes;
+
+        const VecReg &a = c_.operandA(e);
+        const VecReg &b = c_.operandB(e);
+        const VecReg &cv = c_.prf.value(e.pc);
+        for (int lane = 0; lane < kVecLanes; ++lane) {
+            float r = cv.f32(lane);
+            if ((e.wm >> lane) & 1) {
+                if (mp) {
+                    r = bf16Mac(r, a.bf16(2 * lane), b.bf16(2 * lane));
+                    r = bf16Mac(r, a.bf16(2 * lane + 1),
+                                b.bf16(2 * lane + 1));
+                } else {
+                    r = r + a.f32(lane) * b.f32(lane);
+                }
+            }
+            t.writes.push_back(
+                {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
+        }
+        e.issued = true;
+        c_.releaseEntry(idx);
+        c_.stats().add("baseline_vfma_issues");
+    }
+}
+
+void
+VectorScheduler::scheduleCoalesced(std::vector<Temp> &temps)
+{
+    // Age-ordered, per-lane oldest-first selection: equivalent to
+    // Algorithm 1's lane-major priority select, since walking entries
+    // oldest-first hands each temp lane position to the oldest
+    // instruction wanting it.
+    std::vector<int> order = c_.rs.order();
+    for (int idx : order) {
+        RsEntry &e = c_.rs.at(idx);
+        if (!e.valid || !e.uop.isVfma())
+            continue;
+        if (e.uop.isMixedPrecision() && c_.scfg.mpCompress)
+            continue; // handled by the chain path
+        uint16_t avail = schedulableAls(e);
+        if (!avail)
+            continue;
+
+        bool mp = e.uop.isMixedPrecision();
+        const VecReg &a = c_.operandA(e);
+        const VecReg &b = c_.operandB(e);
+        const VecReg &cv = c_.prf.value(e.pc);
+
+        for (int lane = 0; lane < kVecLanes && avail; ++lane) {
+            if (!((avail >> lane) & 1))
+                continue;
+            int temp_lane = (lane + e.rot + kVecLanes) % kVecLanes;
+            int vpu = claimSlot(temps, temp_lane, mp ? 1 : 0, false);
+            if (vpu < 0)
+                continue;
+
+            float r = cv.f32(lane);
+            if (mp) {
+                // Both multiplicand lanes of the AL execute in the
+                // slot; ineffectual ones contribute an exact zero.
+                for (int s = 0; s < kMlPerAl; ++s) {
+                    int ml = kMlPerAl * lane + s;
+                    if ((e.elm >> ml) & 1)
+                        r = bf16Mac(r, a.bf16(ml), b.bf16(ml));
+                }
+                e.pendingMl &= ~(0x3u << (kMlPerAl * lane));
+            } else {
+                r = r + a.f32(lane) * b.f32(lane);
+            }
+            temps[static_cast<size_t>(vpu)].writes.push_back(
+                {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
+            e.pendingAl &= static_cast<uint16_t>(~(1u << lane));
+            avail &= static_cast<uint16_t>(~(1u << lane));
+            c_.stats().add("coalesced_lanes");
+        }
+        maybeRelease(idx);
+    }
+}
+
+void
+VectorScheduler::scheduleHc(std::vector<Temp> &temps)
+{
+    // Horizontal compression: bubble-collapse each VFMA's effectual
+    // lanes and concatenate across instructions; any lane may take any
+    // temp slot (paper Fig. 5b), at extra latency for the crossbars.
+    std::vector<int> order = c_.rs.order();
+    for (int idx : order) {
+        RsEntry &e = c_.rs.at(idx);
+        if (!e.valid || !e.uop.isVfma())
+            continue;
+        if (e.uop.isMixedPrecision() && c_.scfg.mpCompress)
+            continue;
+        uint16_t avail = schedulableAls(e);
+        if (!avail)
+            continue;
+
+        bool mp = e.uop.isMixedPrecision();
+        const VecReg &a = c_.operandA(e);
+        const VecReg &b = c_.operandB(e);
+        const VecReg &cv = c_.prf.value(e.pc);
+
+        for (int lane = 0; lane < kVecLanes && avail; ++lane) {
+            if (!((avail >> lane) & 1))
+                continue;
+            int vpu = claimSlot(temps, -1, mp ? 1 : 0, true);
+            if (vpu < 0)
+                return; // all temps full
+            float r = cv.f32(lane);
+            if (mp) {
+                for (int s = 0; s < kMlPerAl; ++s) {
+                    int ml = kMlPerAl * lane + s;
+                    if ((e.elm >> ml) & 1)
+                        r = bf16Mac(r, a.bf16(ml), b.bf16(ml));
+                }
+                e.pendingMl &= ~(0x3u << (kMlPerAl * lane));
+            } else {
+                r = r + a.f32(lane) * b.f32(lane);
+            }
+            temps[static_cast<size_t>(vpu)].writes.push_back(
+                {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
+            e.pendingAl &= static_cast<uint16_t>(~(1u << lane));
+            avail &= static_cast<uint16_t>(~(1u << lane));
+            c_.stats().add("hc_lanes");
+        }
+        maybeRelease(idx);
+    }
+}
+
+void
+VectorScheduler::issueTemps(std::vector<Temp> &temps)
+{
+    for (size_t v = 0; v < temps.size(); ++v) {
+        Temp &t = temps[v];
+        if (t.count == 0)
+            continue;
+        int lat = c_.fmaLatency(t.type == 1);
+        if (t.hc)
+            lat += c_.scfg.hcExtraLatency;
+        c_.vpus[v].issue(std::move(t.writes),
+                         c_.now() + static_cast<uint64_t>(lat));
+        c_.stats().add("temps_issued");
+        c_.stats().add("temp_fill", t.count);
+    }
+}
+
+void
+VectorScheduler::step()
+{
+    std::vector<Temp> temps(static_cast<size_t>(c_.activeVpus));
+
+    if (!c_.scfg.enabled || c_.scfg.policy == SchedPolicy::Baseline) {
+        scheduleBaseline(temps);
+        issueTemps(temps);
+        return;
+    }
+
+    passThrough();
+
+    // Combination-window size (paper SecIII): the *ready* VFMAs — all
+    // operands including the full accumulator available — bounded by
+    // the number of accumulator registers, since same-accumulator
+    // VFMAs carry a true dependence ("often 24-28" for a large GEMM).
+    int cw = 0;
+    for (int idx : c_.rs.order()) {
+        const RsEntry &e = c_.rs.at(idx);
+        if (e.valid && e.uop.isVfma() && e.elmValid && e.aReady &&
+            e.bReady && (e.pendingAl || e.pendingMl) &&
+            c_.prf.fullyReady(e.pc)) {
+            ++cw;
+        }
+    }
+    if (cw > 0) {
+        c_.stats().add("cw_sum", cw);
+        c_.stats().add("cw_cycles");
+    }
+
+    if (c_.scfg.mpCompress)
+        scheduleChains(temps);
+    if (c_.scfg.policy == SchedPolicy::HC)
+        scheduleHc(temps);
+    else
+        scheduleCoalesced(temps);
+    issueTemps(temps);
+}
+
+} // namespace save

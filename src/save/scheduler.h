@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The vector scheduler — SAVE's core contribution (paper SecIII-V).
+ *
+ * Each cycle the scheduler builds up to N "temp" operations (one per
+ * active VPU) out of the effectual lanes pending in the reservation
+ * stations:
+ *
+ *  - Baseline: conventional select; one whole VFMA per VPU per cycle.
+ *  - VC: vertical coalescing (Algorithm 1) — an effectual lane may
+ *    only move to the same lane position of the temp.
+ *  - RVC: VC plus per-instruction rotation by -1/0/+1 lanes keyed on
+ *    the accumulator's logical register number mod 3 (SecIV-B).
+ *  - HC: horizontal compression reference — lanes may take any temp
+ *    position, at +hcExtraLatency cycles for collapse/expand (SecIII).
+ *
+ * Lane-wise dependence (SecIV-C) is a flag orthogonal to the policy.
+ * Mixed-precision VFMAs under SecV compression are handled by the
+ * chain machinery in mp_scheduler.cc: per (accumulator-chain, AL)
+ * queues of effectual multiplicand lanes, packed two per temp AL slot
+ * in program order, with partial results forwarded at half latency.
+ */
+
+#ifndef SAVE_SAVE_SCHEDULER_H
+#define SAVE_SAVE_SCHEDULER_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/vec.h"
+#include "sim/vpu.h"
+
+namespace save {
+
+class Core;
+struct RsEntry;
+
+/** Per-cycle vector select/issue logic. */
+class VectorScheduler
+{
+  public:
+    explicit VectorScheduler(Core &core);
+
+    /** Run one cycle of pass-through, selection, and VPU issue. */
+    void step();
+
+    /** Hook: a VFMA entered the RS (links mixed-precision chains). */
+    void onVfmaAllocated(int rs_idx);
+
+    /** Hook: an RS slot was released. */
+    void onEntryReleased(int rs_idx);
+
+    /** True when no chain work remains (drain check). */
+    bool idle() const { return chains_.empty(); }
+
+    /**
+     * Exception support (paper SecV-B): discard partial results of
+     * surviving mixed-precision VFMAs (restore the pending-ML state
+     * of any accumulator lane whose final value was not yet scheduled
+     * for writeback) and rebuild the chain structures over the
+     * surviving RS contents. Called by the core after a squash.
+     */
+    void rebuildAfterSquash();
+
+  private:
+    /** One VPU's in-flight temp being assembled this cycle. */
+    struct Temp
+    {
+        uint16_t lanesUsed = 0;
+        int count = 0;
+        int type = -1; // -1 free, 0 fp32, 1 mixed-precision
+        bool hc = false;
+        std::vector<LaneWrite> writes;
+    };
+
+    /**
+     * Claim a temp slot. For positional policies lane is the temp lane
+     * position; for HC pass -1 to take any free slot.
+     * @return VPU index, or -1 if no capacity.
+     */
+    int claimSlot(std::vector<Temp> &temps, int lane, int type, bool hc);
+
+    void passThrough();
+    void scheduleBaseline(std::vector<Temp> &temps);
+    void scheduleCoalesced(std::vector<Temp> &temps);
+    void scheduleHc(std::vector<Temp> &temps);
+    void issueTemps(std::vector<Temp> &temps);
+    /** Lanes of e that may legally issue this cycle. */
+    uint16_t schedulableAls(const RsEntry &e) const;
+    void maybeRelease(int rs_idx);
+
+    /** Mixed-precision chain path (mp_scheduler.cc). ---------------- */
+
+    struct ChainAl
+    {
+        float value = 0.0f;
+        uint64_t readyCycle = 0;
+        bool init = false;
+    };
+
+    struct ChainNode
+    {
+        int rsIdx;
+        uint64_t seq;
+    };
+
+    struct Chain
+    {
+        std::deque<ChainNode> nodes;
+        std::array<ChainAl, kVecLanes> al{};
+        std::array<int, kVecLanes> cursor{};
+        int8_t rot = 0;
+        uint64_t frontSeq = 0;
+    };
+
+    void scheduleChains(std::vector<Temp> &temps);
+    void scheduleChainAl(Chain &chain, int al, std::vector<Temp> &temps);
+    /** Advance an AL cursor over consumed/ineffectual nodes. */
+    void advanceCursor(Chain &chain, int al);
+    /** Drop fully-passed front nodes; erase exhausted chains. */
+    void trimChain(int chain_id);
+    bool nodeConsumed(const ChainNode &n, int al) const;
+
+    Core &c_;
+    std::unordered_map<int, Chain> chains_;
+    int next_chain_id_ = 0;
+};
+
+} // namespace save
+
+#endif // SAVE_SAVE_SCHEDULER_H

@@ -1,0 +1,623 @@
+#include "sim/core.h"
+
+#include <cmath>
+
+#include "save/scheduler.h"
+#include "sim/mgu.h"
+#include "util/logging.h"
+
+namespace save {
+
+Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
+           int core_id, int active_vpus, MemHierarchy *mem,
+           MemoryImage *image)
+    : mcfg(machine_cfg), scfg(save_cfg), activeVpus(active_vpus),
+      rs(machine_cfg.rsEntries), rob(machine_cfg.robEntries),
+      prf(machine_cfg.prfExtraRegs + kLogicalVecRegs),
+      vpus(static_cast<size_t>(active_vpus)),
+      core_id_(core_id), freq_ghz_(machine_cfg.coreFreqGhz(active_vpus)),
+      mem_(mem), image_(image), renamer_(&prf)
+{
+    SAVE_ASSERT(active_vpus >= 1 && active_vpus <= machine_cfg.numVpus,
+                "bad VPU count ", active_vpus);
+    if (scfg.enabled && scfg.bcache != BcastCacheKind::None) {
+        bcache_ = std::make_unique<BroadcastCache>(
+            scfg.bcache, mcfg.bcacheEntries, image_);
+        mem_->setL1EvictListener(core_id_, [this](uint64_t line) {
+            bcache_->invalidate(line);
+        });
+    }
+    sched_ = std::make_unique<VectorScheduler>(*this);
+}
+
+Core::~Core() = default;
+
+void
+Core::bindTrace(TraceSource *trace)
+{
+    trace_ = trace;
+    trace_done_ = false;
+    have_peek_ = false;
+}
+
+int
+Core::fmaLatency(bool mixed_precision) const
+{
+    return mixed_precision ? mcfg.mpFmaLatency : mcfg.fp32FmaLatency;
+}
+
+const VecReg &
+Core::operandA(const RsEntry &e) const
+{
+    return e.pa == kNoReg ? e.bcastVal : prf.value(e.pa);
+}
+
+const VecReg &
+Core::operandB(const RsEntry &e) const
+{
+    return prf.value(e.pb);
+}
+
+void
+Core::pushEvent(Event ev)
+{
+    ev.order = event_order_++;
+    events_.push(ev);
+}
+
+void
+Core::schedulePublish(int phys, int lane, float value, int robIdx,
+                      uint64_t at_cycle)
+{
+    Event ev{};
+    ev.cycle = at_cycle;
+    ev.kind = Event::Publish;
+    ev.phys = phys;
+    ev.lane = lane;
+    ev.value = value;
+    ev.robIdx = robIdx;
+    pushEvent(ev);
+}
+
+void
+Core::releaseEntry(int rs_idx)
+{
+    const RsEntry &e = rs.at(rs_idx);
+    if (e.dstPhys != kNoReg)
+        vfma_dst_to_rs_.erase(e.dstPhys);
+    sched_->onEntryReleased(rs_idx);
+    rs.release(rs_idx);
+}
+
+bool
+Core::drained() const
+{
+    if (have_peek_ || !trace_done_ || !rob.empty() || !replay_.empty())
+        return false;
+    if (!load_queue_.empty() || !events_.empty())
+        return false;
+    for (const auto &v : vpus)
+        if (!v.idle())
+            return false;
+    return true;
+}
+
+uint64_t
+Core::run(uint64_t max_cycles)
+{
+    while (!drained()) {
+        step();
+        SAVE_ASSERT(cycle_ < max_cycles, "simulation exceeded ",
+                    max_cycles, " cycles");
+    }
+    finalizeStats();
+    return cycle_;
+}
+
+void
+Core::finalizeStats()
+{
+    stats_.set("cycles", static_cast<double>(cycle_));
+    stats_.set("vpu_ops", 0);
+    stats_.set("vpu_lanes", 0);
+    for (size_t v = 0; v < vpus.size(); ++v) {
+        stats_.add("vpu_ops", static_cast<double>(vpus[v].opsIssued()));
+        stats_.add("vpu_lanes",
+                   static_cast<double>(vpus[v].lanesIssued()));
+    }
+    if (bcache_)
+        stats_.set("bcache_hit_rate", bcache_->hitRate());
+}
+
+bool
+Core::step()
+{
+    for (auto &v : vpus)
+        v.tick();
+
+    processWriteback();
+    processEvents();
+    commit();
+    storeWakeup();
+    sched_->step();
+    issueLoads();
+    mguStage();
+    allocate();
+
+    ++cycle_;
+    SAVE_ASSERT(rob.empty() ||
+                cycle_ - last_progress_cycle_ < 200000,
+                "no commit progress for 200k cycles: likely deadlock; "
+                "rob=", rob.size(), " rs=", rs.size());
+    return !drained();
+}
+
+void
+Core::processWriteback()
+{
+    for (auto &v : vpus) {
+        for (const LaneWrite &w : v.drainCompleted(cycle_)) {
+            prf.publishLane(w.dstPhys, w.lane, w.value);
+            rob.laneDone(w.robIdx);
+        }
+    }
+}
+
+void
+Core::processEvents()
+{
+    while (!events_.empty() && events_.top().cycle <= cycle_) {
+        Event ev = events_.top();
+        events_.pop();
+        if (ev.kind == Event::Publish) {
+            prf.publishLane(ev.phys, ev.lane, ev.value);
+            rob.laneDone(ev.robIdx);
+            continue;
+        }
+        // LoadDone
+        const LoadReq &req = ev.load;
+        if (req.toRs) {
+            RsEntry &e = rs.at(req.rsIdx);
+            SAVE_ASSERT(e.valid && e.seq == req.seq,
+                        "stale embedded-broadcast completion");
+            e.bcastVal = VecReg::broadcastWord(image_->readU32(req.addr));
+            e.aReady = true;
+        } else {
+            VecReg v = req.op == Opcode::BroadcastLoad
+                           ? VecReg::broadcastWord(
+                                 image_->readU32(req.addr))
+                           : image_->readLine(req.addr);
+            prf.publishAll(req.dstPhys, v);
+            rob.markDone(req.robIdx);
+        }
+    }
+}
+
+void
+Core::injectFaultAtSeq(uint64_t seq)
+{
+    fault_armed_ = true;
+    fault_seq_ = seq;
+}
+
+void
+Core::commit()
+{
+    for (int i = 0; i < mcfg.commitWidth; ++i) {
+        if (rob.empty())
+            break;
+        if (fault_armed_ && rob.at(rob.head()).seq == fault_seq_) {
+            // The faulting instruction reached the precise point:
+            // everything older has committed; squash it and every
+            // younger instruction, then replay after the handler.
+            squash();
+            fault_armed_ = false;
+            resume_alloc_cycle_ =
+                cycle_ + static_cast<uint64_t>(
+                             mcfg.exceptionServiceCycles);
+            stats_.add("exceptions_serviced");
+            return;
+        }
+        if (!rob.at(rob.head()).done)
+            break;
+        RobEntry e = rob.pop();
+        last_progress_cycle_ = cycle_;
+        if (e.oldPhys != kNoReg) {
+            prf.release(e.oldPhys);
+            rotated_copies_.erase(e.oldPhys);
+        }
+        if (e.isStore) {
+            image_->writeLine(e.storeAddr, prf.value(e.storeSrcPhys));
+            mem_->store(core_id_, e.storeAddr, nowNs(), freq_ghz_);
+        }
+        stats_.add("committed");
+    }
+}
+
+void
+Core::squash()
+{
+    // 1. Walk the ROB youngest-first down to the faulting entry,
+    //    undoing renaming and collecting the uops for replay.
+    int total = rob.size();
+    int squash_count = 0;
+    std::vector<Uop> replay_uops;
+    std::vector<bool> squashed_rob(
+        static_cast<size_t>(rob.capacity()), false);
+    for (int i = total - 1; i >= 0; --i) {
+        int idx = rob.indexFromHead(i);
+        RobEntry &e = rob.at(idx);
+        if (e.seq < fault_seq_)
+            break;
+        ++squash_count;
+        squashed_rob[static_cast<size_t>(idx)] = true;
+        replay_uops.push_back(e.uop);
+        if (e.dstPhys != kNoReg) {
+            renamer_.restoreMapping(e.uop.dst, e.oldPhys);
+            prf.release(e.dstPhys);
+            vfma_dst_to_rs_.erase(e.dstPhys);
+        }
+        if (e.op == Opcode::SetMask)
+            renamer_.setMask(e.uop.wmask, e.prevMask);
+        if (e.isStore) {
+            std::erase_if(pending_stores_, [idx](const PendingStore &s) {
+                return s.robIdx == idx;
+            });
+        }
+    }
+    rob.squashYoungest(squash_count);
+
+    // 2. Drop squashed reservation-station entries.
+    std::vector<int> order = rs.order();
+    for (int idx : order) {
+        if (rs.at(idx).seq >= fault_seq_)
+            rs.release(idx);
+    }
+
+    // 3. Drop in-flight work belonging to squashed instructions:
+    //    queued loads, completion events, and VPU lane writes.
+    std::erase_if(load_queue_, [this](const LoadReq &req) {
+        return req.seq >= fault_seq_;
+    });
+    {
+        std::vector<Event> kept;
+        while (!events_.empty()) {
+            const Event &ev = events_.top();
+            bool drop;
+            if (ev.kind == Event::Publish) {
+                drop = squashed_rob[static_cast<size_t>(ev.robIdx)];
+            } else {
+                drop = ev.load.seq >= fault_seq_;
+            }
+            if (!drop)
+                kept.push_back(ev);
+            events_.pop();
+        }
+        for (Event &ev : kept)
+            events_.push(std::move(ev));
+    }
+    for (auto &vpu : vpus) {
+        vpu.discardIf([&](const LaneWrite &w) {
+            return squashed_rob[static_cast<size_t>(w.robIdx)];
+        });
+    }
+
+    // 4. Discard partial mixed-precision results of the survivors and
+    //    rebuild the chain bookkeeping (paper SecV-B).
+    sched_->rebuildAfterSquash();
+
+    // 5. Queue the squashed instructions for re-execution, oldest
+    //    first, ahead of the not-yet-fetched remainder of the trace.
+    for (auto it = replay_uops.rbegin(); it != replay_uops.rend(); ++it)
+        replay_.push_back(*it);
+    if (have_peek_) {
+        replay_.push_back(peek_);
+        have_peek_ = false;
+    }
+    stats_.add("uops_squashed", squash_count);
+}
+
+void
+Core::storeWakeup()
+{
+    for (size_t i = 0; i < pending_stores_.size();) {
+        const PendingStore &s = pending_stores_[i];
+        if (prf.fullyReady(s.srcPhys)) {
+            rob.markDone(s.robIdx);
+            pending_stores_[i] = pending_stores_.back();
+            pending_stores_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+Core::issueLoads()
+{
+    int l1_ports = mcfg.l1ReadPorts;
+    int bc_ports = mcfg.bcachePorts;
+
+    while (!load_queue_.empty() && (l1_ports > 0 || bc_ports > 0)) {
+        const LoadReq &req = load_queue_.front();
+        bool is_bcast = req.op == Opcode::BroadcastLoad ||
+                        req.op == Opcode::VfmaPsBcast ||
+                        req.op == Opcode::Vdpbf16PsBcast;
+        bool use_bc = bcache_ && is_bcast;
+
+        uint64_t done_cycle;
+        if (use_bc) {
+            if (bc_ports == 0)
+                break;
+            BcastResult peek = bcache_->probeOnly(req.addr);
+            if (peek.needsL1 && l1_ports == 0)
+                break;
+            BcastResult res = bcache_->access(req.addr);
+            --bc_ports;
+            if (res.needsL1) {
+                --l1_ports;
+                double done_ns =
+                    mem_->load(core_id_, req.addr, nowNs(), freq_ghz_);
+                done_cycle = static_cast<uint64_t>(
+                    std::ceil(done_ns * freq_ghz_));
+                stats_.add("bcast_l1_reads");
+            } else {
+                done_cycle = cycle_ +
+                             static_cast<uint64_t>(mcfg.l1LatCycles);
+                stats_.add("bcast_bc_served");
+            }
+        } else {
+            if (l1_ports == 0)
+                break;
+            --l1_ports;
+            double done_ns =
+                mem_->load(core_id_, req.addr, nowNs(), freq_ghz_);
+            done_cycle =
+                static_cast<uint64_t>(std::ceil(done_ns * freq_ghz_));
+        }
+        if (done_cycle <= cycle_)
+            done_cycle = cycle_ + 1;
+
+        Event ev{};
+        ev.cycle = done_cycle;
+        ev.kind = Event::LoadDone;
+        ev.load = req;
+        pushEvent(ev);
+        stats_.add("loads_issued");
+        load_queue_.pop_front();
+    }
+}
+
+void
+Core::refreshReadiness(RsEntry &e)
+{
+    if (!e.aReady && e.pa != kNoReg)
+        e.aReady = prf.fullyReady(e.pa);
+    if (!e.bReady && e.pb != kNoReg)
+        e.bReady = prf.fullyReady(e.pb);
+}
+
+void
+Core::mguStage()
+{
+    if (!scfg.enabled || scfg.policy == SchedPolicy::Baseline)
+        return;
+    int budget = mcfg.issueWidth; // one MGU per allocation slot
+    for (int idx : rs.order()) {
+        if (budget == 0)
+            break;
+        RsEntry &e = rs.at(idx);
+        if (!e.uop.isVfma() || e.elmValid)
+            continue;
+        refreshReadiness(e);
+        if (!e.aReady || !e.bReady)
+            continue;
+
+        const VecReg &a = operandA(e);
+        const VecReg &b = operandB(e);
+        if (e.uop.isMixedPrecision()) {
+            uint32_t m = elmMp(a, b, e.wm);
+            if (m == 0 && !scfg.bsSkip) {
+                // Ablation: do not skip fully-ineffectual VFMAs.
+                for (int lane = 0; lane < kVecLanes; ++lane)
+                    if ((e.wm >> lane) & 1)
+                        m |= 0x3u << (kMlPerAl * lane);
+            }
+            e.elm = m;
+            e.pendingMl = m;
+            e.pendingAl = mpAlMask(m);
+        } else {
+            uint16_t m = elmF32(a, b, e.wm);
+            if (m == 0 && !scfg.bsSkip)
+                m = e.wm;
+            e.elm = m;
+            e.pendingAl = m;
+        }
+        e.passPending = static_cast<uint16_t>(~e.pendingAl);
+        e.elmValid = true;
+        if (e.pendingAl == 0)
+            stats_.add("bs_skipped_vfmas");
+        --budget;
+        stats_.add("elms_generated");
+    }
+}
+
+void
+Core::allocateVfma(const Uop &u)
+{
+    RsEntry e;
+    e.uop = u;
+    e.seq = seq_;
+    e.pa = u.srcA >= 0 ? renamer_.mapOf(u.srcA) : kNoReg;
+    e.pb = renamer_.mapOf(u.srcB);
+    e.pc = renamer_.mapOf(u.srcC);
+    e.wm = u.wmask >= 0 ? renamer_.mask(u.wmask) : 0xffffu;
+
+    auto renamed = renamer_.renameDst(u.dst);
+    SAVE_ASSERT(renamed.newPhys != kNoReg, "caller checked PRF space");
+    e.dstPhys = renamed.newPhys;
+
+    // R-state from the accumulator's logical register number; with
+    // the paper's 3 states this yields shifts in {-1, 0, +1}
+    // (SecIV-B). More states (ablation) widen the shift range.
+    bool rotate = scfg.enabled && scfg.policy == SchedPolicy::RVC &&
+                  scfg.rotationStates > 1;
+    e.rot = rotate
+        ? static_cast<int8_t>(u.dst % scfg.rotationStates -
+                              scfg.rotationStates / 2)
+        : 0;
+
+    RobEntry re;
+    re.seq = seq_;
+    re.op = u.op;
+    re.uop = u;
+    re.dstPhys = renamed.newPhys;
+    re.oldPhys = renamed.oldPhys;
+    re.lanesPending = kVecLanes;
+    e.robIdx = rob.push(re);
+
+    if (e.rot != 0 && e.pb != kNoReg) {
+        // A rotated copy of the non-broadcast multiplicand is needed
+        // once per (register, R-state) pair (SecIV-B); the broadcast
+        // operand and the accumulator never need copies.
+        uint8_t bit = static_cast<uint8_t>(
+            1u << (e.rot - (-scfg.rotationStates / 2)));
+        uint8_t &seen = rotated_copies_[e.pb];
+        if (!(seen & bit)) {
+            seen |= static_cast<uint8_t>(bit);
+            stats_.add("rotated_copies");
+        }
+    }
+
+    refreshReadiness(e);
+    int rs_idx = rs.push(e);
+    if (u.op == Opcode::Vdpbf16Ps || u.op == Opcode::Vdpbf16PsBcast)
+        vfma_dst_to_rs_[renamed.newPhys] = rs_idx;
+
+    if (u.hasEmbeddedBroadcast()) {
+        LoadReq req;
+        req.toRs = true;
+        req.rsIdx = rs_idx;
+        req.seq = seq_;
+        req.addr = u.addr;
+        req.op = u.op;
+        load_queue_.push_back(req);
+    }
+
+    sched_->onVfmaAllocated(rs_idx);
+    stats_.add("vfmas");
+}
+
+bool
+Core::nextUop(Uop &u)
+{
+    if (!replay_.empty()) {
+        u = replay_.front();
+        replay_.pop_front();
+        return true;
+    }
+    if (trace_done_ || !trace_)
+        return false;
+    if (!trace_->next(u)) {
+        trace_done_ = true;
+        return false;
+    }
+    return true;
+}
+
+void
+Core::allocate()
+{
+    if (cycle_ < resume_alloc_cycle_)
+        return; // exception handler running
+    for (int slot = 0; slot < mcfg.issueWidth; ++slot) {
+        if (!have_peek_) {
+            if (!nextUop(peek_))
+                return;
+            have_peek_ = true;
+        }
+        const Uop &u = peek_;
+        if (rob.full()) {
+            stats_.add("stall_rob_full");
+            return;
+        }
+
+        switch (u.op) {
+          case Opcode::Alu: {
+            RobEntry re;
+            re.seq = seq_;
+            re.op = u.op;
+            re.uop = u;
+            re.done = true;
+            rob.push(re);
+            break;
+          }
+          case Opcode::SetMask: {
+            RobEntry re;
+            re.seq = seq_;
+            re.op = u.op;
+            re.uop = u;
+            re.prevMask = renamer_.mask(u.wmask);
+            re.done = true;
+            renamer_.setMask(u.wmask, u.maskImm);
+            rob.push(re);
+            break;
+          }
+          case Opcode::BroadcastLoad:
+          case Opcode::LoadVec: {
+            auto renamed = renamer_.renameDst(u.dst);
+            if (renamed.newPhys == kNoReg) {
+                stats_.add("stall_prf");
+                return; // PRF pressure: stall allocation
+            }
+            RobEntry re;
+            re.seq = seq_;
+            re.op = u.op;
+            re.uop = u;
+            re.dstPhys = renamed.newPhys;
+            re.oldPhys = renamed.oldPhys;
+            int rob_idx = rob.push(re);
+
+            LoadReq req;
+            req.toRs = false;
+            req.seq = seq_;
+            req.dstPhys = renamed.newPhys;
+            req.robIdx = rob_idx;
+            req.addr = u.addr;
+            req.op = u.op;
+            load_queue_.push_back(req);
+            break;
+          }
+          case Opcode::StoreVec: {
+            RobEntry re;
+            re.seq = seq_;
+            re.op = u.op;
+            re.uop = u;
+            re.isStore = true;
+            re.storeAddr = u.addr;
+            re.storeSrcPhys = renamer_.mapOf(u.srcC);
+            int rob_idx = rob.push(re);
+            pending_stores_.push_back({rob_idx, re.storeSrcPhys});
+            break;
+          }
+          default: {
+            SAVE_ASSERT(u.isVfma(), "unhandled opcode");
+            if (rs.full()) {
+                stats_.add("stall_rs_full");
+                return;
+            }
+            if (prf.numFree() == 0) {
+                stats_.add("stall_prf");
+                return;
+            }
+            allocateVfma(u);
+            break;
+          }
+        }
+        ++seq_;
+        have_peek_ = false;
+        stats_.add("uops");
+    }
+}
+
+} // namespace save

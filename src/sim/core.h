@@ -1,0 +1,237 @@
+/**
+ * @file
+ * One simulated out-of-order core: 5-wide in-order allocate/rename,
+ * unified reservation stations, ROB, load ports, broadcast cache, and
+ * N VPU pipelines driven by a pluggable vector scheduler (baseline or
+ * SAVE). Functional and timing simulation are combined: every uop
+ * carries real data, so sparsity decisions (ELMs) come from actual
+ * operand values and final register/memory state can be checked
+ * against an architectural reference.
+ *
+ * Stage order within a cycle (writeback before select, select before
+ * allocate) models a forwarding network: a result written back in
+ * cycle t can feed an operation selected in cycle t.
+ */
+
+#ifndef SAVE_SIM_CORE_H
+#define SAVE_SIM_CORE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/uop.h"
+#include "mem/broadcast_cache.h"
+#include "mem/hierarchy.h"
+#include "mem/memory_image.h"
+#include "sim/config.h"
+#include "sim/regfile.h"
+#include "sim/renamer.h"
+#include "sim/rob.h"
+#include "sim/rs.h"
+#include "sim/vpu.h"
+#include "stats/stats.h"
+
+namespace save {
+
+class VectorScheduler;
+
+/** Abstract uop stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    /** Produce the next uop; false when the trace is exhausted. */
+    virtual bool next(Uop &u) = 0;
+};
+
+/** TraceSource over a pre-built uop vector. */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<Uop> uops) : uops_(std::move(uops)) {}
+
+    bool
+    next(Uop &u) override
+    {
+        if (pos_ >= uops_.size())
+            return false;
+        u = uops_[pos_++];
+        return true;
+    }
+
+    void reset() { pos_ = 0; }
+    size_t size() const { return uops_.size(); }
+
+  private:
+    std::vector<Uop> uops_;
+    size_t pos_ = 0;
+};
+
+/** One out-of-order core. */
+class Core
+{
+  public:
+    /**
+     * @param active_vpus 1 or 2; selects the core frequency per the
+     *        paper's licensing model (SecIV-D).
+     */
+    Core(const MachineConfig &mcfg, const SaveConfig &scfg, int core_id,
+         int active_vpus, MemHierarchy *mem, MemoryImage *image);
+    ~Core();
+
+    void bindTrace(TraceSource *trace);
+
+    /** Run until drained; returns elapsed cycles. */
+    uint64_t run(uint64_t max_cycles = ~0ull);
+
+    /** Advance one cycle; false once fully drained. */
+    bool step();
+
+    bool drained() const;
+
+    /** Fold end-of-run derived values (VPU ops, B$ hit rate) into the
+     *  stat group. Called by run(); Multicore calls it after stepping
+     *  cores manually. */
+    void finalizeStats();
+
+    /**
+     * Precise-exception support: arm a fault on the uop with the
+     * given sequence number. When it reaches the ROB head, everything
+     * from it (inclusive) onward is squashed — rename map rolled
+     * back, in-flight lane writes and partial mixed-precision results
+     * discarded (paper SecV-B) — the handler latency elapses, and the
+     * squashed instructions re-execute. Architectural state must be
+     * indistinguishable from an uninterrupted run.
+     */
+    void injectFaultAtSeq(uint64_t seq);
+
+    uint64_t cycle() const { return cycle_; }
+    double freqGhz() const { return freq_ghz_; }
+    double nowNs() const
+    {
+        return static_cast<double>(cycle_) / freq_ghz_;
+    }
+    int coreId() const { return core_id_; }
+
+    Renamer &renamer() { return renamer_; }
+    StatGroup &stats() { return stats_; }
+    BroadcastCache *bcache() { return bcache_.get(); }
+
+    /** Shared with the scheduler ------------------------------------ */
+
+    const MachineConfig mcfg;
+    const SaveConfig scfg;
+    const int activeVpus;
+
+    Rs rs;
+    Rob rob;
+    PhysRegFile prf;
+    std::vector<VpuPipeline> vpus;
+
+    /** Multiplicand A of an RS entry (register or loaded broadcast). */
+    const VecReg &operandA(const RsEntry &e) const;
+    const VecReg &operandB(const RsEntry &e) const;
+
+    /** Schedule a future single-lane register write. */
+    void schedulePublish(int phys, int lane, float value, int robIdx,
+                         uint64_t at_cycle);
+
+    /** Free an RS slot whose issue obligations are done. */
+    void releaseEntry(int rs_idx);
+
+    /** VPU op latency in cycles for the given precision. */
+    int fmaLatency(bool mixed_precision) const;
+
+    uint64_t now() const { return cycle_; }
+
+  private:
+    struct LoadReq
+    {
+        bool toRs;      // embedded-broadcast operand vs register load
+        int rsIdx = -1;
+        uint64_t seq = 0;
+        int dstPhys = kNoReg;
+        int robIdx = -1;
+        uint64_t addr = 0;
+        Opcode op = Opcode::LoadVec;
+    };
+
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t order;
+        enum Kind { LoadDone, Publish } kind;
+        LoadReq load;          // LoadDone payload
+        int phys = kNoReg;     // Publish payload
+        int lane = 0;
+        float value = 0.0f;
+        int robIdx = -1;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : order > o.order;
+        }
+    };
+
+    void processEvents();
+    void processWriteback();
+    void commit();
+    /** Squash every in-flight uop with seq >= fault_seq_. */
+    void squash();
+    /** Next uop from the replay queue or the trace. */
+    bool nextUop(Uop &u);
+    void storeWakeup();
+    void issueLoads();
+    void mguStage();
+    void allocate();
+    void refreshReadiness(RsEntry &e);
+    void allocateVfma(const Uop &u);
+
+    void pushEvent(Event ev);
+
+    int core_id_;
+    double freq_ghz_;
+    MemHierarchy *mem_;
+    MemoryImage *image_;
+    std::unique_ptr<BroadcastCache> bcache_;
+    Renamer renamer_;
+    std::unique_ptr<VectorScheduler> sched_;
+
+    TraceSource *trace_ = nullptr;
+    bool trace_done_ = false;
+    bool have_peek_ = false;
+    Uop peek_;
+    /** Squashed uops awaiting re-execution (oldest first). */
+    std::deque<Uop> replay_;
+    bool fault_armed_ = false;
+    uint64_t fault_seq_ = 0;
+    uint64_t resume_alloc_cycle_ = 0;
+
+    uint64_t cycle_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t event_order_ = 0;
+    uint64_t last_progress_cycle_ = 0;
+
+    std::deque<LoadReq> load_queue_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    struct PendingStore { int robIdx; int srcPhys; };
+    std::vector<PendingStore> pending_stores_;
+    /** In-flight VFMA dst phys -> RS slot (mixed-precision chains). */
+    std::unordered_map<int, int> vfma_dst_to_rs_;
+    /** Rotated-copy accounting (SecIV-B): per live non-broadcast
+     *  multiplicand physical register, which R-states were used. */
+    std::unordered_map<int, uint8_t> rotated_copies_;
+
+    StatGroup stats_;
+
+    friend class VectorScheduler;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_CORE_H

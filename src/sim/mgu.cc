@@ -1,0 +1,46 @@
+#include "sim/mgu.h"
+
+#include "isa/bf16.h"
+
+namespace save {
+
+uint16_t
+elmF32(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    uint16_t elm = 0;
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        if (!((wm >> lane) & 1))
+            continue;
+        // +-0.0 both count as zero: the product is exactly zero and the
+        // accumulation is ineffectual.
+        if (a.f32(lane) != 0.0f && b.f32(lane) != 0.0f)
+            elm |= static_cast<uint16_t>(1u << lane);
+    }
+    return elm;
+}
+
+uint32_t
+elmMp(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    uint32_t elm = 0;
+    for (int ml = 0; ml < kMlLanes; ++ml) {
+        if (!((wm >> (ml / kMlPerAl)) & 1))
+            continue;
+        if (!bf16IsZero(a.bf16(ml)) && !bf16IsZero(b.bf16(ml)))
+            elm |= 1u << ml;
+    }
+    return elm;
+}
+
+uint16_t
+mpAlMask(uint32_t ml_mask)
+{
+    uint16_t al = 0;
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        if ((ml_mask >> (kMlPerAl * lane)) & 0x3u)
+            al |= static_cast<uint16_t>(1u << lane);
+    }
+    return al;
+}
+
+} // namespace save

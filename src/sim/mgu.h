@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Mask Generation Unit (paper SecIII, Fig. 4).
+ *
+ * For each lane the MGU checks the corresponding elements of the two
+ * multiplicands: the lane is effectual iff both are non-zero and the
+ * write-mask bit (when present) is set. FP32 VFMAs get a 16-bit ELM;
+ * mixed-precision VFMAs get a 32-bit per-multiplicand-lane ELM.
+ *
+ * MGUs are replicated to match the issue width, so ELM generation is
+ * never a throughput bottleneck; the core charges one cycle between
+ * operand readiness and ELM validity.
+ */
+
+#ifndef SAVE_SIM_MGU_H
+#define SAVE_SIM_MGU_H
+
+#include <cstdint>
+
+#include "isa/vec.h"
+
+namespace save {
+
+/** 16-bit effectual-lane mask for an FP32 VFMA. */
+uint16_t elmF32(const VecReg &a, const VecReg &b, uint16_t wm);
+
+/** 32-bit effectual-multiplicand-lane mask for a mixed-precision VFMA.
+ *  The write mask is per accumulator lane and masks both of its MLs. */
+uint32_t elmMp(const VecReg &a, const VecReg &b, uint16_t wm);
+
+/** Accumulator lanes that have at least one effectual ML. */
+uint16_t mpAlMask(uint32_t ml_mask);
+
+} // namespace save
+
+#endif // SAVE_SIM_MGU_H

@@ -1,0 +1,63 @@
+#include "sim/multicore.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace save {
+
+Multicore::Multicore(const MachineConfig &mcfg, const SaveConfig &scfg,
+                     int active_vpus, MemoryImage *image)
+    : mcfg_(mcfg), mem_(std::make_unique<MemHierarchy>(mcfg))
+{
+    for (int c = 0; c < mcfg.cores; ++c) {
+        cores_.push_back(std::make_unique<Core>(
+            mcfg, scfg, c, active_vpus, mem_.get(), image));
+    }
+}
+
+void
+Multicore::bindTraces(const std::vector<TraceSource *> &traces)
+{
+    SAVE_ASSERT(traces.size() == cores_.size(),
+                "need one trace slot per core");
+    for (size_t c = 0; c < cores_.size(); ++c)
+        if (traces[c])
+            cores_[c]->bindTrace(traces[c]);
+}
+
+uint64_t
+Multicore::run(uint64_t max_cycles)
+{
+    bool any = true;
+    while (any) {
+        any = false;
+        for (auto &core : cores_) {
+            if (!core->drained()) {
+                core->step();
+                any = true;
+                SAVE_ASSERT(core->cycle() < max_cycles,
+                            "multicore simulation exceeded ", max_cycles,
+                            " cycles");
+            }
+        }
+    }
+    uint64_t max = 0;
+    for (auto &core : cores_) {
+        core->finalizeStats();
+        max = std::max(max, core->cycle());
+    }
+    return max;
+}
+
+StatGroup
+Multicore::aggregateStats() const
+{
+    StatGroup g;
+    for (const auto &core : cores_)
+        g.merge(const_cast<Core &>(*core).stats());
+    g.merge(const_cast<MemHierarchy &>(*mem_).stats());
+    return g;
+}
+
+} // namespace save

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Lock-step multicore driver: N cores sharing one memory hierarchy.
+ * Cores interact only through the shared L3/NoC/DRAM timing model, so
+ * stepping them round-robin each cycle is exact enough for the
+ * bandwidth/latency contention the paper models.
+ */
+
+#ifndef SAVE_SIM_MULTICORE_H
+#define SAVE_SIM_MULTICORE_H
+
+#include <memory>
+#include <vector>
+
+#include "mem/hierarchy.h"
+#include "mem/memory_image.h"
+#include "sim/config.h"
+#include "sim/core.h"
+
+namespace save {
+
+/** A whole simulated machine. */
+class Multicore
+{
+  public:
+    Multicore(const MachineConfig &mcfg, const SaveConfig &scfg,
+              int active_vpus, MemoryImage *image);
+
+    Core &core(int i) { return *cores_[static_cast<size_t>(i)]; }
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    MemHierarchy &hierarchy() { return *mem_; }
+
+    /** Bind one trace per core (vector length must equal core count;
+     *  nullptr entries leave a core idle). */
+    void bindTraces(const std::vector<TraceSource *> &traces);
+
+    /** Run all cores to completion; returns the max cycle count. */
+    uint64_t run(uint64_t max_cycles = ~0ull);
+
+    /** Sum of per-core stat groups plus hierarchy stats. */
+    StatGroup aggregateStats() const;
+
+  private:
+    MachineConfig mcfg_;
+    std::unique_ptr<MemHierarchy> mem_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_MULTICORE_H

@@ -1,0 +1,72 @@
+#include "sim/reference.h"
+
+#include "isa/bf16.h"
+#include "mem/memory_image.h"
+#include "util/logging.h"
+
+namespace save {
+
+void
+ArchExecutor::run(const std::vector<Uop> &uops)
+{
+    for (const Uop &u : uops)
+        exec(u);
+}
+
+void
+ArchExecutor::exec(const Uop &u)
+{
+    switch (u.op) {
+      case Opcode::Alu:
+        return;
+      case Opcode::SetMask:
+        masks_[static_cast<size_t>(u.wmask)] = u.maskImm;
+        return;
+      case Opcode::BroadcastLoad:
+        regs_[static_cast<size_t>(u.dst)] =
+            VecReg::broadcastWord(image_->readU32(u.addr));
+        return;
+      case Opcode::LoadVec:
+        regs_[static_cast<size_t>(u.dst)] = image_->readLine(u.addr);
+        return;
+      case Opcode::StoreVec:
+        image_->writeLine(u.addr, regs_[static_cast<size_t>(u.srcC)]);
+        return;
+      default:
+        break;
+    }
+
+    SAVE_ASSERT(u.isVfma(), "unhandled opcode in reference executor");
+    VecReg a = u.hasEmbeddedBroadcast()
+                   ? VecReg::broadcastWord(image_->readU32(u.addr))
+                   : regs_[static_cast<size_t>(u.srcA)];
+    const VecReg &b = regs_[static_cast<size_t>(u.srcB)];
+    VecReg &c = regs_[static_cast<size_t>(u.dst)];
+    uint16_t wm =
+        u.wmask >= 0 ? masks_[static_cast<size_t>(u.wmask)] : 0xffffu;
+
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        if (!((wm >> lane) & 1))
+            continue; // masked lanes keep the accumulator value
+        float r = c.f32(lane);
+        if (u.isMixedPrecision()) {
+            for (int s = 0; s < kMlPerAl; ++s) {
+                int ml = kMlPerAl * lane + s;
+                Bf16 av = a.bf16(ml);
+                Bf16 bv = b.bf16(ml);
+                // Zero-skip semantics identical to the MGU: a zero
+                // multiplicand contributes nothing.
+                if (!bf16IsZero(av) && !bf16IsZero(bv))
+                    r = bf16Mac(r, av, bv);
+            }
+        } else {
+            float av = a.f32(lane);
+            float bv = b.f32(lane);
+            if (av != 0.0f && bv != 0.0f)
+                r = r + av * bv;
+        }
+        c.setF32(lane, r);
+    }
+}
+
+} // namespace save

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Architectural reference executor: runs a uop trace sequentially, in
+ * order, with the same zero-skip semantics the MGU defines. The OoO
+ * core with any SAVE policy must produce bitwise-identical register
+ * and memory state — this is the software-transparency property the
+ * paper claims, and the oracle for the test suite.
+ */
+
+#ifndef SAVE_SIM_REFERENCE_H
+#define SAVE_SIM_REFERENCE_H
+
+#include <array>
+#include <vector>
+
+#include "isa/uop.h"
+#include "isa/vec.h"
+
+namespace save {
+
+class MemoryImage;
+
+/** In-order functional executor. */
+class ArchExecutor
+{
+  public:
+    explicit ArchExecutor(MemoryImage *image) : image_(image)
+    {
+        masks_.fill(0xffffu);
+    }
+
+    /** Execute every uop in order. */
+    void run(const std::vector<Uop> &uops);
+
+    void exec(const Uop &u);
+
+    const VecReg &reg(int lreg) const
+    {
+        return regs_[static_cast<size_t>(lreg)];
+    }
+
+  private:
+    MemoryImage *image_;
+    std::array<VecReg, kLogicalVecRegs> regs_{};
+    std::array<uint16_t, kLogicalMaskRegs> masks_{};
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_REFERENCE_H

@@ -1,0 +1,90 @@
+#include "sim/regfile.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+PhysRegFile::PhysRegFile(int num_regs) : num_regs_(num_regs)
+{
+    regs_.resize(static_cast<size_t>(num_regs));
+    free_.reserve(static_cast<size_t>(num_regs));
+    for (int i = num_regs - 1; i >= 0; --i)
+        free_.push_back(i);
+}
+
+int
+PhysRegFile::alloc()
+{
+    if (free_.empty())
+        return kNoReg;
+    int idx = free_.back();
+    free_.pop_back();
+    regs_[static_cast<size_t>(idx)].ready = 0;
+    return idx;
+}
+
+void
+PhysRegFile::release(int idx)
+{
+    SAVE_ASSERT(idx >= 0 && idx < num_regs_, "bad phys reg ", idx);
+    free_.push_back(idx);
+}
+
+const VecReg &
+PhysRegFile::value(int idx) const
+{
+    return regs_[static_cast<size_t>(idx)].value;
+}
+
+VecReg &
+PhysRegFile::value(int idx)
+{
+    return regs_[static_cast<size_t>(idx)].value;
+}
+
+uint16_t
+PhysRegFile::laneReady(int idx) const
+{
+    return regs_[static_cast<size_t>(idx)].ready;
+}
+
+bool
+PhysRegFile::laneIsReady(int idx, int lane) const
+{
+    return (regs_[static_cast<size_t>(idx)].ready >> lane) & 1;
+}
+
+bool
+PhysRegFile::fullyReady(int idx) const
+{
+    return regs_[static_cast<size_t>(idx)].ready == 0xffffu;
+}
+
+void
+PhysRegFile::setLaneReady(int idx, int lane)
+{
+    regs_[static_cast<size_t>(idx)].ready |=
+        static_cast<uint16_t>(1u << lane);
+}
+
+void
+PhysRegFile::setAllReady(int idx)
+{
+    regs_[static_cast<size_t>(idx)].ready = 0xffffu;
+}
+
+void
+PhysRegFile::publishLane(int idx, int lane, float v)
+{
+    regs_[static_cast<size_t>(idx)].value.setF32(lane, v);
+    setLaneReady(idx, lane);
+}
+
+void
+PhysRegFile::publishAll(int idx, const VecReg &v)
+{
+    regs_[static_cast<size_t>(idx)].value = v;
+    setAllReady(idx);
+}
+
+} // namespace save

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Physical vector register file with per-lane access.
+ *
+ * SAVE adopts a vector RF design where each lane of a register can be
+ * read/written independently (paper SecIII, last paragraph): a V-lane
+ * vector RF functions like V independent scalar RFs. We model that
+ * with a per-lane ready mask per physical register, which is also what
+ * lane-wise dependence (SecIV-C) consumes.
+ */
+
+#ifndef SAVE_SIM_REGFILE_H
+#define SAVE_SIM_REGFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/vec.h"
+#include "stats/stats.h"
+
+namespace save {
+
+/** Invalid physical register index. */
+constexpr int kNoReg = -1;
+
+/** Physical register file with a free list. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(int num_regs);
+
+    /** Allocate a register (lanes not ready). Returns kNoReg if full. */
+    int alloc();
+
+    /** Return a register to the free list. */
+    void release(int idx);
+
+    int numFree() const { return static_cast<int>(free_.size()); }
+    int numRegs() const { return num_regs_; }
+
+    const VecReg &value(int idx) const;
+    VecReg &value(int idx);
+
+    /** Ready mask over FP32/accumulator lanes. */
+    uint16_t laneReady(int idx) const;
+    bool laneIsReady(int idx, int lane) const;
+    bool fullyReady(int idx) const;
+
+    void setLaneReady(int idx, int lane);
+    void setAllReady(int idx);
+    /** Write one FP32 lane and mark it ready. */
+    void publishLane(int idx, int lane, float v);
+    /** Write the whole register and mark every lane ready. */
+    void publishAll(int idx, const VecReg &v);
+
+  private:
+    struct Entry
+    {
+        VecReg value;
+        uint16_t ready = 0;
+    };
+
+    int num_regs_;
+    std::vector<Entry> regs_;
+    std::vector<int> free_;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_REGFILE_H

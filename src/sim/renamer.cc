@@ -1,0 +1,62 @@
+#include "sim/renamer.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+Renamer::Renamer(PhysRegFile *prf) : prf_(prf)
+{
+    for (int i = 0; i < kLogicalVecRegs; ++i) {
+        int p = prf_->alloc();
+        SAVE_ASSERT(p != kNoReg, "PRF too small for architectural state");
+        prf_->publishAll(p, VecReg{});
+        map_[static_cast<size_t>(i)] = p;
+    }
+    masks_.fill(0xffffu);
+}
+
+int
+Renamer::mapOf(int lreg) const
+{
+    SAVE_ASSERT(lreg >= 0 && lreg < kLogicalVecRegs, "bad lreg ", lreg);
+    return map_[static_cast<size_t>(lreg)];
+}
+
+Renamer::Renamed
+Renamer::renameDst(int lreg)
+{
+    int fresh = prf_->alloc();
+    if (fresh == kNoReg)
+        return {kNoReg, kNoReg};
+    int old = map_[static_cast<size_t>(lreg)];
+    map_[static_cast<size_t>(lreg)] = fresh;
+    return {fresh, old};
+}
+
+void
+Renamer::setArchValue(int lreg, const VecReg &v)
+{
+    prf_->publishAll(mapOf(lreg), v);
+}
+
+const VecReg &
+Renamer::archValue(int lreg) const
+{
+    return prf_->value(mapOf(lreg));
+}
+
+uint16_t
+Renamer::mask(int kreg) const
+{
+    SAVE_ASSERT(kreg >= 0 && kreg < kLogicalMaskRegs, "bad kreg ", kreg);
+    return masks_[static_cast<size_t>(kreg)];
+}
+
+void
+Renamer::setMask(int kreg, uint16_t v)
+{
+    SAVE_ASSERT(kreg >= 0 && kreg < kLogicalMaskRegs, "bad kreg ", kreg);
+    masks_[static_cast<size_t>(kreg)] = v;
+}
+
+} // namespace save

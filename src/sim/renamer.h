@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Register renamer: logical vector registers to physical registers,
+ * plus the in-order architectural view of the AVX-512 mask registers.
+ *
+ * Mask registers are read at allocation time (allocation is in order,
+ * so capturing the current mask value into the RS entry is exact) —
+ * this sidesteps full mask-register renaming without changing
+ * semantics for in-order mask updates.
+ */
+
+#ifndef SAVE_SIM_RENAMER_H
+#define SAVE_SIM_RENAMER_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/uop.h"
+#include "sim/regfile.h"
+
+namespace save {
+
+/** Renamer state. */
+class Renamer
+{
+  public:
+    /** Binds to a PRF and maps every logical register to a fresh,
+     *  fully-ready physical register holding zero. */
+    explicit Renamer(PhysRegFile *prf);
+
+    /** Current mapping of a logical register. */
+    int mapOf(int lreg) const;
+
+    /**
+     * Rename a destination: allocates a new physical register and
+     * returns {new_phys, old_phys}. old_phys is freed when the
+     * renaming instruction commits. Returns {kNoReg, kNoReg} when the
+     * PRF is exhausted (the caller stalls allocation).
+     */
+    struct Renamed { int newPhys; int oldPhys; };
+    Renamed renameDst(int lreg);
+
+    /** Roll a logical register's mapping back to an older physical
+     *  register (squash path; the walk must be youngest-first). */
+    void
+    restoreMapping(int lreg, int phys)
+    {
+        map_[static_cast<size_t>(lreg)] = phys;
+    }
+
+    /** Architecturally write a logical register before a trace runs. */
+    void setArchValue(int lreg, const VecReg &v);
+
+    /** Architectural read (e.g., for post-run result checking). */
+    const VecReg &archValue(int lreg) const;
+
+    /** Mask register access (in-order view). */
+    uint16_t mask(int kreg) const;
+    void setMask(int kreg, uint16_t v);
+
+  private:
+    PhysRegFile *prf_;
+    std::array<int, kLogicalVecRegs> map_;
+    std::array<uint16_t, kLogicalMaskRegs> masks_;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_RENAMER_H

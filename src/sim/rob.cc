@@ -1,0 +1,66 @@
+#include "sim/rob.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+Rob::Rob(int entries) : capacity_(entries)
+{
+    buf_.resize(static_cast<size_t>(entries));
+}
+
+int
+Rob::push(RobEntry e)
+{
+    SAVE_ASSERT(!full(), "ROB overflow");
+    int idx = tail_;
+    e.valid = true;
+    buf_[static_cast<size_t>(idx)] = e;
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+    return idx;
+}
+
+RobEntry
+Rob::pop()
+{
+    SAVE_ASSERT(!empty(), "ROB underflow");
+    RobEntry e = buf_[static_cast<size_t>(head_)];
+    SAVE_ASSERT(e.done, "committing an incomplete entry");
+    buf_[static_cast<size_t>(head_)].valid = false;
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return e;
+}
+
+void
+Rob::laneDone(int idx)
+{
+    RobEntry &e = buf_[static_cast<size_t>(idx)];
+    SAVE_ASSERT(e.valid && e.lanesPending > 0,
+                "lane writeback on a finished entry");
+    if (--e.lanesPending == 0)
+        e.done = true;
+}
+
+void
+Rob::squashYoungest(int n)
+{
+    SAVE_ASSERT(n >= 0 && n <= count_, "squashing more than the ROB "
+                "holds");
+    for (int i = 0; i < n; ++i) {
+        tail_ = (tail_ + capacity_ - 1) % capacity_;
+        buf_[static_cast<size_t>(tail_)].valid = false;
+        --count_;
+    }
+}
+
+void
+Rob::markDone(int idx)
+{
+    RobEntry &e = buf_[static_cast<size_t>(idx)];
+    SAVE_ASSERT(e.valid, "completing an invalid entry");
+    e.done = true;
+}
+
+} // namespace save

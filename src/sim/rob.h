@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Re-order buffer: in-order allocation and commit, out-of-order
+ * completion. VFMA entries complete lane-by-lane (SAVE writes each
+ * coalesced lane result back to its own destination position), so an
+ * entry tracks a pending-lane count rather than a single done bit.
+ */
+
+#ifndef SAVE_SIM_ROB_H
+#define SAVE_SIM_ROB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/uop.h"
+#include "sim/regfile.h"
+
+namespace save {
+
+/** One ROB entry. */
+struct RobEntry
+{
+    bool valid = false;
+    uint64_t seq = 0;
+    Opcode op = Opcode::Alu;
+    /** The instruction itself (kept for squash-and-replay). */
+    Uop uop;
+    /** Physical destination, kNoReg if none. */
+    int dstPhys = kNoReg;
+    /** Previous mapping of the destination; freed at commit. */
+    int oldPhys = kNoReg;
+    /** Mask value overwritten by a SetMask (restored on squash). */
+    uint16_t prevMask = 0;
+    /** Lanes not yet written back (16 for a VFMA, else 0/1 pseudo). */
+    int lanesPending = 0;
+    bool done = false;
+    /** Store bookkeeping. */
+    bool isStore = false;
+    uint64_t storeAddr = 0;
+    int storeSrcPhys = kNoReg;
+};
+
+/** Circular re-order buffer. */
+class Rob
+{
+  public:
+    explicit Rob(int entries);
+
+    bool full() const { return count_ == capacity_; }
+    bool empty() const { return count_ == 0; }
+    int size() const { return count_; }
+    int capacity() const { return capacity_; }
+
+    /** Allocate at the tail; ROB must not be full. */
+    int push(RobEntry e);
+
+    RobEntry &at(int idx) { return buf_[static_cast<size_t>(idx)]; }
+    const RobEntry &at(int idx) const
+    {
+        return buf_[static_cast<size_t>(idx)];
+    }
+
+    /** Head index (oldest), -1 when empty. */
+    int head() const { return empty() ? -1 : head_; }
+
+    /** Pop the head; it must be done. */
+    RobEntry pop();
+
+    /** Mark one lane of a VFMA entry written back. */
+    void laneDone(int idx);
+
+    /** Mark a non-lane entry complete. */
+    void markDone(int idx);
+
+    /** Physical slot index of the i-th oldest entry (0 == head). */
+    int
+    indexFromHead(int i) const
+    {
+        return (head_ + i) % capacity_;
+    }
+
+    /** Drop the `n` youngest entries (squash). */
+    void squashYoungest(int n);
+
+  private:
+    int capacity_;
+    int head_ = 0;
+    int tail_ = 0;
+    int count_ = 0;
+    std::vector<RobEntry> buf_;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_ROB_H

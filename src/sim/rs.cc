@@ -1,0 +1,42 @@
+#include "sim/rs.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace save {
+
+Rs::Rs(int entries) : capacity_(entries)
+{
+    slots_.resize(static_cast<size_t>(entries));
+    free_.reserve(static_cast<size_t>(entries));
+    for (int i = entries - 1; i >= 0; --i)
+        free_.push_back(i);
+    order_.reserve(static_cast<size_t>(entries));
+}
+
+int
+Rs::push(RsEntry e)
+{
+    SAVE_ASSERT(!free_.empty(), "RS overflow");
+    int idx = free_.back();
+    free_.pop_back();
+    e.valid = true;
+    slots_[static_cast<size_t>(idx)] = e;
+    order_.push_back(idx);
+    return idx;
+}
+
+void
+Rs::release(int idx)
+{
+    SAVE_ASSERT(slots_[static_cast<size_t>(idx)].valid,
+                "releasing an invalid RS slot");
+    slots_[static_cast<size_t>(idx)].valid = false;
+    auto it = std::find(order_.begin(), order_.end(), idx);
+    SAVE_ASSERT(it != order_.end(), "RS order list corrupt");
+    order_.erase(it);
+    free_.push_back(idx);
+}
+
+} // namespace save

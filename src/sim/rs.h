@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reservation stations. Entries carry the SAVE per-instruction state:
+ * the Effectual Lane Mask (ELM), pending/pass-through lane sets, the
+ * rotational state (R-state), and the mixed-precision chain link.
+ *
+ * Age order is maintained explicitly so the select logic can implement
+ * the paper's oldest-first priority (Algorithm 1, lines 3-9).
+ */
+
+#ifndef SAVE_SIM_RS_H
+#define SAVE_SIM_RS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/uop.h"
+#include "isa/vec.h"
+#include "sim/regfile.h"
+
+namespace save {
+
+/** One reservation-station entry. */
+struct RsEntry
+{
+    bool valid = false;
+    Uop uop;
+    uint64_t seq = 0;
+    int robIdx = -1;
+
+    /** Renamed sources; pa == kNoReg for embedded-broadcast operands. */
+    int pa = kNoReg;
+    int pb = kNoReg;
+    int pc = kNoReg;
+    int dstPhys = kNoReg;
+
+    /** Vector-wise readiness of the multiplicands. */
+    bool aReady = false;
+    bool bReady = false;
+    /** Value delivered by an embedded-broadcast memory operand. */
+    VecReg bcastVal;
+    /** Write mask captured at allocation (0xffff when unmasked). */
+    uint16_t wm = 0xffffu;
+
+    /** SAVE state ---------------------------------------------------- */
+    bool elmValid = false;
+    /** Effectual lanes: bit per AL for FP32, bit per ML for MP. */
+    uint32_t elm = 0;
+    /** MP only: multiplicand lanes not yet issued. */
+    uint32_t pendingMl = 0;
+    /** Accumulator lanes with unissued effectual work. */
+    uint16_t pendingAl = 0;
+    /** Accumulator lanes that pass C through, not yet published. */
+    uint16_t passPending = 0;
+    /** MP compression: ALs whose final result has been scheduled for
+     *  writeback. Unscheduled partially-consumed ALs are *partial
+     *  results*: discarded and recomputed on an exception (SecV-B). */
+    uint16_t alScheduled = 0;
+    /** Rotational state: lane shift in {-1, 0, +1} (SecIV-B). */
+    int8_t rot = 0;
+    /** Mixed-precision accumulator chain id, -1 if none. */
+    int chainId = -1;
+    /** Baseline/load path: the op has been issued whole. */
+    bool issued = false;
+};
+
+/** Fixed-capacity RS with an age-ordered index list. */
+class Rs
+{
+  public:
+    explicit Rs(int entries);
+
+    bool full() const { return free_.empty(); }
+    int size() const { return static_cast<int>(order_.size()); }
+    int capacity() const { return capacity_; }
+
+    /** Insert; RS must not be full. Returns the slot index. */
+    int push(RsEntry e);
+
+    /** Free a slot and drop it from the age order. */
+    void release(int idx);
+
+    RsEntry &at(int idx) { return slots_[static_cast<size_t>(idx)]; }
+    const RsEntry &at(int idx) const
+    {
+        return slots_[static_cast<size_t>(idx)];
+    }
+
+    /** Valid slot indices, oldest first. */
+    const std::vector<int> &order() const { return order_; }
+
+  private:
+    int capacity_;
+    std::vector<RsEntry> slots_;
+    std::vector<int> order_;
+    std::vector<int> free_;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_RS_H

@@ -1,0 +1,31 @@
+#include "sim/vpu.h"
+
+#include "util/logging.h"
+
+namespace save {
+
+void
+VpuPipeline::issue(std::vector<LaneWrite> &&writes, uint64_t done_cycle)
+{
+    SAVE_ASSERT(!busy_, "VPU double issue in one cycle");
+    SAVE_ASSERT(q_.empty() || done_cycle >= q_.back().doneCycle,
+                "VPU completion order violated");
+    busy_ = true;
+    ++ops_;
+    lanes_ += writes.size();
+    q_.push_back({done_cycle, std::move(writes)});
+}
+
+std::vector<LaneWrite>
+VpuPipeline::drainCompleted(uint64_t now)
+{
+    std::vector<LaneWrite> out;
+    while (!q_.empty() && q_.front().doneCycle <= now) {
+        auto &w = q_.front().writes;
+        out.insert(out.end(), w.begin(), w.end());
+        q_.pop_front();
+    }
+    return out;
+}
+
+} // namespace save

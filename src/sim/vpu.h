@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Vector processing unit pipeline. Fully pipelined: one operation may
+ * issue per cycle; results appear after the op latency. SAVE keeps
+ * per-lane bookkeeping (which RS entry each temp lane came from) so
+ * each lane result is written back to its own destination — modeled
+ * here by carrying precomputed lane writes through the pipeline.
+ */
+
+#ifndef SAVE_SIM_VPU_H
+#define SAVE_SIM_VPU_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace save {
+
+/** One lane result traveling down a VPU pipeline. */
+struct LaneWrite
+{
+    int dstPhys;
+    int8_t lane;
+    float value;
+    int robIdx;
+};
+
+/** A single VPU pipeline. */
+class VpuPipeline
+{
+  public:
+    /** True if an op was already issued this cycle. */
+    bool busy() const { return busy_; }
+
+    /** Issue one compacted operation completing at done_cycle. */
+    void issue(std::vector<LaneWrite> &&writes, uint64_t done_cycle);
+
+    /** Pop all ops completing at or before now. */
+    std::vector<LaneWrite> drainCompleted(uint64_t now);
+
+    /** Drop in-flight lane writes matching the predicate (squash). */
+    template <typename Pred>
+    void
+    discardIf(Pred pred)
+    {
+        for (Op &op : q_) {
+            std::erase_if(op.writes, [&](const LaneWrite &w) {
+                return pred(w);
+            });
+        }
+    }
+
+    /** Per-cycle housekeeping: clears the issue slot. */
+    void tick() { busy_ = false; }
+
+    bool idle() const { return q_.empty(); }
+    uint64_t opsIssued() const { return ops_; }
+    uint64_t lanesIssued() const { return lanes_; }
+
+  private:
+    struct Op
+    {
+        uint64_t doneCycle;
+        std::vector<LaneWrite> writes;
+    };
+
+    std::deque<Op> q_;
+    bool busy_ = false;
+    uint64_t ops_ = 0;
+    uint64_t lanes_ = 0;
+};
+
+} // namespace save
+
+#endif // SAVE_SIM_VPU_H

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace save {
+
+namespace {
+bool quiet_flag = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+quietLogging()
+{
+    return quiet_flag;
+}
+
+namespace detail {
+
+void
+log(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (quiet_flag && (level == LogLevel::Inform || level == LogLevel::Warn))
+        return;
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+}
+
+void
+logAndDie(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level), msg.c_str(),
+                 file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace save

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- internal invariant violated; a simulator bug. Aborts.
+ * fatal()  -- the user asked for something impossible (bad config,
+ *             invalid arguments). Exits with status 1.
+ * warn()   -- something is modeled approximately; execution continues.
+ * inform() -- normal operating status for the user.
+ */
+
+#ifndef SAVE_UTIL_LOGGING_H
+#define SAVE_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace save {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Format and emit one message; terminates for Fatal/Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const char *file, int line,
+                            const std::string &msg);
+void log(LogLevel level, const char *file, int line, const std::string &msg);
+
+/** Stream-concatenate a parameter pack into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Suppress inform()/warn() output (used by tests and benches). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace save
+
+#define SAVE_PANIC(...)                                                     \
+    ::save::detail::logAndDie(::save::LogLevel::Panic, __FILE__, __LINE__,  \
+                              ::save::detail::concat(__VA_ARGS__))
+
+#define SAVE_FATAL(...)                                                     \
+    ::save::detail::logAndDie(::save::LogLevel::Fatal, __FILE__, __LINE__,  \
+                              ::save::detail::concat(__VA_ARGS__))
+
+#define SAVE_WARN(...)                                                      \
+    ::save::detail::log(::save::LogLevel::Warn, __FILE__, __LINE__,         \
+                        ::save::detail::concat(__VA_ARGS__))
+
+#define SAVE_INFORM(...)                                                    \
+    ::save::detail::log(::save::LogLevel::Inform, __FILE__, __LINE__,       \
+                        ::save::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define SAVE_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            SAVE_PANIC("assertion failed: " #cond " ",                     \
+                       ::save::detail::concat("" __VA_ARGS__));             \
+        }                                                                   \
+    } while (0)
+
+#endif // SAVE_UTIL_LOGGING_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic random-number helpers.
+ *
+ * All stochastic inputs in the library (sparsity placement, synthetic
+ * data) flow through Rng so experiments are reproducible from a seed.
+ */
+
+#ifndef SAVE_UTIL_RANDOM_H
+#define SAVE_UTIL_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+namespace save {
+
+/** Thin wrapper over a 64-bit Mersenne engine with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5a5eull) : engine_(seed) {}
+
+    /** Uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Non-zero FP32 value with magnitude in [0.5, 2), random sign. */
+    float
+    nonZeroValue()
+    {
+        float mag = 0.5f + 1.5f * static_cast<float>(uniform());
+        return chance(0.5) ? mag : -mag;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace save
+
+#endif // SAVE_UTIL_RANDOM_H

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Integration tests of a single core: functional correctness of every
+ * uop kind through the full OoO pipeline, timing sanity, BS skipping,
+ * pass-through semantics, and write-mask behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/multicore.h"
+#include "sim/reference.h"
+
+namespace save {
+namespace {
+
+class CoreHarness
+{
+  public:
+    explicit CoreHarness(SaveConfig scfg = SaveConfig{}, int vpus = 2)
+    {
+        mcfg_.cores = 1;
+        scfg_ = scfg;
+        vpus_ = vpus;
+    }
+
+    MemoryImage &image() { return image_; }
+
+    /** Run a trace; machine is built lazily so regions registered
+     *  before run() are visible. */
+    uint64_t
+    run(const std::vector<Uop> &uops)
+    {
+        mc_ = std::make_unique<Multicore>(mcfg_, scfg_, vpus_, &image_);
+        trace_ = std::make_unique<VectorTrace>(uops);
+        mc_->bindTraces({trace_.get()});
+        return mc_->run(10'000'000);
+    }
+
+    Core &core() { return mc_->core(0); }
+
+    MachineConfig mcfg_;
+
+  private:
+    SaveConfig scfg_;
+    int vpus_ = 2;
+    MemoryImage image_;
+    std::unique_ptr<Multicore> mc_;
+    std::unique_ptr<VectorTrace> trace_;
+};
+
+VecReg
+pattern(float base)
+{
+    VecReg v;
+    for (int i = 0; i < kVecLanes; ++i)
+        v.setF32(i, base + static_cast<float>(i));
+    return v;
+}
+
+TEST(CoreTrace, LoadStoreRoundTrip)
+{
+    CoreHarness h;
+    uint64_t src = h.image().allocRegion(64);
+    uint64_t dst = h.image().allocRegion(64);
+    h.image().writeLine(src, pattern(1.0f));
+
+    h.run({Uop::loadVec(0, src), Uop::storeVec(0, dst)});
+    EXPECT_TRUE(h.image().readLine(dst) == pattern(1.0f));
+}
+
+TEST(CoreTrace, BroadcastLoadFillsAllLanes)
+{
+    CoreHarness h;
+    uint64_t src = h.image().allocRegion(64);
+    uint64_t dst = h.image().allocRegion(64);
+    h.image().writeF32(src + 8, 7.5f);
+
+    h.run({Uop::broadcastLoad(1, src + 8), Uop::storeVec(1, dst)});
+    for (int i = 0; i < kVecLanes; ++i)
+        EXPECT_EQ(h.image().readLine(dst).f32(i), 7.5f);
+}
+
+TEST(CoreTrace, DenseVfmaComputesPerLane)
+{
+    CoreHarness h;
+    uint64_t a = h.image().allocRegion(64);
+    uint64_t b = h.image().allocRegion(64);
+    uint64_t c = h.image().allocRegion(64);
+    h.image().writeLine(a, pattern(1.0f));
+    h.image().writeLine(b, pattern(2.0f));
+    h.image().writeLine(c, pattern(100.0f));
+
+    h.run({Uop::loadVec(0, a), Uop::loadVec(1, b), Uop::loadVec(2, c),
+           Uop::vfma(2, 0, 1), Uop::storeVec(2, c)});
+    VecReg out = h.image().readLine(c);
+    for (int i = 0; i < kVecLanes; ++i) {
+        float fi = static_cast<float>(i);
+        EXPECT_EQ(out.f32(i), (100.0f + fi) + (1.0f + fi) * (2.0f + fi));
+    }
+}
+
+TEST(CoreTrace, WriteMaskPreservesAccumulator)
+{
+    CoreHarness h;
+    uint64_t a = h.image().allocRegion(64);
+    uint64_t c = h.image().allocRegion(64);
+    h.image().writeLine(a, VecReg::broadcastF32(1.0f));
+    h.image().writeLine(c, pattern(0.0f));
+
+    h.run({Uop::setMask(1, 0x00ff), Uop::loadVec(0, a),
+           Uop::loadVec(2, c), Uop::vfma(2, 0, 0, 1),
+           Uop::storeVec(2, c)});
+    VecReg out = h.image().readLine(c);
+    for (int i = 0; i < kVecLanes; ++i) {
+        float expect = static_cast<float>(i) + (i < 8 ? 1.0f : 0.0f);
+        EXPECT_EQ(out.f32(i), expect) << "lane " << i;
+    }
+}
+
+TEST(CoreTrace, MaskCaptureIsInProgramOrder)
+{
+    CoreHarness h;
+    uint64_t a = h.image().allocRegion(64);
+    uint64_t c = h.image().allocRegion(64);
+    h.image().writeLine(a, VecReg::broadcastF32(1.0f));
+
+    // Same mask register rewritten between two VFMAs: each VFMA must
+    // see the in-order value.
+    h.run({Uop::loadVec(0, a), Uop::loadVec(2, c),
+           Uop::setMask(1, 0x0001), Uop::vfma(2, 0, 0, 1),
+           Uop::setMask(1, 0x8000), Uop::vfma(2, 0, 0, 1),
+           Uop::storeVec(2, c)});
+    VecReg out = h.image().readLine(c);
+    EXPECT_EQ(out.f32(0), 1.0f);
+    EXPECT_EQ(out.f32(15), 1.0f);
+    EXPECT_EQ(out.f32(7), 0.0f);
+}
+
+TEST(CoreTrace, FullyIneffectualVfmaUsesNoVpu)
+{
+    CoreHarness h;
+    uint64_t a = h.image().allocRegion(64); // stays all-zero
+    uint64_t c = h.image().allocRegion(64);
+    h.image().writeLine(c, pattern(5.0f));
+
+    h.run({Uop::loadVec(0, a), Uop::loadVec(2, c), Uop::vfma(2, 0, 0),
+           Uop::vfma(2, 0, 0), Uop::vfma(2, 0, 0),
+           Uop::storeVec(2, c)});
+    EXPECT_TRUE(h.image().readLine(c) == pattern(5.0f));
+    EXPECT_EQ(h.core().stats().get("vpu_ops"), 0.0);
+    EXPECT_EQ(h.core().stats().get("bs_skipped_vfmas"), 3.0);
+}
+
+TEST(CoreTrace, BaselineExecutesIneffectualWork)
+{
+    CoreHarness h(SaveConfig::baseline());
+    uint64_t a = h.image().allocRegion(64);
+    uint64_t c = h.image().allocRegion(64);
+
+    h.run({Uop::loadVec(0, a), Uop::loadVec(2, c), Uop::vfma(2, 0, 0),
+           Uop::storeVec(2, c)});
+    EXPECT_EQ(h.core().stats().get("vpu_ops"), 1.0);
+}
+
+TEST(CoreTrace, DependentChainHonorsLatency)
+{
+    // A chain of n dense VFMAs on one accumulator is serialized by
+    // the 4-cycle FMA latency.
+    CoreHarness h(SaveConfig::baseline());
+    uint64_t a = h.image().allocRegion(64);
+    uint64_t c = h.image().allocRegion(64);
+    h.image().writeLine(a, VecReg::broadcastF32(1.0f));
+
+    std::vector<Uop> uops{Uop::loadVec(0, a), Uop::loadVec(2, c)};
+    const int n = 32;
+    for (int i = 0; i < n; ++i)
+        uops.push_back(Uop::vfma(2, 0, 0));
+    uint64_t cycles = h.run(uops);
+    EXPECT_GE(cycles, static_cast<uint64_t>(
+        n * h.mcfg_.fp32FmaLatency));
+    EXPECT_LT(cycles, static_cast<uint64_t>(
+        n * h.mcfg_.fp32FmaLatency + 160));
+}
+
+TEST(CoreTrace, IndependentVfmasPipelinePerVpu)
+{
+    // Independent dense VFMAs should sustain ~2 per cycle on 2 VPUs.
+    CoreHarness h(SaveConfig::baseline());
+    uint64_t a = h.image().allocRegion(64);
+    h.image().writeLine(a, VecReg::broadcastF32(1.0f));
+
+    std::vector<Uop> uops{Uop::loadVec(0, a)};
+    const int n = 256;
+    for (int i = 0; i < n; ++i)
+        uops.push_back(Uop::vfma(1 + (i % 24), 0, 0));
+    uint64_t cycles = h.run(uops);
+    EXPECT_LT(cycles, static_cast<uint64_t>(n / 2 + 160));
+    EXPECT_GT(cycles, static_cast<uint64_t>(n / 2 - 32));
+}
+
+TEST(CoreTrace, EmbeddedBroadcastReadsMemoryOperand)
+{
+    CoreHarness h;
+    uint64_t a = h.image().allocRegion(64);
+    uint64_t b = h.image().allocRegion(64);
+    uint64_t c = h.image().allocRegion(64);
+    h.image().writeF32(a + 12, 3.0f);
+    h.image().writeLine(b, pattern(1.0f));
+
+    h.run({Uop::loadVec(1, b), Uop::loadVec(2, c),
+           Uop::vfmaBcast(2, a + 12, 1), Uop::storeVec(2, c)});
+    VecReg out = h.image().readLine(c);
+    for (int i = 0; i < kVecLanes; ++i)
+        EXPECT_EQ(out.f32(i), 3.0f * (1.0f + static_cast<float>(i)));
+}
+
+TEST(CoreTrace, AluAndSetMaskRetireWithoutResources)
+{
+    CoreHarness h;
+    std::vector<Uop> uops;
+    for (int i = 0; i < 100; ++i)
+        uops.push_back(Uop::alu());
+    uint64_t cycles = h.run(uops);
+    // 5-wide allocation: 100 ALU uops need ~20 cycles.
+    EXPECT_LT(cycles, 40u);
+    EXPECT_EQ(h.core().stats().get("committed"), 100.0);
+}
+
+TEST(CoreTrace, DrainedAfterRun)
+{
+    CoreHarness h;
+    h.run({Uop::alu()});
+    EXPECT_TRUE(h.core().drained());
+    EXPECT_FALSE(h.core().step()); // stepping a drained core is a no-op
+}
+
+TEST(CoreTrace, BcacheServesRepeatedBroadcasts)
+{
+    CoreHarness h; // default SAVE: data-design B$
+    uint64_t a = h.image().allocRegion(64);
+    for (int i = 0; i < 16; ++i)
+        h.image().writeF32(a + 4 * static_cast<uint64_t>(i), 1.0f);
+
+    std::vector<Uop> uops;
+    for (int i = 0; i < 16; ++i)
+        uops.push_back(
+            Uop::broadcastLoad(i % 8, a + 4 * static_cast<uint64_t>(i)));
+    h.run(uops);
+    ASSERT_NE(h.core().bcache(), nullptr);
+    // One miss fills the line; 15 broadcasts hit.
+    EXPECT_NEAR(h.core().stats().get("bcache_hit_rate"), 15.0 / 16.0,
+                1e-9);
+}
+
+TEST(CoreTrace, ReferenceExecutorAgreesOnMixedTrace)
+{
+    CoreHarness h;
+    MemoryImage &m = h.image();
+    uint64_t a = m.allocRegion(64), b = m.allocRegion(64),
+             c = m.allocRegion(64), out = m.allocRegion(64);
+    m.writeLine(a, pattern(0.5f));
+    m.writeLine(b, pattern(-3.0f)); // lane 3 becomes zero
+    m.writeLine(c, pattern(10.0f));
+
+    std::vector<Uop> uops{
+        Uop::loadVec(0, a), Uop::loadVec(1, b), Uop::loadVec(2, c),
+        Uop::vfma(2, 0, 1), Uop::vfma(2, 0, 1), Uop::storeVec(2, out),
+    };
+
+    MemoryImage ref_m;
+    ref_m.addRegion(a, 64);
+    ref_m.addRegion(b, 64);
+    ref_m.addRegion(c, 64);
+    ref_m.addRegion(out, 64);
+    ref_m.writeLine(a, pattern(0.5f));
+    ref_m.writeLine(b, pattern(-3.0f));
+    ref_m.writeLine(c, pattern(10.0f));
+    ArchExecutor ref(&ref_m);
+    ref.run(uops);
+
+    h.run(uops);
+    EXPECT_TRUE(h.image().readLine(out) == ref_m.readLine(out));
+}
+
+} // namespace
+} // namespace save

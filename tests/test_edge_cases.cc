@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Miscellaneous edge cases: BF16 rounding carries, exponent
+ * boundaries, engine behavior across core/VPU combinations, and
+ * precision-relative timing sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "engine/engine.h"
+#include "isa/bf16.h"
+
+namespace save {
+namespace {
+
+TEST(Bf16Edge, MantissaCarryPropagatesToExponent)
+{
+    // 0x3F7FFFFF (just under 1.0) rounds up across the exponent
+    // boundary to exactly 1.0.
+    float just_under_one = std::bit_cast<float>(0x3f7fffffu);
+    EXPECT_EQ(bf16ToF32(f32ToBf16(just_under_one)), 1.0f);
+}
+
+TEST(Bf16Edge, LargeMagnitudeRoundsToInfinity)
+{
+    // FLT_MAX has all-ones mantissa: rounding up overflows to inf.
+    float big = std::bit_cast<float>(0x7f7fffffu);
+    EXPECT_TRUE(std::isinf(bf16ToF32(f32ToBf16(big))));
+}
+
+TEST(Bf16Edge, NegativeZeroRoundTrip)
+{
+    Bf16 nz = f32ToBf16(-0.0f);
+    EXPECT_TRUE(bf16IsZero(nz));
+    EXPECT_TRUE(std::signbit(bf16ToF32(nz)));
+}
+
+TEST(Bf16Edge, InfinityPreserved)
+{
+    float inf = std::bit_cast<float>(0x7f800000u);
+    EXPECT_TRUE(std::isinf(bf16ToF32(f32ToBf16(inf))));
+    EXPECT_FALSE(bf16IsZero(f32ToBf16(inf)));
+}
+
+TEST(EngineEdge, MultiCoreWithOneVpu)
+{
+    MachineConfig m;
+    m.cores = 4;
+    GemmConfig g;
+    g.mr = 4;
+    g.nrVecs = 2;
+    g.kSteps = 16;
+    g.nbsSparsity = 0.5;
+    Engine e(m, SaveConfig{});
+    auto r = e.runGemm(g, 3, 1);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_DOUBLE_EQ(r.coreGhz, m.freq1VpuGhz);
+    // Three cores each ran the slice.
+    EXPECT_DOUBLE_EQ(r.stats.get("vfmas"),
+                     3.0 * 16 * 4 * 2);
+}
+
+TEST(EngineEdge, MinimalKernelShapes)
+{
+    MachineConfig m;
+    m.cores = 1;
+    Engine e(m, SaveConfig{});
+    // 1x1 tile, 1 K step: the degenerate-but-legal extreme.
+    GemmConfig g;
+    g.mr = 1;
+    g.nrVecs = 1;
+    g.kSteps = 1;
+    g.tiles = 1;
+    std::string why;
+    EXPECT_TRUE(e.verifyGemm(g, 1, &why)) << why;
+    EXPECT_TRUE(e.verifyGemm(g, 2, &why)) << why;
+}
+
+TEST(EngineEdge, FullySparseBothOperands)
+{
+    MachineConfig m;
+    m.cores = 1;
+    GemmConfig g;
+    g.mr = 4;
+    g.nrVecs = 2;
+    g.kSteps = 24;
+    g.bsSparsity = 1.0;
+    g.nbsSparsity = 1.0;
+    Engine e(m, SaveConfig{});
+    std::string why;
+    EXPECT_TRUE(e.verifyGemm(g, 2, &why)) << why;
+    auto r = e.runGemm(g, 1, 2);
+    EXPECT_EQ(r.stats.get("vpu_ops"), 0.0);
+}
+
+TEST(PrecisionEdge, MpMovesTwiceTheMacsPerVfma)
+{
+    // At equal kSteps, a BF16 kernel covers 2x the K elements with
+    // the same VFMA count, so the baseline runs it in comparable
+    // cycles while doing double the MAC work.
+    MachineConfig m;
+    m.cores = 1;
+    GemmConfig fp;
+    fp.mr = 7;
+    fp.nrVecs = 3;
+    fp.kSteps = 64;
+    GemmConfig mp = fp;
+    mp.precision = Precision::Bf16;
+    EXPECT_EQ(mp.macs(), 2 * fp.macs());
+
+    Engine e(m, SaveConfig::baseline());
+    auto rf = e.runGemm(fp, 1, 2);
+    auto rm = e.runGemm(mp, 1, 2);
+    EXPECT_DOUBLE_EQ(rf.stats.get("vfmas"), rm.stats.get("vfmas"));
+    EXPECT_LT(rm.cycles, 2 * rf.cycles);
+}
+
+TEST(PrecisionEdge, SeedChangesDataNotStructure)
+{
+    MemoryImage m1, m2;
+    GemmConfig g;
+    g.mr = 4;
+    g.nrVecs = 2;
+    g.kSteps = 8;
+    g.nbsSparsity = 0.5;
+    GemmWorkload a = buildGemm(g, m1);
+    g.seed = 999;
+    GemmWorkload b = buildGemm(g, m2);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    bool any_diff = false;
+    for (uint64_t off = 0; off < a.bBytes; off += 4)
+        any_diff |= m1.readU32(a.bBase + off) !=
+                    m2.readU32(b.bBase + off);
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace
+} // namespace save

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: BF16 arithmetic, the 512-bit register
+ * value with its dual FP32/BF16 views, and micro-op construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "isa/bf16.h"
+#include "isa/uop.h"
+#include "isa/vec.h"
+
+namespace save {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip)
+{
+    // Values with <= 8 significant mantissa bits survive exactly.
+    for (float f : {0.0f, 1.0f, -2.0f, 0.5f, 1.5f, 96.0f, -0.15625f}) {
+        EXPECT_EQ(bf16ToF32(f32ToBf16(f)), f) << f;
+    }
+}
+
+TEST(Bf16, RoundToNearestEven)
+{
+    // 1.0 + 2^-8 is exactly between bf16(1.0) and the next value;
+    // RNE picks the even mantissa (1.0).
+    float halfway = std::bit_cast<float>(0x3f808000u);
+    EXPECT_EQ(f32ToBf16(halfway), f32ToBf16(1.0f));
+    // Just above the halfway point must round up.
+    float above = std::bit_cast<float>(0x3f808001u);
+    EXPECT_EQ(bf16ToF32(f32ToBf16(above)),
+              std::bit_cast<float>(0x3f810000u));
+}
+
+TEST(Bf16, ZeroDetection)
+{
+    EXPECT_TRUE(bf16IsZero(f32ToBf16(0.0f)));
+    EXPECT_TRUE(bf16IsZero(f32ToBf16(-0.0f)));
+    EXPECT_FALSE(bf16IsZero(f32ToBf16(1.0f)));
+    // Denormal-ish tiny value is not a zero bit pattern.
+    EXPECT_FALSE(bf16IsZero(Bf16{1}));
+}
+
+TEST(Bf16, NanPreserved)
+{
+    Bf16 nan = f32ToBf16(std::nanf(""));
+    EXPECT_TRUE(std::isnan(bf16ToF32(nan)));
+}
+
+TEST(Bf16, MacMatchesWidenedArithmetic)
+{
+    Bf16 a = f32ToBf16(1.5f), b = f32ToBf16(-2.0f);
+    EXPECT_EQ(bf16Mac(10.0f, a, b), 10.0f + 1.5f * -2.0f);
+}
+
+TEST(VecReg, F32Lanes)
+{
+    VecReg v;
+    for (int i = 0; i < kVecLanes; ++i)
+        v.setF32(i, static_cast<float>(i) + 0.5f);
+    for (int i = 0; i < kVecLanes; ++i)
+        EXPECT_EQ(v.f32(i), static_cast<float>(i) + 0.5f);
+}
+
+TEST(VecReg, Bf16LanesMapToWordHalves)
+{
+    VecReg v;
+    v.setBf16(0, 0x1111);
+    v.setBf16(1, 0x2222);
+    EXPECT_EQ(v.word(0), 0x22221111u);
+    EXPECT_EQ(v.bf16(0), 0x1111);
+    EXPECT_EQ(v.bf16(1), 0x2222);
+    // Writing one half must not clobber the other.
+    v.setBf16(0, 0x3333);
+    EXPECT_EQ(v.bf16(1), 0x2222);
+}
+
+TEST(VecReg, BroadcastF32)
+{
+    VecReg v = VecReg::broadcastF32(3.25f);
+    for (int i = 0; i < kVecLanes; ++i)
+        EXPECT_EQ(v.f32(i), 3.25f);
+}
+
+TEST(VecReg, BroadcastWordCoversBothViews)
+{
+    Bf16 lo = f32ToBf16(1.0f), hi = f32ToBf16(2.0f);
+    uint32_t w = static_cast<uint32_t>(hi) << 16 | lo;
+    VecReg v = VecReg::broadcastWord(w);
+    for (int i = 0; i < kVecLanes; ++i) {
+        EXPECT_EQ(v.bf16(2 * i), lo);
+        EXPECT_EQ(v.bf16(2 * i + 1), hi);
+    }
+    EXPECT_EQ(v, VecReg::broadcastBf16Pair(lo, hi));
+}
+
+TEST(VecReg, Equality)
+{
+    VecReg a = VecReg::broadcastF32(1.0f);
+    VecReg b = VecReg::broadcastF32(1.0f);
+    EXPECT_TRUE(a == b);
+    b.setF32(7, 2.0f);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Uop, VfmaShape)
+{
+    Uop u = Uop::vfma(5, 30, 12);
+    EXPECT_TRUE(u.isVfma());
+    EXPECT_FALSE(u.isMixedPrecision());
+    EXPECT_FALSE(u.isLoad());
+    EXPECT_EQ(u.dst, 5);
+    EXPECT_EQ(u.srcC, 5); // accumulator reads its own destination
+    EXPECT_EQ(u.srcA, 30);
+    EXPECT_EQ(u.srcB, 12);
+    EXPECT_EQ(u.wmask, -1);
+}
+
+TEST(Uop, EmbeddedBroadcastIsLoad)
+{
+    Uop u = Uop::vfmaBcast(3, 0x1000, 9);
+    EXPECT_TRUE(u.isVfma());
+    EXPECT_TRUE(u.isLoad());
+    EXPECT_TRUE(u.hasEmbeddedBroadcast());
+    EXPECT_EQ(u.srcA, -1);
+    EXPECT_EQ(u.addr, 0x1000u);
+}
+
+TEST(Uop, MixedPrecisionForms)
+{
+    EXPECT_TRUE(Uop::vdp(0, 1, 2).isMixedPrecision());
+    EXPECT_TRUE(Uop::vdpBcast(0, 0x40, 2).isMixedPrecision());
+    EXPECT_TRUE(Uop::vdpBcast(0, 0x40, 2).hasEmbeddedBroadcast());
+}
+
+TEST(Uop, LoadsAndStores)
+{
+    EXPECT_TRUE(Uop::broadcastLoad(1, 0x40).isLoad());
+    EXPECT_TRUE(Uop::loadVec(1, 0x40).isLoad());
+    EXPECT_FALSE(Uop::storeVec(1, 0x40).isLoad());
+    EXPECT_EQ(Uop::storeVec(7, 0x80).srcC, 7);
+}
+
+TEST(Uop, SetMaskCarriesImmediate)
+{
+    Uop u = Uop::setMask(2, 0xbeef);
+    EXPECT_EQ(u.op, Opcode::SetMask);
+    EXPECT_EQ(u.wmask, 2);
+    EXPECT_EQ(u.maskImm, 0xbeef);
+}
+
+TEST(Uop, ToStringNames)
+{
+    EXPECT_NE(Uop::vfma(1, 2, 3).toString().find("vfmaps"),
+              std::string::npos);
+    EXPECT_NE(Uop::vdp(1, 2, 3).toString().find("vdpbf16ps"),
+              std::string::npos);
+    EXPECT_NE(Uop::vfma(1, 2, 3, 4).toString().find("{k4}"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace save

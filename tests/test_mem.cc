@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: functional memory image, cache
+ * tag arrays and replacement, the broadcast cache designs, the mesh
+ * NoC, the DRAM bandwidth model, and the full hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/broadcast_cache.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "mem/hierarchy.h"
+#include "mem/memory_image.h"
+#include "mem/mesh.h"
+
+namespace save {
+namespace {
+
+TEST(MemoryImage, ScalarRoundTrip)
+{
+    MemoryImage m;
+    uint64_t base = m.allocRegion(256);
+    m.writeF32(base + 4, 1.5f);
+    EXPECT_EQ(m.readF32(base + 4), 1.5f);
+    m.writeU32(base + 8, 0xdeadbeef);
+    EXPECT_EQ(m.readU32(base + 8), 0xdeadbeefu);
+    m.writeBf16(base + 12, 0x3f80);
+    EXPECT_EQ(m.readBf16(base + 12), 0x3f80);
+}
+
+TEST(MemoryImage, LineRoundTrip)
+{
+    MemoryImage m;
+    uint64_t base = m.allocRegion(128);
+    VecReg v;
+    for (int i = 0; i < kVecLanes; ++i)
+        v.setF32(i, static_cast<float>(i));
+    m.writeLine(base + 64, v);
+    EXPECT_TRUE(m.readLine(base + 64) == v);
+    // readLine aligns down to the line start.
+    EXPECT_TRUE(m.readLine(base + 64 + 12) == v);
+}
+
+TEST(MemoryImage, ZeroMask)
+{
+    MemoryImage m;
+    uint64_t base = m.allocRegion(64);
+    // Freshly allocated memory is all zero.
+    EXPECT_EQ(m.lineZeroMaskF32(base), 0xffffu);
+    m.writeF32(base + 4 * 3, 2.0f);
+    EXPECT_EQ(m.lineZeroMaskF32(base),
+              static_cast<uint16_t>(0xffffu & ~(1u << 3)));
+}
+
+TEST(MemoryImage, MultipleRegionsAndContains)
+{
+    MemoryImage m;
+    uint64_t a = m.addRegion(0x1000, 64);
+    uint64_t b = m.allocRegion(64);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(m.contains(a));
+    EXPECT_TRUE(m.contains(b));
+    EXPECT_FALSE(m.contains(0x1));
+}
+
+TEST(MemoryImageDeathTest, OverlapPanics)
+{
+    MemoryImage m;
+    m.addRegion(0x1000, 128);
+    EXPECT_DEATH(m.addRegion(0x1040, 64), "overlap");
+}
+
+TEST(MemoryImageDeathTest, OutOfBoundsRead)
+{
+    MemoryImage m;
+    m.addRegion(0x1000, 64);
+    EXPECT_DEATH(m.readU32(0x2000), "outside");
+}
+
+TEST(Cache, HitAfterFill)
+{
+    SetAssocCache c(4096, 4);
+    EXPECT_FALSE(c.access(0x100));
+    c.fill(0x100);
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13c)); // same 64B line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 4 sets x 2 ways; lines mapping to set 0 are multiples of 256.
+    SetAssocCache c(512, 2, ReplPolicy::Lru);
+    EXPECT_EQ(c.numSets(), 4);
+    c.fill(0);
+    c.fill(256);
+    c.access(0); // make line 0 most recent
+    uint64_t evicted = c.fill(512);
+    EXPECT_EQ(evicted, 256u);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(256));
+}
+
+TEST(Cache, SrripScansAndInserts)
+{
+    SetAssocCache c(512, 2, ReplPolicy::Srrip);
+    c.fill(0);
+    c.fill(256);
+    // Promote line 0 to RRPV 0, line 256 stays at insert RRPV.
+    c.access(0);
+    uint64_t evicted = c.fill(512);
+    EXPECT_EQ(evicted, 256u);
+}
+
+TEST(Cache, NonPowerOfTwoWays)
+{
+    // The paper's L3 slice: 2.375 MB, 19 ways.
+    SetAssocCache c(static_cast<uint64_t>(2432) * 1024, 19,
+                    ReplPolicy::Srrip);
+    EXPECT_EQ(c.numWays(), 19);
+    EXPECT_GT(c.numSets(), 0);
+    c.fill(0x12345);
+    EXPECT_TRUE(c.probe(0x12345));
+}
+
+TEST(Cache, Invalidate)
+{
+    SetAssocCache c(4096, 4);
+    c.fill(0x100);
+    EXPECT_TRUE(c.invalidate(0x100));
+    EXPECT_FALSE(c.probe(0x100));
+    EXPECT_FALSE(c.invalidate(0x100));
+}
+
+TEST(Cache, StatsCount)
+{
+    SetAssocCache c(4096, 4);
+    c.access(0x100);
+    c.fill(0x100);
+    c.access(0x100);
+    EXPECT_EQ(c.stats().get("misses"), 1);
+    EXPECT_EQ(c.stats().get("hits"), 1);
+}
+
+class BcastCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        base_ = mem_.allocRegion(64 * 64);
+        // Element pattern: every 4th FP32 element is zero.
+        for (int i = 0; i < 64 * 16; ++i)
+            mem_.writeF32(base_ + 4 * static_cast<uint64_t>(i),
+                          i % 4 == 0 ? 0.0f : 1.0f);
+    }
+
+    MemoryImage mem_;
+    uint64_t base_ = 0;
+};
+
+TEST_F(BcastCacheTest, DataDesignServesHitsWithoutL1)
+{
+    BroadcastCache bc(BcastCacheKind::Data, 32, &mem_);
+    auto r0 = bc.access(base_);
+    EXPECT_FALSE(r0.hit);
+    EXPECT_TRUE(r0.needsL1);
+    EXPECT_TRUE(r0.filled);
+    // Second access to the same line: served entirely from the B$.
+    auto r1 = bc.access(base_ + 8);
+    EXPECT_TRUE(r1.hit);
+    EXPECT_FALSE(r1.needsL1);
+}
+
+TEST_F(BcastCacheTest, MaskDesignShortCircuitsOnlyZeros)
+{
+    BroadcastCache bc(BcastCacheKind::Mask, 32, &mem_);
+    bc.access(base_); // fill
+    auto zero = bc.access(base_); // element 0 is zero
+    EXPECT_TRUE(zero.hit);
+    EXPECT_FALSE(zero.needsL1);
+    auto nonzero = bc.access(base_ + 4); // element 1 is non-zero
+    EXPECT_TRUE(nonzero.hit);
+    EXPECT_TRUE(nonzero.needsL1);
+}
+
+TEST_F(BcastCacheTest, ProbeOnlyDoesNotFill)
+{
+    BroadcastCache bc(BcastCacheKind::Data, 32, &mem_);
+    auto p = bc.probeOnly(base_);
+    EXPECT_FALSE(p.hit);
+    // Still a miss: probeOnly must not have installed the line.
+    EXPECT_FALSE(bc.probeOnly(base_).hit);
+    bc.access(base_);
+    EXPECT_TRUE(bc.probeOnly(base_).hit);
+}
+
+TEST_F(BcastCacheTest, InvalidateOnL1Eviction)
+{
+    BroadcastCache bc(BcastCacheKind::Data, 32, &mem_);
+    bc.access(base_);
+    bc.invalidate(base_);
+    EXPECT_FALSE(bc.probeOnly(base_).hit);
+}
+
+TEST_F(BcastCacheTest, DirectMappedConflict)
+{
+    BroadcastCache bc(BcastCacheKind::Data, 32, &mem_);
+    bc.access(base_);
+    bc.access(base_ + 32 * 64); // same index, different tag
+    EXPECT_FALSE(bc.probeOnly(base_).hit);
+}
+
+TEST_F(BcastCacheTest, HitRateTracksAccesses)
+{
+    BroadcastCache bc(BcastCacheKind::Data, 32, &mem_);
+    bc.access(base_);
+    bc.access(base_ + 4);
+    bc.access(base_ + 8);
+    EXPECT_NEAR(bc.hitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(BcastCacheTest, StorageBytesTableII)
+{
+    BroadcastCache data(BcastCacheKind::Data, 32, &mem_);
+    BroadcastCache mask(BcastCacheKind::Mask, 32, &mem_);
+    // Paper Table II: ~2260B with data, ~276-340B with masks.
+    EXPECT_GT(data.storageBytes(), 2000u);
+    EXPECT_LT(data.storageBytes(), 2600u);
+    EXPECT_GT(mask.storageBytes(), 150u);
+    EXPECT_LT(mask.storageBytes(), 400u);
+}
+
+TEST_F(BcastCacheTest, NoneKindAlwaysL1)
+{
+    BroadcastCache bc(BcastCacheKind::None, 32, &mem_);
+    auto r = bc.access(base_);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.needsL1);
+    EXPECT_EQ(bc.storageBytes(), 0u);
+}
+
+TEST(Mesh, GridShape28Cores)
+{
+    MeshNoc mesh(28, 2);
+    EXPECT_EQ(mesh.rows() * mesh.cols(), 28);
+    EXPECT_GE(mesh.cols(), mesh.rows());
+}
+
+TEST(Mesh, XyHopCount)
+{
+    MeshNoc mesh(28, 2); // 7x4
+    EXPECT_EQ(mesh.hops(0, 0), 0);
+    EXPECT_EQ(mesh.hops(0, 6), 6);      // same row
+    EXPECT_EQ(mesh.hops(0, 21), 3);     // same column
+    EXPECT_EQ(mesh.hops(0, 27), 9);     // opposite corner
+    EXPECT_EQ(mesh.hops(27, 0), 9);     // symmetric
+    EXPECT_EQ(mesh.latencyCycles(0, 27), 18);
+}
+
+TEST(Mesh, SliceHashCoversAllSlices)
+{
+    MeshNoc mesh(28, 2);
+    std::vector<int> counts(28, 0);
+    for (uint64_t line = 0; line < 28 * 64; ++line)
+        ++counts[static_cast<size_t>(mesh.sliceOf(line * 64))];
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+}
+
+TEST(Dram, UnloadedLatency)
+{
+    Dram d(119.2, 6, 50.0);
+    EXPECT_DOUBLE_EQ(d.request(0, 100.0), 150.0);
+}
+
+TEST(Dram, BandwidthQueuesSameChannel)
+{
+    Dram d(119.2, 6, 50.0);
+    double per_line = 64.0 / (119.2 / 6); // channel service time
+    double t1 = d.request(0, 0.0);
+    double t2 = d.request(0, 0.0); // same address -> same channel
+    EXPECT_DOUBLE_EQ(t1, 50.0);
+    EXPECT_NEAR(t2 - t1, per_line, 1e-9);
+}
+
+TEST(Dram, ChannelsServeInParallel)
+{
+    Dram d(119.2, 6, 50.0);
+    // Different addresses spread across channels; most should not
+    // queue behind each other.
+    int unqueued = 0;
+    for (uint64_t i = 0; i < 6; ++i)
+        if (d.request(i * 64, 0.0) == 50.0)
+            ++unqueued;
+    EXPECT_GE(unqueued, 3);
+}
+
+TEST(Dram, ResetClearsOccupancy)
+{
+    Dram d(10.0, 1, 50.0);
+    d.request(0, 0.0);
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.request(0, 0.0), 50.0);
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest()
+    {
+        cfg_.cores = 4;
+        mem_ = std::make_unique<MemHierarchy>(cfg_);
+    }
+
+    MachineConfig cfg_;
+    std::unique_ptr<MemHierarchy> mem_;
+};
+
+TEST_F(HierarchyTest, L1HitLatency)
+{
+    mem_->warmAll(0, 0x1000);
+    double t = mem_->load(0, 0x1000, 0.0, 1.7);
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::L1);
+    EXPECT_NEAR(t, cfg_.l1LatCycles / 1.7, 1e-9);
+}
+
+TEST_F(HierarchyTest, L3WarmThenL2Fill)
+{
+    mem_->warmL3(0x2000);
+    mem_->load(0, 0x2000, 0.0, 1.7);
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::L3);
+    // The line was pulled into the private levels.
+    mem_->load(0, 0x2000, 100.0, 1.7);
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::L1);
+}
+
+TEST_F(HierarchyTest, ColdMissGoesToDram)
+{
+    double t = mem_->load(0, 0x9000, 0.0, 1.7);
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::Dram);
+    EXPECT_GT(t, cfg_.dramLatNs);
+}
+
+TEST_F(HierarchyTest, PrefetchMergesNextLines)
+{
+    mem_->load(0, 0x10000, 0.0, 1.7);
+    EXPECT_GT(mem_->stats().get("prefetches"), 0.0);
+    // The next line is in flight; a demand access merges with it.
+    mem_->load(0, 0x10040, 10.0, 1.7);
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::Inflight);
+    EXPECT_GT(mem_->stats().get("mshr_merges"), 0.0);
+}
+
+TEST_F(HierarchyTest, L1EvictListenerFires)
+{
+    int evictions = 0;
+    mem_->setL1EvictListener(0, [&](uint64_t) { ++evictions; });
+    // Stream far more than 32KB through core 0's L1.
+    for (uint64_t i = 0; i < 2048; ++i)
+        mem_->warmAll(0, 0x100000 + i * 64);
+    EXPECT_GT(evictions, 0);
+}
+
+TEST_F(HierarchyTest, PrivateCachesAreIsolated)
+{
+    mem_->warmAll(0, 0x3000);
+    mem_->load(1, 0x3000, 0.0, 1.7);
+    // Core 1 did not have the line privately; it hits in shared L3.
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::L3);
+}
+
+TEST_F(HierarchyTest, StoreAllocatesIntoL1)
+{
+    mem_->store(0, 0x4000, 0.0, 1.7);
+    mem_->load(0, 0x4000, 100.0, 1.7);
+    EXPECT_EQ(mem_->lastLevel(), HitLevel::L1);
+}
+
+} // namespace
+} // namespace save

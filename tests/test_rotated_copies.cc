@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Register-cost accounting for rotate-vertical coalescing (paper
+ * SecIV-B): only the non-broadcasted multiplicand needs per-R-state
+ * copies (the broadcast operand is rotation-invariant and same-
+ * accumulator chains share one R-state), and the resulting extra
+ * register consumption is small — a few percent for embedded-
+ * broadcast kernels, tens of percent for explicit ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace save {
+namespace {
+
+double
+rotatedCopyRatio(BroadcastPattern pattern, int mr, int nr)
+{
+    MachineConfig m;
+    m.cores = 1;
+    GemmConfig g;
+    g.mr = mr;
+    g.nrVecs = nr;
+    g.kSteps = 96;
+    g.tiles = 2;
+    g.pattern = pattern;
+    g.nbsSparsity = 0.5;
+    Engine e(m, SaveConfig{});
+    auto r = e.runGemm(g, 1, 2);
+    double allocs =
+        r.stats.get("vfmas") + r.stats.get("loads_issued");
+    return r.stats.get("rotated_copies") / allocs;
+}
+
+TEST(RotatedCopies, EmbeddedKernelsUnderFivePercent)
+{
+    // Paper SecIV-B: "much lower, less than 5%, when running a
+    // typical embedded broadcast kernel".
+    EXPECT_LT(rotatedCopyRatio(BroadcastPattern::Embedded, 28, 1),
+              0.05);
+    // Wider-N embedded tiles amortize less B reuse per copy but stay
+    // well below the explicit pattern.
+    EXPECT_LT(rotatedCopyRatio(BroadcastPattern::Embedded, 7, 3),
+              0.16);
+}
+
+TEST(RotatedCopies, ExplicitKernelsModerate)
+{
+    // Paper: "less than 25% additional registers" for a typical
+    // explicit kernel; our explicit tiling lands in the same tens-of-
+    // percent regime and far above the embedded case.
+    double explicit_ratio =
+        rotatedCopyRatio(BroadcastPattern::Explicit, 4, 6);
+    double embedded_ratio =
+        rotatedCopyRatio(BroadcastPattern::Embedded, 28, 1);
+    EXPECT_LT(explicit_ratio, 0.45);
+    EXPECT_GT(explicit_ratio, 4 * embedded_ratio);
+}
+
+TEST(RotatedCopies, NoCopiesWithoutRotation)
+{
+    MachineConfig m;
+    m.cores = 1;
+    GemmConfig g;
+    g.mr = 7;
+    g.nrVecs = 3;
+    g.kSteps = 32;
+    g.nbsSparsity = 0.5;
+    SaveConfig vc;
+    vc.policy = SchedPolicy::VC;
+    Engine e(m, vc);
+    auto r = e.runGemm(g, 1, 2);
+    EXPECT_EQ(r.stats.get("rotated_copies"), 0.0);
+}
+
+TEST(RotatedCopies, BaselineHasNone)
+{
+    MachineConfig m;
+    m.cores = 1;
+    GemmConfig g;
+    g.mr = 7;
+    g.nrVecs = 3;
+    g.kSteps = 32;
+    Engine e(m, SaveConfig::baseline());
+    auto r = e.runGemm(g, 1, 2);
+    EXPECT_EQ(r.stats.get("rotated_copies"), 0.0);
+}
+
+} // namespace
+} // namespace save

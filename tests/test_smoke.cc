@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end smoke tests: small GEMM slices run through every policy
+ * and verify bitwise functional equivalence plus basic speedup sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "util/logging.h"
+
+namespace save {
+namespace {
+
+MachineConfig
+smallMachine()
+{
+    MachineConfig m;
+    m.cores = 2;
+    return m;
+}
+
+GemmConfig
+smallGemm(double bs, double nbs)
+{
+    GemmConfig g;
+    g.mr = 4;
+    g.nrVecs = 4;
+    g.kSteps = 32;
+    g.bsSparsity = bs;
+    g.nbsSparsity = nbs;
+    g.seed = 42;
+    return g;
+}
+
+TEST(Smoke, BaselineRunsAndVerifies)
+{
+    Engine e(smallMachine(), SaveConfig::baseline());
+    std::string why;
+    EXPECT_TRUE(e.verifyGemm(smallGemm(0.0, 0.0), 2, &why)) << why;
+    EXPECT_TRUE(e.verifyGemm(smallGemm(0.5, 0.5), 2, &why)) << why;
+}
+
+TEST(Smoke, SaveRvcVerifies)
+{
+    Engine e(smallMachine(), SaveConfig{});
+    std::string why;
+    EXPECT_TRUE(e.verifyGemm(smallGemm(0.0, 0.0), 2, &why)) << why;
+    EXPECT_TRUE(e.verifyGemm(smallGemm(0.4, 0.6), 2, &why)) << why;
+    EXPECT_TRUE(e.verifyGemm(smallGemm(0.9, 0.9), 1, &why)) << why;
+}
+
+TEST(Smoke, SaveSpeedsUpSparseKernel)
+{
+    GemmConfig g = smallGemm(0.0, 0.6);
+    g.kSteps = 96;
+    Engine base(smallMachine(), SaveConfig::baseline());
+    Engine sv(smallMachine(), SaveConfig{});
+    auto rb = base.runGemm(g, 1, 2);
+    auto rs = sv.runGemm(g, 1, 2);
+    EXPECT_GT(rb.cycles, 0u);
+    EXPECT_GT(rs.cycles, 0u);
+    EXPECT_GT(speedup(rb, rs), 1.1) << "SAVE should beat baseline at "
+                                       "60% NBS";
+}
+
+TEST(Smoke, MixedPrecisionVerifies)
+{
+    GemmConfig g = smallGemm(0.3, 0.5);
+    g.precision = Precision::Bf16;
+    Engine sv(smallMachine(), SaveConfig{});
+    std::string why;
+    EXPECT_TRUE(sv.verifyGemm(g, 2, &why)) << why;
+
+    SaveConfig no_mp;
+    no_mp.mpCompress = false;
+    Engine sv2(smallMachine(), no_mp);
+    EXPECT_TRUE(sv2.verifyGemm(g, 2, &why)) << why;
+}
+
+TEST(Smoke, EmbeddedBroadcastVerifies)
+{
+    GemmConfig g = smallGemm(0.4, 0.4);
+    g.pattern = BroadcastPattern::Embedded;
+    g.mr = 14;
+    g.nrVecs = 2;
+    Engine sv(smallMachine(), SaveConfig{});
+    std::string why;
+    EXPECT_TRUE(sv.verifyGemm(g, 2, &why)) << why;
+}
+
+} // namespace
+} // namespace save

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the SparseTrain-style software-skipping baseline: the
+ * transformed trace must compute the same result, drop exactly the
+ * zero-broadcast VFMA groups, and be insensitive to non-broadcasted
+ * sparsity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernels/sparsetrain.h"
+#include "sim/multicore.h"
+#include "sim/reference.h"
+
+namespace save {
+namespace {
+
+GemmConfig
+cfgWith(double bs, double nbs)
+{
+    GemmConfig g;
+    g.mr = 4;
+    g.nrVecs = 3;
+    g.kSteps = 32;
+    g.tiles = 2;
+    g.bsSparsity = bs;
+    g.nbsSparsity = nbs;
+    g.seed = 21;
+    return g;
+}
+
+TEST(SparseTrain, ResultMatchesDenseTrace)
+{
+    // Same seed -> same data; the software-skipped trace must leave
+    // the same final C as the unmodified trace, both run in-order.
+    GemmConfig g = cfgWith(0.5, 0.3);
+    MemoryImage m1, m2;
+    GemmWorkload plain = buildGemm(g, m1);
+    GemmWorkload sw = buildSparseTrainGemm(g, m2);
+
+    ArchExecutor e1(&m1), e2(&m2);
+    e1.run(plain.trace);
+    e2.run(sw.trace);
+    for (uint64_t off = 0; off < plain.cBytes; off += 4)
+        ASSERT_EQ(m1.readU32(plain.cBase + off),
+                  m2.readU32(sw.cBase + off));
+}
+
+TEST(SparseTrain, SkipsExactlyZeroBroadcastGroups)
+{
+    GemmConfig g = cfgWith(1.0, 0.0); // every broadcast zero
+    MemoryImage m;
+    GemmWorkload w = buildSparseTrainGemm(g, m);
+    for (const Uop &u : w.trace)
+        EXPECT_FALSE(u.isVfma()) << "all VFMAs should be skipped";
+
+    GemmConfig d = cfgWith(0.0, 0.0); // dense: nothing skipped
+    MemoryImage md;
+    GemmWorkload wd = buildSparseTrainGemm(d, md);
+    size_t vfmas = 0;
+    for (const Uop &u : wd.trace)
+        vfmas += u.isVfma();
+    EXPECT_EQ(vfmas, static_cast<size_t>(d.tiles) * d.kSteps * d.mr *
+                         d.nrVecs);
+}
+
+TEST(SparseTrain, AddsCheckOverheadPerBroadcast)
+{
+    GemmConfig g = cfgWith(0.0, 0.0);
+    MemoryImage m1, m2;
+    GemmWorkload plain = buildGemm(g, m1);
+    GemmWorkload sw = buildSparseTrainGemm(g, m2, 2);
+    size_t bcasts = static_cast<size_t>(g.tiles) * g.kSteps * g.mr;
+    EXPECT_EQ(sw.trace.size(), plain.trace.size() + 2 * bcasts);
+}
+
+TEST(SparseTrain, EmbeddedConfigsRewrittenToExplicit)
+{
+    GemmConfig g = cfgWith(0.3, 0.0);
+    g.pattern = BroadcastPattern::Embedded;
+    MemoryImage m;
+    GemmWorkload w = buildSparseTrainGemm(g, m);
+    EXPECT_EQ(w.cfg.pattern, BroadcastPattern::Explicit);
+    for (const Uop &u : w.trace)
+        EXPECT_FALSE(u.hasEmbeddedBroadcast());
+}
+
+TEST(SparseTrain, InsensitiveToNbsButHelpedByBs)
+{
+    auto cycles = [](const GemmConfig &g, bool sw) {
+        MemoryImage img;
+        GemmWorkload w =
+            sw ? buildSparseTrainGemm(g, img) : buildGemm(g, img);
+        MachineConfig m;
+        m.cores = 1;
+        Multicore mc(m, SaveConfig::baseline(), 2, &img);
+        w.warmup(mc.hierarchy());
+        VectorTrace t(w.trace);
+        mc.bindTraces({&t});
+        return mc.run(10'000'000);
+    };
+
+    GemmConfig dense = cfgWith(0.0, 0.0);
+    dense.nrVecs = 6; // VPU-bound baseline so skipping is visible
+    dense.kSteps = 64;
+    GemmConfig bs = dense;
+    bs.bsSparsity = 0.7;
+    GemmConfig nbs = dense;
+    nbs.nbsSparsity = 0.7;
+
+    uint64_t t_dense = cycles(dense, true);
+    uint64_t t_bs = cycles(bs, true);
+    uint64_t t_nbs = cycles(nbs, true);
+    EXPECT_LT(t_bs, t_dense * 17 / 20); // BS exploited in software
+    EXPECT_NEAR(static_cast<double>(t_nbs),
+                static_cast<double>(t_dense),
+                0.05 * static_cast<double>(t_dense)); // NBS not
+}
+
+TEST(SparseTrain, MixedPrecisionPairSkipsOnlyWhenBothZero)
+{
+    GemmConfig g = cfgWith(0.6, 0.0);
+    g.precision = Precision::Bf16;
+    MemoryImage m1, m2;
+    GemmWorkload plain = buildGemm(g, m1);
+    GemmWorkload sw = buildSparseTrainGemm(g, m2);
+    // Per-element sparsity 0.6 -> pair-zero probability 0.36: fewer
+    // skips than the FP32 case at the same rate.
+    size_t plain_vfmas = 0, sw_vfmas = 0;
+    for (const Uop &u : plain.trace)
+        plain_vfmas += u.isVfma();
+    for (const Uop &u : sw.trace)
+        sw_vfmas += u.isVfma();
+    double kept = static_cast<double>(sw_vfmas) /
+                  static_cast<double>(plain_vfmas);
+    EXPECT_NEAR(kept, 1 - 0.36, 0.06);
+
+    ArchExecutor e1(&m1), e2(&m2);
+    e1.run(plain.trace);
+    e2.run(sw.trace);
+    for (uint64_t off = 0; off < plain.cBytes; off += 4)
+        ASSERT_EQ(m1.readU32(plain.cBase + off),
+                  m2.readU32(sw.cBase + off));
+}
+
+TEST(SparseTrain, ComposesWithSaveHardware)
+{
+    GemmConfig g = cfgWith(0.5, 0.5);
+    g.kSteps = 48;
+    MemoryImage img;
+    GemmWorkload w = buildSparseTrainGemm(g, img);
+    MachineConfig m;
+    m.cores = 1;
+    Multicore mc(m, SaveConfig{}, 2, &img);
+    w.warmup(mc.hierarchy());
+    VectorTrace t(w.trace);
+    mc.bindTraces({&t});
+    mc.run(10'000'000);
+
+    MemoryImage ref_img;
+    GemmWorkload ref_w = buildSparseTrainGemm(g, ref_img);
+    ArchExecutor ref(&ref_img);
+    ref.run(ref_w.trace);
+    for (uint64_t off = 0; off < w.cBytes; off += 4)
+        ASSERT_EQ(img.readU32(w.cBase + off),
+                  ref_img.readU32(ref_w.cBase + off));
+}
+
+} // namespace
+} // namespace save
