@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bcache"
+  "../bench/bench_ablation_bcache.pdb"
+  "CMakeFiles/bench_ablation_bcache.dir/bench_ablation_bcache.cc.o"
+  "CMakeFiles/bench_ablation_bcache.dir/bench_ablation_bcache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_directconv"
+  "../bench/bench_directconv.pdb"
+  "CMakeFiles/bench_directconv.dir/bench_directconv.cc.o"
+  "CMakeFiles/bench_directconv.dir/bench_directconv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_simspeed"
+  "../bench/bench_simspeed.pdb"
+  "CMakeFiles/bench_simspeed.dir/bench_simspeed.cc.o"
+  "CMakeFiles/bench_simspeed.dir/bench_simspeed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

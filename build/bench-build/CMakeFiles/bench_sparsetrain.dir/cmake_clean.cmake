@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sparsetrain"
+  "../bench/bench_sparsetrain.pdb"
+  "CMakeFiles/bench_sparsetrain.dir/bench_sparsetrain.cc.o"
+  "CMakeFiles/bench_sparsetrain.dir/bench_sparsetrain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsetrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sparse_workload.dir/custom_sparse_workload.cpp.o"
+  "CMakeFiles/custom_sparse_workload.dir/custom_sparse_workload.cpp.o.d"
+  "custom_sparse_workload"
+  "custom_sparse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sparse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnmt_translation.dir/gnmt_translation.cpp.o"
+  "CMakeFiles/gnmt_translation.dir/gnmt_translation.cpp.o.d"
+  "gnmt_translation"
+  "gnmt_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnmt_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

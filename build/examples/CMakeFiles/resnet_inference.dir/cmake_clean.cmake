@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_inference.dir/resnet_inference.cpp.o"
+  "CMakeFiles/resnet_inference.dir/resnet_inference.cpp.o.d"
+  "resnet_inference"
+  "resnet_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

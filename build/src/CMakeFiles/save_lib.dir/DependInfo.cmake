@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/activation_profile.cc" "src/CMakeFiles/save_lib.dir/dnn/activation_profile.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/dnn/activation_profile.cc.o.d"
+  "/root/repo/src/dnn/estimator.cc" "src/CMakeFiles/save_lib.dir/dnn/estimator.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/dnn/estimator.cc.o.d"
+  "/root/repo/src/dnn/networks.cc" "src/CMakeFiles/save_lib.dir/dnn/networks.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/dnn/networks.cc.o.d"
+  "/root/repo/src/dnn/pruning.cc" "src/CMakeFiles/save_lib.dir/dnn/pruning.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/dnn/pruning.cc.o.d"
+  "/root/repo/src/dnn/surface.cc" "src/CMakeFiles/save_lib.dir/dnn/surface.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/dnn/surface.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/save_lib.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/engine/engine.cc.o.d"
+  "/root/repo/src/isa/uop.cc" "src/CMakeFiles/save_lib.dir/isa/uop.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/isa/uop.cc.o.d"
+  "/root/repo/src/kernels/conv.cc" "src/CMakeFiles/save_lib.dir/kernels/conv.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/kernels/conv.cc.o.d"
+  "/root/repo/src/kernels/directconv.cc" "src/CMakeFiles/save_lib.dir/kernels/directconv.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/kernels/directconv.cc.o.d"
+  "/root/repo/src/kernels/gemm.cc" "src/CMakeFiles/save_lib.dir/kernels/gemm.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/kernels/gemm.cc.o.d"
+  "/root/repo/src/kernels/lstm.cc" "src/CMakeFiles/save_lib.dir/kernels/lstm.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/kernels/lstm.cc.o.d"
+  "/root/repo/src/kernels/sparsetrain.cc" "src/CMakeFiles/save_lib.dir/kernels/sparsetrain.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/kernels/sparsetrain.cc.o.d"
+  "/root/repo/src/kernels/sparsity.cc" "src/CMakeFiles/save_lib.dir/kernels/sparsity.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/kernels/sparsity.cc.o.d"
+  "/root/repo/src/mem/broadcast_cache.cc" "src/CMakeFiles/save_lib.dir/mem/broadcast_cache.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/mem/broadcast_cache.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/save_lib.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/save_lib.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/save_lib.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memory_image.cc" "src/CMakeFiles/save_lib.dir/mem/memory_image.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/mem/memory_image.cc.o.d"
+  "/root/repo/src/mem/mesh.cc" "src/CMakeFiles/save_lib.dir/mem/mesh.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/mem/mesh.cc.o.d"
+  "/root/repo/src/save/frequency.cc" "src/CMakeFiles/save_lib.dir/save/frequency.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/save/frequency.cc.o.d"
+  "/root/repo/src/save/mp_scheduler.cc" "src/CMakeFiles/save_lib.dir/save/mp_scheduler.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/save/mp_scheduler.cc.o.d"
+  "/root/repo/src/save/scheduler.cc" "src/CMakeFiles/save_lib.dir/save/scheduler.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/save/scheduler.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/CMakeFiles/save_lib.dir/sim/core.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/core.cc.o.d"
+  "/root/repo/src/sim/mgu.cc" "src/CMakeFiles/save_lib.dir/sim/mgu.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/mgu.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "src/CMakeFiles/save_lib.dir/sim/multicore.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/reference.cc" "src/CMakeFiles/save_lib.dir/sim/reference.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/reference.cc.o.d"
+  "/root/repo/src/sim/regfile.cc" "src/CMakeFiles/save_lib.dir/sim/regfile.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/regfile.cc.o.d"
+  "/root/repo/src/sim/renamer.cc" "src/CMakeFiles/save_lib.dir/sim/renamer.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/renamer.cc.o.d"
+  "/root/repo/src/sim/rob.cc" "src/CMakeFiles/save_lib.dir/sim/rob.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/rob.cc.o.d"
+  "/root/repo/src/sim/rs.cc" "src/CMakeFiles/save_lib.dir/sim/rs.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/rs.cc.o.d"
+  "/root/repo/src/sim/vpu.cc" "src/CMakeFiles/save_lib.dir/sim/vpu.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/sim/vpu.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/save_lib.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/stats/stats.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/save_lib.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/save_lib.dir/util/logging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

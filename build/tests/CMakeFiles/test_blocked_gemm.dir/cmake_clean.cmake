@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocked_gemm.dir/test_blocked_gemm.cc.o"
+  "CMakeFiles/test_blocked_gemm.dir/test_blocked_gemm.cc.o.d"
+  "test_blocked_gemm"
+  "test_blocked_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocked_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combination_window.dir/test_combination_window.cc.o"
+  "CMakeFiles/test_combination_window.dir/test_combination_window.cc.o.d"
+  "test_combination_window"
+  "test_combination_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combination_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

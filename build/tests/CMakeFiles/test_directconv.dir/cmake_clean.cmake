@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directconv.dir/test_directconv.cc.o"
+  "CMakeFiles/test_directconv.dir/test_directconv.cc.o.d"
+  "test_directconv"
+  "test_directconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

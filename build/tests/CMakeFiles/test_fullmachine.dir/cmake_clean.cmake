@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fullmachine.dir/test_fullmachine.cc.o"
+  "CMakeFiles/test_fullmachine.dir/test_fullmachine.cc.o.d"
+  "test_fullmachine"
+  "test_fullmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fullmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_networks_flops.dir/test_networks_flops.cc.o"
+  "CMakeFiles/test_networks_flops.dir/test_networks_flops.cc.o.d"
+  "test_networks_flops"
+  "test_networks_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_networks_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotated_copies.dir/test_rotated_copies.cc.o"
+  "CMakeFiles/test_rotated_copies.dir/test_rotated_copies.cc.o.d"
+  "test_rotated_copies"
+  "test_rotated_copies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotated_copies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsetrain.dir/test_sparsetrain.cc.o"
+  "CMakeFiles/test_sparsetrain.dir/test_sparsetrain.cc.o.d"
+  "test_sparsetrain"
+  "test_sparsetrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsetrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
