@@ -52,6 +52,10 @@ main(int argc, char **argv)
     Flags flags(argc, argv);
     TrainingEstimator est(MachineConfig{}, SaveConfig{},
                           estimatorOptions(flags));
+    std::printf("simulation fan-out: %d thread(s), %lu surface "
+                "point(s) from persistent cache\n\n",
+                est.threads(),
+                static_cast<unsigned long>(est.persistentHits()));
 
     struct Entry
     {

@@ -27,6 +27,29 @@ main(int argc, char **argv)
     GemmConfig dense = sliceFor(spec, Precision::Bf16, 0, 0, flags);
     auto rb = base.runGemm(dense, 1, 2);
 
+    // Enumerate the whole (vpus, NBS, BS) grid up front and fan the
+    // independent slice simulations across the host thread pool.
+    struct Point
+    {
+        int vpus, w, a;
+    };
+    std::vector<Point> points;
+    for (int vpus : {2, 1})
+        for (int w = 0; w < 10; w += step)
+            for (int a = 0; a < 10; a += step)
+                points.push_back({vpus, w, a});
+
+    std::vector<double> speedups = parallelSweep(
+        static_cast<int>(points.size()), [&](int i) {
+            const Point &p = points[static_cast<size_t>(i)];
+            GemmConfig g = sliceFor(spec, Precision::Bf16, p.a * 0.1,
+                                    p.w * 0.1, flags,
+                                    7 + static_cast<uint64_t>(
+                                            p.w * 10 + p.a));
+            return speedup(rb, sv.runGemm(g, 1, p.vpus));
+        });
+
+    size_t next = 0;
     for (int vpus : {2, 1}) {
         std::printf("=== Fig. 15%s: %d VPU(s) at %.1fGHz ===\n",
                     vpus == 2 ? "a" : "b", vpus,
@@ -37,14 +60,8 @@ main(int argc, char **argv)
         std::printf("\n");
         for (int w = 0; w < 10; w += step) {
             std::printf("%7d%%", w * 10);
-            for (int a = 0; a < 10; a += step) {
-                GemmConfig g = sliceFor(spec, Precision::Bf16, a * 0.1,
-                                        w * 0.1, flags,
-                                        7 + static_cast<uint64_t>(
-                                                w * 10 + a));
-                auto r = sv.runGemm(g, 1, vpus);
-                std::printf(" %6.2f", speedup(rb, r));
-            }
+            for (int a = 0; a < 10; a += step)
+                std::printf(" %6.2f", speedups[next++]);
             std::printf("\n");
         }
         std::printf("\n");

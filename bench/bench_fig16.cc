@@ -28,7 +28,8 @@ main(int argc, char **argv)
                 "27 GNMT cells)\n\n",
                 kernels.size());
 
-    // Cache per (shape, kSteps) so the 93 kernels reuse slice sims.
+    // Dedup per (shape, kSteps) so the 93 kernels reuse slice sims,
+    // then fan the unique cap simulations across the thread pool.
     struct Key
     {
         int mr, nr, ks;
@@ -36,23 +37,6 @@ main(int argc, char **argv)
         auto operator<=>(const Key &) const = default;
     };
     std::map<Key, double> cache;
-
-    auto cap = [&](const KernelSpec &spec, Precision prec, int vpus) {
-        GemmConfig g = sliceFor(spec, prec, 0.9, 0.9, flags);
-        Key key{g.mr, g.nrVecs, g.kSteps,
-                static_cast<uint8_t>(g.pattern),
-                static_cast<uint8_t>(prec), static_cast<uint8_t>(vpus)};
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return it->second;
-        GemmConfig dense = g;
-        dense.bsSparsity = dense.nbsSparsity = 0.0;
-        auto rb = base.runGemm(dense, 1, 2);
-        auto rs = sv.runGemm(g, 1, vpus);
-        double s = speedup(rb, rs);
-        cache.emplace(key, s);
-        return s;
-    };
 
     std::vector<double> edges{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 99.0};
     struct Config
@@ -66,6 +50,46 @@ main(int argc, char **argv)
         {Precision::Fp32, 1, "FP32 1 VPU"},
         {Precision::Bf16, 2, "MP 2 VPUs"},
         {Precision::Bf16, 1, "MP 1 VPU"},
+    };
+
+    auto keyFor = [&](const KernelSpec &spec, Precision prec,
+                      int vpus) {
+        GemmConfig g = sliceFor(spec, prec, 0.9, 0.9, flags);
+        return Key{g.mr, g.nrVecs, g.kSteps,
+                   static_cast<uint8_t>(g.pattern),
+                   static_cast<uint8_t>(prec),
+                   static_cast<uint8_t>(vpus)};
+    };
+
+    std::vector<Key> unique_keys;
+    std::vector<const KernelSpec *> unique_specs;
+    for (const Config &cfg : configs)
+        for (const KernelSpec &spec : kernels) {
+            Key key = keyFor(spec, cfg.prec, cfg.vpus);
+            if (!cache.count(key)) {
+                cache.emplace(key, 0.0); // placeholder marks it queued
+                unique_keys.push_back(key);
+                unique_specs.push_back(&spec);
+            }
+        }
+
+    std::vector<double> caps = parallelSweep(
+        static_cast<int>(unique_keys.size()), [&](int i) {
+            const Key &key = unique_keys[static_cast<size_t>(i)];
+            GemmConfig g = sliceFor(
+                *unique_specs[static_cast<size_t>(i)],
+                static_cast<Precision>(key.prec), 0.9, 0.9, flags);
+            GemmConfig dense = g;
+            dense.bsSparsity = dense.nbsSparsity = 0.0;
+            auto rb = base.runGemm(dense, 1, 2);
+            auto rs = sv.runGemm(g, 1, key.vpus);
+            return speedup(rb, rs);
+        });
+    for (size_t i = 0; i < unique_keys.size(); ++i)
+        cache[unique_keys[i]] = caps[i];
+
+    auto cap = [&](const KernelSpec &spec, Precision prec, int vpus) {
+        return cache.at(keyFor(spec, prec, vpus));
     };
 
     for (const Config &cfg : configs) {

@@ -41,23 +41,42 @@ main(int argc, char **argv)
         {BcastCacheKind::Data, "B$ w/ data"},
     };
 
+    // Fan the independent (BS, design, NBS) simulations across the
+    // host thread pool, then print the grid serially in order.
+    struct Point
+    {
+        double bs;
+        BcastCacheKind kind;
+        int w;
+    };
+    std::vector<Point> points;
+    for (double bs : {0.0, 0.4})
+        for (const Design &d : designs)
+            for (int w = 0; w < 10; w += step)
+                points.push_back({bs, d.kind, w});
+
+    std::vector<double> speedups = parallelSweep(
+        static_cast<int>(points.size()), [&](int i) {
+            const Point &p = points[static_cast<size_t>(i)];
+            SaveConfig s;
+            s.bcache = p.kind;
+            Engine e(m, s);
+            GemmConfig g = sliceFor(
+                spec, Precision::Fp32, p.bs, p.w * 0.1, flags,
+                31 + static_cast<uint64_t>(p.w));
+            return speedup(rb, e.runGemm(g, 1, 2));
+        });
+
+    size_t next = 0;
     for (double bs : {0.0, 0.4}) {
         std::printf("BS = %s:\n%-13s", fmtPct(bs), "NBS");
         for (int w = 0; w < 10; w += step)
             std::printf(" %5d%%", w * 10);
         std::printf("\n");
         for (const Design &d : designs) {
-            SaveConfig s;
-            s.bcache = d.kind;
-            Engine e(m, s);
             std::printf("%-13s", d.label);
-            for (int w = 0; w < 10; w += step) {
-                GemmConfig g = sliceFor(
-                    spec, Precision::Fp32, bs, w * 0.1, flags,
-                    31 + static_cast<uint64_t>(w));
-                auto r = e.runGemm(g, 1, 2);
-                std::printf(" %6.2f", speedup(rb, r));
-            }
+            for (int w = 0; w < 10; w += step)
+                std::printf(" %6.2f", speedups[next++]);
             std::printf("\n");
         }
         std::printf("\n");

@@ -52,19 +52,36 @@ main(int argc, char **argv)
         for (int w = 0; w < 10; w += step)
             std::printf(" %5d%%", w * 10);
         std::printf("\n");
-        for (const Variant &v : variants) {
-            SaveConfig s;
-            s.policy = v.policy;
-            s.laneWiseDep = v.lwd;
-            Engine e(m, s);
-            std::printf("%-9s", v.label);
-            for (int w = 0; w < 10; w += step) {
+        // All (variant, NBS) cells are independent: fan them out.
+        struct Point
+        {
+            SchedPolicy policy;
+            bool lwd;
+            int w;
+        };
+        std::vector<Point> points;
+        for (const Variant &v : variants)
+            for (int w = 0; w < 10; w += step)
+                points.push_back({v.policy, v.lwd, w});
+
+        std::vector<double> speedups = parallelSweep(
+            static_cast<int>(points.size()), [&](int i) {
+                const Point &p = points[static_cast<size_t>(i)];
+                SaveConfig s;
+                s.policy = p.policy;
+                s.laneWiseDep = p.lwd;
+                Engine e(m, s);
                 GemmConfig g = sliceFor(
-                    spec, Precision::Fp32, 0.0, w * 0.1, flags,
-                    53 + static_cast<uint64_t>(w));
-                auto r = e.runGemm(g, 1, 1);
-                std::printf(" %6.2f", speedup(rb, r));
-            }
+                    spec, Precision::Fp32, 0.0, p.w * 0.1, flags,
+                    53 + static_cast<uint64_t>(p.w));
+                return speedup(rb, e.runGemm(g, 1, 1));
+            });
+
+        size_t next = 0;
+        for (const Variant &v : variants) {
+            std::printf("%-9s", v.label);
+            for (int w = 0; w < 10; w += step)
+                std::printf(" %6.2f", speedups[next++]);
             std::printf("\n");
         }
         std::printf("\n");

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "dnn/estimator.h"
+#include "dnn/networks.h"
 #include "engine/engine.h"
 
 namespace save {
@@ -92,6 +94,42 @@ BM_MulticoreSlice(benchmark::State &state)
 }
 BENCHMARK(BM_MulticoreSlice)->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Whole-network estimation with the slice fan-out on N host threads,
+ * cold in-memory cache each iteration (fresh estimator, persistence
+ * disabled). Arg(1) is the strictly serial path; the
+ * `norm_rate` counter is estimations/second divided by the thread
+ * count — constant across rows means perfect scaling, and
+ * norm_rate(N) / norm_rate(1) is the parallel efficiency at N.
+ */
+void
+BM_EstimatorFanout(benchmark::State &state)
+{
+    int threads = static_cast<int>(state.range(0));
+    NetworkModel net = vgg16Dense();
+    for (auto _ : state) {
+        EstimatorOptions o;
+        o.kSteps = 48;
+        o.tiles = 2;
+        o.gridStep = 3;
+        o.threads = threads;
+        o.cacheDir = "none";
+        TrainingEstimator est(MachineConfig{}, SaveConfig{}, o);
+        NetResult r = est.inference(net, Precision::Bf16);
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["threads"] = threads;
+    state.counters["norm_rate"] = benchmark::Counter(
+        1.0 / threads, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_EstimatorFanout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 } // namespace save

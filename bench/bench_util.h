@@ -5,10 +5,14 @@
  * across figures.
  *
  * Common flags:
- *   --grid=N    sparsity-grid stride for estimator-driven figures
- *   --ksteps=N  slice K length
- *   --tiles=N   register tiles per slice
- *   --cores=N   active cores per slice simulation
+ *   --grid=N       sparsity-grid stride for estimator-driven figures
+ *   --ksteps=N     slice K length
+ *   --tiles=N      register tiles per slice
+ *   --cores=N      active cores per slice simulation
+ *   --threads=N    host threads for the simulation fan-out
+ *                  (0 = SAVE_THREADS env or hardware concurrency)
+ *   --cache-dir=D  persistent surface cache ("none" disables; default
+ *                  is the SAVE_CACHE_DIR environment variable)
  */
 
 #ifndef SAVE_BENCH_BENCH_UTIL_H
@@ -18,10 +22,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "dnn/estimator.h"
 #include "dnn/networks.h"
 #include "engine/engine.h"
+#include "util/thread_pool.h"
 
 namespace save {
 
@@ -39,6 +45,17 @@ class Flags
             if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) ==
                 0)
                 return std::atoi(argv_[i] + prefix.size());
+        return def;
+    }
+
+    std::string
+    getStr(const char *name, const char *def) const
+    {
+        std::string prefix = std::string("--") + name + "=";
+        for (int i = 1; i < argc_; ++i)
+            if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) ==
+                0)
+                return argv_[i] + prefix.size();
         return def;
     }
 
@@ -67,7 +84,26 @@ estimatorOptions(const Flags &flags)
     o.kSteps = flags.getInt("ksteps", o.kSteps);
     o.tiles = flags.getInt("tiles", o.tiles);
     o.cores = flags.getInt("cores", o.cores);
+    o.threads = flags.getInt("threads", 0);
+    o.cacheDir = flags.getStr("cache-dir", "");
     return o;
+}
+
+/**
+ * Evaluate fn(0..n-1) across the global thread pool and return the
+ * results in index order. Each point must be independent (every
+ * simulation here is seeded), so the output is identical to a serial
+ * loop — only wall-clock changes.
+ */
+template <typename Fn>
+auto
+parallelSweep(int n, Fn fn) -> std::vector<decltype(fn(0))>
+{
+    std::vector<decltype(fn(0))> out(static_cast<size_t>(n));
+    ThreadPool::global().parallelFor(
+        n, [&](int64_t i) { out[static_cast<size_t>(i)] =
+                                fn(static_cast<int>(i)); });
+    return out;
 }
 
 /** Slice config for a one-off kernel sweep. */

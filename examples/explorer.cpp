@@ -24,6 +24,7 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "util/thread_pool.h"
 
 using namespace save;
 
@@ -115,8 +116,15 @@ main(int argc, char **argv)
 
     Engine baseline(m, SaveConfig::baseline());
     Engine engine(m, s);
-    auto rb = baseline.runGemm(g, cores, 2);
-    auto r = engine.runGemm(g, cores, vpus);
+    // The baseline and configured runs are independent simulations:
+    // overlap them on the host thread pool.
+    KernelResult rb, r;
+    ThreadPool::global().parallelFor(2, [&](int64_t i) {
+        if (i == 0)
+            rb = baseline.runGemm(g, cores, 2);
+        else
+            r = engine.runGemm(g, cores, vpus);
+    });
 
     std::printf("kernel: %dx%d tile, %d K steps x %d tiles, %s %s, "
                 "BS=%.0f%% NBS=%.0f%%\n",

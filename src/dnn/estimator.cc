@@ -1,12 +1,50 @@
 #include "dnn/estimator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <set>
 
 #include "dnn/surface.h"
 #include "util/logging.h"
 
 namespace save {
+
+namespace {
+
+/** Resolve the persistent-cache directory: explicit option, then the
+ *  SAVE_CACHE_DIR environment variable; "none"/"-" force-disables. */
+std::string
+resolveCacheDir(const std::string &opt_dir)
+{
+    if (opt_dir == "none" || opt_dir == "-")
+        return "";
+    if (!opt_dir.empty())
+        return opt_dir;
+    const char *env = std::getenv("SAVE_CACHE_DIR");
+    return env ? env : "";
+}
+
+/** Estimator knobs that shift slice times but live outside the Key. */
+uint64_t
+optionSalt(const EstimatorOptions &opt)
+{
+    uint64_t salt = opt.seed;
+    salt = salt * 1000003ull + static_cast<uint64_t>(opt.tiles);
+    salt = salt * 1000003ull + static_cast<uint64_t>(opt.cores);
+    return salt;
+}
+
+std::shared_future<double>
+readyFuture(double v)
+{
+    std::promise<double> p;
+    p.set_value(v);
+    return p.get_future().share();
+}
+
+} // namespace
 
 PhaseBreakdown &
 PhaseBreakdown::operator+=(const PhaseBreakdown &o)
@@ -32,20 +70,46 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
                                      SaveConfig save_features,
                                      EstimatorOptions opt)
     : mcfg_(mcfg), save_cfg_(save_features), opt_(opt),
-      base_engine_(mcfg, SaveConfig::baseline()),
-      save_engine_(mcfg, save_features)
+      persistent_(resolveCacheDir(opt.cacheDir),
+                  SurfaceCache::hashConfig(mcfg, save_features,
+                                           optionSalt(opt)))
 {
     SAVE_ASSERT(opt_.gridStep >= 1 && opt_.gridStep <= 9,
                 "bad estimator grid step");
+    SAVE_ASSERT(opt_.threads >= 0, "bad estimator thread count");
+
+    if (opt_.threads >= 2) {
+        owned_pool_ = std::make_unique<ThreadPool>(opt_.threads);
+        pool_ = owned_pool_.get();
+    } else if (opt_.threads == 0) {
+        pool_ = &ThreadPool::global();
+    } // threads == 1: pool_ stays null, strictly serial
+
+    std::vector<SurfaceRecord> records;
+    if (persistent_.enabled() && persistent_.load(records)) {
+        for (const SurfaceRecord &r : records) {
+            Key k{r.mr, r.nr, r.kSteps, r.pattern, r.precision,
+                  r.saveOn, r.vpus, r.wBin, r.aBin};
+            cache_.emplace(k, readyFuture(r.timeNs));
+        }
+        persistent_hits_ = records.size();
+    }
+}
+
+TrainingEstimator::~TrainingEstimator()
+{
+    flushPersistentCache();
+}
+
+int
+TrainingEstimator::threads() const
+{
+    return pool_ ? pool_->size() : 1;
 }
 
 double
-TrainingEstimator::sliceTime(const Key &key)
+TrainingEstimator::simulateSlice(const Key &key) const
 {
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
-
     GemmConfig g;
     g.mr = key.mr;
     g.nrVecs = key.nr;
@@ -57,11 +121,63 @@ TrainingEstimator::sliceTime(const Key &key)
     g.bsSparsity = key.aBin * SparsitySurface::kStep;
     g.seed = opt_.seed + key.wBin * 131 + key.aBin * 17;
 
-    Engine &eng = key.saveOn ? save_engine_ : base_engine_;
-    KernelResult r = eng.runGemm(g, opt_.cores, key.vpus);
-    ++sims_;
-    cache_.emplace(key, r.timeNs);
-    return r.timeNs;
+    // Each worker simulates with its own short-lived Engine: there is
+    // no shared simulator state between concurrent slice points.
+    Engine eng(mcfg_,
+               key.saveOn ? save_cfg_ : SaveConfig::baseline());
+    return eng.runGemm(g, opt_.cores, key.vpus).timeNs;
+}
+
+double
+TrainingEstimator::sliceTime(const Key &key)
+{
+    std::promise<double> promise;
+    std::shared_future<double> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            fut = it->second;
+        } else {
+            fut = promise.get_future().share();
+            cache_.emplace(key, fut);
+            owner = true;
+        }
+    }
+    if (!owner)
+        return fut.get(); // single-flight: wait for the simulating thread
+
+    double t;
+    try {
+        t = simulateSlice(key);
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+    sims_.fetch_add(1, std::memory_order_relaxed);
+    dirty_.store(true, std::memory_order_relaxed);
+    promise.set_value(t);
+    return t;
+}
+
+TrainingEstimator::BinWeights
+TrainingEstimator::binWeights(double nbs, double bs) const
+{
+    const int step = opt_.gridStep;
+    const int max_bin = ((SparsitySurface::kGrid - 1) / step) * step;
+    auto bins = [&](double s, int &lo, int &hi, double &frac) {
+        double b = std::clamp(s, 0.0, SparsitySurface::kMax) /
+                   SparsitySurface::kStep;
+        lo = std::min(static_cast<int>(b) / step * step, max_bin);
+        hi = std::min(lo + step, max_bin);
+        frac = hi > lo ? (b - lo) / (hi - lo) : 0.0;
+        frac = std::clamp(frac, 0.0, 1.0);
+    };
+    BinWeights w{};
+    bins(nbs, w.w0, w.w1, w.dw);
+    bins(bs, w.a0, w.a1, w.da);
+    return w;
 }
 
 double
@@ -74,31 +190,35 @@ TrainingEstimator::interpTime(Key key, double nbs, double bs)
         return sliceTime(key);
     }
 
-    const int step = opt_.gridStep;
-    const int max_bin = ((SparsitySurface::kGrid - 1) / step) * step;
-    auto bins = [&](double s, int &lo, int &hi, double &frac) {
-        double b = std::clamp(s, 0.0, SparsitySurface::kMax) /
-                   SparsitySurface::kStep;
-        lo = std::min(static_cast<int>(b) / step * step, max_bin);
-        hi = std::min(lo + step, max_bin);
-        frac = hi > lo ? (b - lo) / (hi - lo) : 0.0;
-        frac = std::clamp(frac, 0.0, 1.0);
-    };
-    int w0, w1, a0, a1;
-    double dw, da;
-    bins(nbs, w0, w1, dw);
-    bins(bs, a0, a1, da);
-
-    auto at = [&](int w, int a) {
+    BinWeights w = binWeights(nbs, bs);
+    auto at = [&](int wb, int ab) {
         Key k = key;
-        k.wBin = static_cast<uint8_t>(w);
-        k.aBin = static_cast<uint8_t>(a);
+        k.wBin = static_cast<uint8_t>(wb);
+        k.aBin = static_cast<uint8_t>(ab);
         return sliceTime(k);
     };
-    double t00 = at(w0, a0), t01 = at(w0, a1);
-    double t10 = at(w1, a0), t11 = at(w1, a1);
-    return t00 * (1 - dw) * (1 - da) + t10 * dw * (1 - da) +
-           t01 * (1 - dw) * da + t11 * dw * da;
+    double t00 = at(w.w0, w.a0), t01 = at(w.w0, w.a1);
+    double t10 = at(w.w1, w.a0), t11 = at(w.w1, w.a1);
+    return t00 * (1 - w.dw) * (1 - w.da) + t10 * w.dw * (1 - w.da) +
+           t01 * (1 - w.dw) * w.da + t11 * w.dw * w.da;
+}
+
+TrainingEstimator::Key
+TrainingEstimator::baseKey(const KernelSpec &spec, Precision precision,
+                           double bs, double nbs, bool save_on,
+                           int vpus) const
+{
+    GemmConfig slice = spec.slice(precision, bs, nbs, opt_.kSteps,
+                                  opt_.seed);
+    Key key{};
+    key.mr = slice.mr;
+    key.nr = slice.nrVecs;
+    key.kSteps = slice.kSteps;
+    key.pattern = static_cast<uint8_t>(slice.pattern);
+    key.precision = static_cast<uint8_t>(precision);
+    key.saveOn = save_on ? 1 : 0;
+    key.vpus = static_cast<uint8_t>(vpus);
+    return key;
 }
 
 double
@@ -110,15 +230,7 @@ TrainingEstimator::kernelTime(const KernelSpec &spec, Precision precision,
                                   opt_.seed);
     slice.tiles = opt_.tiles;
 
-    Key key{};
-    key.mr = slice.mr;
-    key.nr = slice.nrVecs;
-    key.kSteps = slice.kSteps;
-    key.pattern = static_cast<uint8_t>(slice.pattern);
-    key.precision = static_cast<uint8_t>(precision);
-    key.saveOn = save_on ? 1 : 0;
-    key.vpus = static_cast<uint8_t>(vpus);
-
+    Key key = baseKey(spec, precision, bs, nbs, save_on, vpus);
     double t_slice = interpTime(key, nbs, bs);
     return t_slice * spec.macScale(slice);
 }
@@ -142,32 +254,14 @@ bucket(PhaseBreakdown &bd, Phase phase, bool first_layer, double t)
 } // namespace
 
 void
-TrainingEstimator::addEpoch(const NetworkModel &net, Precision precision,
-                            int64_t step, bool inference_only,
-                            NetResult &acc)
+TrainingEstimator::forEachKernel(
+    const NetworkModel &net, int64_t step, bool inference_only,
+    const std::function<void(const KernelSpec &, double, double, bool,
+                             double)> &fn) const
 {
     ActivationProfile act = net.profile();
     double ws = net.schedule.sparsityAt(step);
     int n_kernels = net.numKernels();
-
-    PhaseBreakdown epoch2, epoch1; // for the per-epoch static choice
-
-    auto add_kernel = [&](const KernelSpec &spec, double bs, double nbs,
-                          bool first_layer, double mac_factor) {
-        double tb = mac_factor *
-                    kernelTime(spec, precision, bs, nbs, false, 2);
-        double t2 = mac_factor *
-                    kernelTime(spec, precision, bs, nbs, true, 2);
-        double t1 = mac_factor *
-                    kernelTime(spec, precision, bs, nbs, true, 1);
-        bucket(acc.baseline2, spec.phase, first_layer, tb);
-        bucket(acc.save2, spec.phase, first_layer, t2);
-        bucket(acc.save1, spec.phase, first_layer, t1);
-        bucket(acc.saveDynamic, spec.phase, first_layer,
-               std::min(t2, t1));
-        bucket(epoch2, spec.phase, first_layer, t2);
-        bucket(epoch1, spec.phase, first_layer, t1);
-    };
 
     if (!net.isLstm()) {
         for (int i = 0; i < n_kernels; ++i) {
@@ -182,35 +276,124 @@ TrainingEstimator::addEpoch(const NetworkModel &net, Precision precision,
                 ? act.at(std::min(i + 1, n_kernels - 1), step)
                 : 0.0;
 
-            add_kernel(makeConvKernel(layer, Phase::Forward, net.batch),
-                       in_act, ws, first, 1.0);
+            fn(makeConvKernel(layer, Phase::Forward, net.batch),
+               in_act, ws, first, 1.0);
             if (inference_only)
                 continue;
             if (!first) {
                 // dX = dY * W^T: dY broadcast (BS), W^T vector (NBS).
-                add_kernel(
-                    makeConvKernel(layer, Phase::BwdInput, net.batch),
-                    grad, ws, false, 1.0);
+                fn(makeConvKernel(layer, Phase::BwdInput, net.batch),
+                   grad, ws, false, 1.0);
             }
             // dW = X^T dY: X broadcast (BS), dY vector (NBS).
-            add_kernel(
-                makeConvKernel(layer, Phase::BwdWeights, net.batch),
-                in_act, net.sparseGradients ? grad : 0.0, first, 1.0);
+            fn(makeConvKernel(layer, Phase::BwdWeights, net.batch),
+               in_act, net.sparseGradients ? grad : 0.0, first, 1.0);
         }
     } else {
         for (int i = 0; i < n_kernels; ++i) {
             const LstmCell &cell = net.cells[static_cast<size_t>(i)];
             double in_act = act.at(i, step);
-            add_kernel(makeLstmKernel(cell, Phase::Forward), in_act, ws,
-                       false, 1.0);
+            fn(makeLstmKernel(cell, Phase::Forward), in_act, ws, false,
+               1.0);
             if (inference_only)
                 continue;
             // The merged LSTM backward computes both dX and dW: twice
             // the forward GEMM work at gradient/weight sparsity.
-            add_kernel(makeLstmKernel(cell, Phase::BwdInput), in_act,
-                       ws, false, 2.0);
+            fn(makeLstmKernel(cell, Phase::BwdInput), in_act, ws, false,
+               2.0);
         }
     }
+}
+
+void
+TrainingEstimator::prefetch(const NetworkModel &net, Precision precision,
+                            bool inference_only)
+{
+    // Enumerate every surface point the evaluation will touch, in the
+    // deterministic order the serial walk would first request them.
+    std::vector<Key> order;
+    std::set<Key> seen;
+    auto consider = [&](Key k) {
+        if (seen.insert(k).second)
+            order.push_back(k);
+    };
+    auto add_kernel = [&](const KernelSpec &spec, double bs, double nbs,
+                          bool, double) {
+        struct Cfg
+        {
+            bool saveOn;
+            int vpus;
+        };
+        for (Cfg c : {Cfg{false, 2}, Cfg{true, 2}, Cfg{true, 1}}) {
+            Key key = baseKey(spec, precision, bs, nbs, c.saveOn,
+                              c.vpus);
+            if (!c.saveOn) {
+                key.wBin = key.aBin = 0;
+                consider(key);
+                continue;
+            }
+            BinWeights w = binWeights(nbs, bs);
+            for (int wb : {w.w0, w.w1})
+                for (int ab : {w.a0, w.a1}) {
+                    Key k = key;
+                    k.wBin = static_cast<uint8_t>(wb);
+                    k.aBin = static_cast<uint8_t>(ab);
+                    consider(k);
+                }
+        }
+    };
+
+    int64_t first_step = inference_only ? net.steps() - 1 : 0;
+    for (int64_t e = first_step; e < net.steps(); ++e)
+        forEachKernel(net, e, inference_only, add_kernel);
+
+    // Drop points already simulated (or persisted) so the fan-out only
+    // covers genuinely new work.
+    std::vector<Key> todo;
+    {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        for (const Key &k : order)
+            if (!cache_.count(k))
+                todo.push_back(k);
+    }
+    if (todo.empty())
+        return;
+
+    if (pool_ && todo.size() > 1) {
+        pool_->parallelFor(
+            static_cast<int64_t>(todo.size()),
+            [&](int64_t i) { sliceTime(todo[static_cast<size_t>(i)]); });
+    } else {
+        for (const Key &k : todo)
+            sliceTime(k);
+    }
+}
+
+void
+TrainingEstimator::addEpoch(const NetworkModel &net, Precision precision,
+                            int64_t step, bool inference_only,
+                            NetResult &acc)
+{
+    PhaseBreakdown epoch2, epoch1; // for the per-epoch static choice
+
+    forEachKernel(
+        net, step, inference_only,
+        [&](const KernelSpec &spec, double bs, double nbs,
+            bool first_layer, double mac_factor) {
+            double tb = mac_factor *
+                        kernelTime(spec, precision, bs, nbs, false, 2);
+            double t2 = mac_factor *
+                        kernelTime(spec, precision, bs, nbs, true, 2);
+            double t1 = mac_factor *
+                        kernelTime(spec, precision, bs, nbs, true, 1);
+            bucket(acc.baseline2, spec.phase, first_layer, tb);
+            bucket(acc.save2, spec.phase, first_layer, t2);
+            bucket(acc.save1, spec.phase, first_layer, t1);
+            bucket(acc.saveDynamic, spec.phase, first_layer,
+                   std::min(t2, t1));
+            bucket(epoch2, spec.phase, first_layer, t2);
+            bucket(epoch1, spec.phase, first_layer, t1);
+        });
 
     // Static: the better fixed VPU count for this whole epoch.
     acc.saveStatic +=
@@ -220,6 +403,7 @@ TrainingEstimator::addEpoch(const NetworkModel &net, Precision precision,
 NetResult
 TrainingEstimator::inference(const NetworkModel &net, Precision precision)
 {
+    prefetch(net, precision, true);
     NetResult r;
     addEpoch(net, precision, net.steps() - 1, true, r);
     // Inference has no epoch granularity: static == the better fixed
@@ -230,6 +414,7 @@ TrainingEstimator::inference(const NetworkModel &net, Precision precision)
 NetResult
 TrainingEstimator::training(const NetworkModel &net, Precision precision)
 {
+    prefetch(net, precision, false);
     NetResult r;
     for (int64_t e = 0; e < net.steps(); ++e)
         addEpoch(net, precision, e, false, r);
@@ -240,6 +425,45 @@ TrainingEstimator::training(const NetworkModel &net, Precision precision)
     r.saveStatic *= inv;
     r.saveDynamic *= inv;
     return r;
+}
+
+void
+TrainingEstimator::flushPersistentCache()
+{
+    if (!persistent_.enabled() ||
+        !dirty_.load(std::memory_order_relaxed))
+        return;
+
+    std::vector<SurfaceRecord> records;
+    {
+        std::lock_guard<std::mutex> lk(cache_mu_);
+        records.reserve(cache_.size());
+        for (const auto &[k, fut] : cache_) {
+            if (fut.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready)
+                continue; // still simulating: skip, keep the file valid
+            double t;
+            try {
+                t = fut.get();
+            } catch (...) {
+                continue; // failed simulation: never persist it
+            }
+            SurfaceRecord r;
+            r.mr = k.mr;
+            r.nr = k.nr;
+            r.kSteps = k.kSteps;
+            r.pattern = k.pattern;
+            r.precision = k.precision;
+            r.saveOn = k.saveOn;
+            r.vpus = k.vpus;
+            r.wBin = k.wBin;
+            r.aBin = k.aBin;
+            r.timeNs = t;
+            records.push_back(r);
+        }
+    }
+    if (persistent_.save(records))
+        dirty_.store(false, std::memory_order_relaxed);
 }
 
 } // namespace save

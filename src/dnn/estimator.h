@@ -14,6 +14,15 @@
  * share a slice surface and differ only by their MAC-count scale
  * (DESIGN.md substitution 5).
  *
+ * The surface points of a network are hundreds of *independent*,
+ * seeded slice simulations, so the estimator enumerates them up front
+ * (deterministically) and fans them out across a host thread pool;
+ * the serial accumulation that follows reads only cached values, so
+ * results are bit-identical for any thread count. With a cache
+ * directory configured (SAVE_CACHE_DIR or EstimatorOptions::cacheDir)
+ * surfaces persist across process runs. See DESIGN.md, "Parallel
+ * estimator".
+ *
  * Operating points (Fig. 14): the baseline machine (2 VPUs, 1.7GHz),
  * SAVE with 2 VPUs, SAVE with 1 VPU at 2.1GHz (SecIV-D), `static`
  * (best fixed VPU count per epoch), and `dynamic` (best per kernel).
@@ -22,12 +31,20 @@
 #ifndef SAVE_DNN_ESTIMATOR_H
 #define SAVE_DNN_ESTIMATOR_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "dnn/networks.h"
+#include "dnn/surface_cache.h"
 #include "engine/engine.h"
+#include "util/thread_pool.h"
 
 namespace save {
 
@@ -45,6 +62,15 @@ struct EstimatorOptions
      *  between are linearly interpolated. 1 reproduces the paper. */
     int gridStep = 1;
     uint64_t seed = 7;
+    /** Host threads for the slice-simulation fan-out: 0 shares the
+     *  process-global pool (SAVE_THREADS or hardware concurrency),
+     *  1 runs strictly serially, N >= 2 uses a dedicated N-thread
+     *  pool. Results are identical for every setting. */
+    int threads = 0;
+    /** Persistent surface-cache directory. Empty defers to the
+     *  SAVE_CACHE_DIR environment variable; "none" disables
+     *  persistence even when the variable is set. */
+    std::string cacheDir;
 };
 
 /** Per-phase time breakdown (ns), Fig. 14 bar segments. */
@@ -75,12 +101,15 @@ struct NetResult
     PhaseBreakdown saveDynamic;
 };
 
-/** Surface-cached whole-network estimator. */
+/** Surface-cached whole-network estimator. Thread-safe: concurrent
+ *  kernelTime/inference/training calls share the single-flight surface
+ *  cache. */
 class TrainingEstimator
 {
   public:
     TrainingEstimator(MachineConfig mcfg, SaveConfig save_features,
                       EstimatorOptions opt);
+    ~TrainingEstimator();
 
     /** Forward pass at end-of-training sparsity. */
     NetResult inference(const NetworkModel &net, Precision precision);
@@ -89,14 +118,36 @@ class TrainingEstimator
     NetResult training(const NetworkModel &net, Precision precision);
 
     /**
+     * Simulate every surface point the given evaluation will touch,
+     * fanned out across the thread pool. inference()/training() call
+     * this themselves; it is public so callers can warm several
+     * networks ahead of time.
+     */
+    void prefetch(const NetworkModel &net, Precision precision,
+                  bool inference_only);
+
+    /**
      * Time of one kernel at given sparsities (ns, full layer).
      * save_on selects the SAVE feature set vs the baseline pipeline.
      */
     double kernelTime(const KernelSpec &spec, Precision precision,
                       double bs, double nbs, bool save_on, int vpus);
 
-    /** Slice simulations performed so far (cache misses). */
-    uint64_t simulations() const { return sims_; }
+    /** Slice simulations performed so far (in-memory cache misses). */
+    uint64_t simulations() const
+    {
+        return sims_.load(std::memory_order_relaxed);
+    }
+
+    /** Surface points loaded from the persistent cache at startup. */
+    uint64_t persistentHits() const { return persistent_hits_; }
+
+    /** Worker threads the fan-out uses (1 = serial path). */
+    int threads() const;
+
+    /** Write new surface points back to the persistent cache (no-op
+     *  when disabled or clean). Also runs on destruction. */
+    void flushPersistentCache();
 
   private:
     struct Key
@@ -106,10 +157,35 @@ class TrainingEstimator
         auto operator<=>(const Key &) const = default;
     };
 
-    /** Simulated slice time in ns at binned sparsities. */
+    /** Sparsity-bin corners + interpolation weights for one lookup. */
+    struct BinWeights
+    {
+        int w0, w1, a0, a1;
+        double dw, da;
+    };
+    BinWeights binWeights(double nbs, double bs) const;
+
+    /** Run one slice simulation (pure: no estimator state touched;
+     *  the worker builds its own short-lived Engine). */
+    double simulateSlice(const Key &key) const;
+
+    /** Simulated slice time in ns at binned sparsities; single-flight
+     *  cached so concurrent callers never duplicate a simulation. */
     double sliceTime(const Key &key);
     /** gridStep-aware bilinear interpolation over slice times. */
     double interpTime(Key key, double nbs, double bs);
+
+    /** Key for one kernel invocation before sparsity binning. */
+    Key baseKey(const KernelSpec &spec, Precision precision,
+                double bs, double nbs, bool save_on, int vpus) const;
+
+    /** Invoke fn for every kernel evaluation of one epoch, in the
+     *  exact order addEpoch accumulates them. */
+    void forEachKernel(
+        const NetworkModel &net, int64_t step, bool inference_only,
+        const std::function<void(const KernelSpec &, double bs,
+                                 double nbs, bool first_layer,
+                                 double mac_factor)> &fn) const;
 
     /** Accumulate one epoch of one network into the result. */
     void addEpoch(const NetworkModel &net, Precision precision,
@@ -118,10 +194,21 @@ class TrainingEstimator
     MachineConfig mcfg_;
     SaveConfig save_cfg_;
     EstimatorOptions opt_;
-    Engine base_engine_;
-    Engine save_engine_;
-    std::map<Key, double> cache_;
-    uint64_t sims_ = 0;
+
+    /** Owned pool for threads >= 2; null for serial or global-pool
+     *  mode (see EstimatorOptions::threads). */
+    std::unique_ptr<ThreadPool> owned_pool_;
+    ThreadPool *pool_ = nullptr;
+
+    /** Single-flight surface cache: the first thread to want a key
+     *  simulates it, everyone else waits on the shared future. */
+    std::mutex cache_mu_;
+    std::map<Key, std::shared_future<double>> cache_;
+    std::atomic<uint64_t> sims_{0};
+
+    SurfaceCache persistent_;
+    uint64_t persistent_hits_ = 0;
+    std::atomic<bool> dirty_{false};
 };
 
 } // namespace save

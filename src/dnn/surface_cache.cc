@@ -1,0 +1,232 @@
+#include "dnn/surface_cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace save {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x0046525345564153ull; // "SAVESRF\0"
+
+/** FNV-1a running hash; fed field-by-field, never via raw structs. */
+class Fnv1a
+{
+  public:
+    template <typename T>
+    void
+    mix(T value)
+    {
+        unsigned char bytes[sizeof(T)];
+        std::memcpy(bytes, &value, sizeof(T));
+        for (unsigned char b : bytes) {
+            h_ ^= b;
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+template <typename T>
+void
+put(std::ostream &os, T value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(is);
+}
+
+void
+putRecord(std::ostream &os, const SurfaceRecord &r)
+{
+    put(os, r.mr);
+    put(os, r.nr);
+    put(os, r.kSteps);
+    put(os, r.pattern);
+    put(os, r.precision);
+    put(os, r.saveOn);
+    put(os, r.vpus);
+    put(os, r.wBin);
+    put(os, r.aBin);
+    put(os, r.timeNs);
+}
+
+bool
+getRecord(std::istream &is, SurfaceRecord &r)
+{
+    return get(is, r.mr) && get(is, r.nr) && get(is, r.kSteps) &&
+           get(is, r.pattern) && get(is, r.precision) &&
+           get(is, r.saveOn) && get(is, r.vpus) && get(is, r.wBin) &&
+           get(is, r.aBin) && get(is, r.timeNs);
+}
+
+bool
+fail(std::string *why, const std::string &msg)
+{
+    if (why)
+        *why = msg;
+    return false;
+}
+
+} // namespace
+
+SurfaceCache::SurfaceCache(std::string dir, uint64_t config_hash)
+    : dir_(std::move(dir)), config_hash_(config_hash)
+{
+}
+
+std::string
+SurfaceCache::path() const
+{
+    if (dir_.empty())
+        return "";
+    char name[64];
+    std::snprintf(name, sizeof(name), "surface-%016llx.savecache",
+                  static_cast<unsigned long long>(config_hash_));
+    return (std::filesystem::path(dir_) / name).string();
+}
+
+bool
+SurfaceCache::load(std::vector<SurfaceRecord> &out, std::string *why) const
+{
+    out.clear();
+    if (!enabled())
+        return fail(why, "cache disabled (no directory configured)");
+
+    std::ifstream is(path(), std::ios::binary);
+    if (!is)
+        return fail(why, "no cache file at " + path());
+
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    uint64_t hash = 0;
+    uint64_t count = 0;
+    if (!get(is, magic) || magic != kMagic)
+        return fail(why, "bad magic (not a surface cache)");
+    if (!get(is, version) || version != kVersion)
+        return fail(why, "version " + std::to_string(version) +
+                             " != expected " + std::to_string(kVersion));
+    if (!get(is, hash) || hash != config_hash_)
+        return fail(why, "config-hash mismatch (machine/feature/"
+                         "estimator configuration changed)");
+    if (!get(is, count))
+        return fail(why, "truncated header");
+
+    out.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        SurfaceRecord r;
+        if (!getRecord(is, r)) {
+            out.clear();
+            return fail(why, "truncated record " + std::to_string(i));
+        }
+        out.push_back(r);
+    }
+    return true;
+}
+
+bool
+SurfaceCache::save(const std::vector<SurfaceRecord> &records) const
+{
+    if (!enabled())
+        return false;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        SAVE_WARN("cannot create cache dir ", dir_, ": ", ec.message());
+        return false;
+    }
+
+    std::string final_path = path();
+    std::string tmp_path = final_path + ".tmp";
+    {
+        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            SAVE_WARN("cannot write cache file ", tmp_path);
+            return false;
+        }
+        put(os, kMagic);
+        put(os, kVersion);
+        put(os, config_hash_);
+        put(os, static_cast<uint64_t>(records.size()));
+        for (const SurfaceRecord &r : records)
+            putRecord(os, r);
+        if (!os) {
+            SAVE_WARN("short write to cache file ", tmp_path);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        SAVE_WARN("cannot move cache file into place: ", ec.message());
+        std::filesystem::remove(tmp_path, ec);
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+SurfaceCache::hashConfig(const MachineConfig &m, const SaveConfig &s,
+                         uint64_t salt)
+{
+    Fnv1a h;
+    h.mix(salt);
+
+    h.mix(m.cores);
+    h.mix(m.freq2VpuGhz);
+    h.mix(m.freq1VpuGhz);
+    h.mix(m.uncoreGhz);
+    h.mix(m.issueWidth);
+    h.mix(m.commitWidth);
+    h.mix(m.rsEntries);
+    h.mix(m.robEntries);
+    h.mix(m.prfExtraRegs);
+    h.mix(m.numVpus);
+    h.mix(m.fp32FmaLatency);
+    h.mix(m.mpFmaLatency);
+    h.mix(m.l1ReadPorts);
+    h.mix(m.bcachePorts);
+    h.mix(m.bcacheEntries);
+    h.mix(m.l1SizeKb);
+    h.mix(m.l1Ways);
+    h.mix(m.l1LatCycles);
+    h.mix(m.l2SizeKb);
+    h.mix(m.l2Ways);
+    h.mix(m.l2LatCycles);
+    h.mix(m.l3SizeKbPerCore);
+    h.mix(m.l3Ways);
+    h.mix(m.l3LatNs);
+    h.mix(m.nocHopCycles);
+    h.mix(m.dramGBps);
+    h.mix(m.dramChannels);
+    h.mix(m.dramLatNs);
+    h.mix(m.prefetchDegree);
+    h.mix(m.exceptionServiceCycles);
+
+    h.mix(s.enabled);
+    h.mix(static_cast<uint8_t>(s.policy));
+    h.mix(s.laneWiseDep);
+    h.mix(s.bsSkip);
+    h.mix(static_cast<uint8_t>(s.bcache));
+    h.mix(s.mpCompress);
+    h.mix(s.hcExtraLatency);
+    h.mix(s.rotationStates);
+
+    return h.value();
+}
+
+} // namespace save

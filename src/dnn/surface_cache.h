@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Persistent on-disk cache for simulated slice-time surfaces.
+ *
+ * Every estimator-driven figure re-simulates the same steady-state
+ * slices; with SAVE_CACHE_DIR set (or EstimatorOptions::cacheDir), a
+ * warm cache makes repeated bench/example runs skip simulation
+ * entirely.
+ *
+ * File format (little-endian, versioned):
+ *   u64 magic  'SAVESRF\0'
+ *   u32 version
+ *   u64 configHash   -- hash of everything outside the record key that
+ *                       affects slice times (MachineConfig, SaveConfig,
+ *                       estimator tiles/cores/seed). A mismatch rejects
+ *                       the whole file: stale caches are never mixed
+ *                       with fresh simulations.
+ *   u64 count
+ *   count x SurfaceRecord (packed field-by-field, no struct padding)
+ *
+ * Writes go to a temp file in the same directory and are renamed into
+ * place, so concurrent readers only ever see complete files.
+ */
+
+#ifndef SAVE_DNN_SURFACE_CACHE_H
+#define SAVE_DNN_SURFACE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace save {
+
+/** One cached slice time: the estimator's surface-point key + value. */
+struct SurfaceRecord
+{
+    int32_t mr = 0;
+    int32_t nr = 0;
+    int32_t kSteps = 0;
+    uint8_t pattern = 0;
+    uint8_t precision = 0;
+    uint8_t saveOn = 0;
+    uint8_t vpus = 0;
+    uint8_t wBin = 0;
+    uint8_t aBin = 0;
+    double timeNs = 0.0;
+};
+
+/** Load/save surface records for one (machine, features) config. */
+class SurfaceCache
+{
+  public:
+    static constexpr uint32_t kVersion = 1;
+
+    /** @param dir Cache directory (created on save if missing). Empty
+     *             disables the cache: load() returns false, save() is
+     *             a no-op.
+     *  @param config_hash See hashConfig(). Also keys the file name,
+     *             so different configurations never collide. */
+    SurfaceCache(std::string dir, uint64_t config_hash);
+
+    /** True when a directory was configured. */
+    bool enabled() const { return !dir_.empty(); }
+
+    /** The cache file this instance reads/writes. */
+    std::string path() const;
+
+    /**
+     * Read all records from path(). Returns false (and explains in
+     * *why, when given) on a missing file, bad magic, version skew, or
+     * config-hash mismatch; out is left empty in every failure case.
+     */
+    bool load(std::vector<SurfaceRecord> &out,
+              std::string *why = nullptr) const;
+
+    /** Atomically replace path() with the given records. Returns false
+     *  (with a warning) on I/O failure; never throws. */
+    bool save(const std::vector<SurfaceRecord> &records) const;
+
+    /**
+     * FNV-1a over every MachineConfig/SaveConfig field plus the extra
+     * salt (estimator knobs that shift slice times), serialized
+     * field-by-field so struct padding can never leak into the hash.
+     */
+    static uint64_t hashConfig(const MachineConfig &mcfg,
+                               const SaveConfig &scfg, uint64_t salt);
+
+  private:
+    std::string dir_;
+    uint64_t config_hash_;
+};
+
+} // namespace save
+
+#endif // SAVE_DNN_SURFACE_CACHE_H

@@ -14,7 +14,7 @@ Engine::Engine(MachineConfig mcfg, SaveConfig scfg)
 }
 
 KernelResult
-Engine::runGemm(const GemmConfig &cfg, int cores, int vpus)
+Engine::runGemm(const GemmConfig &cfg, int cores, int vpus) const
 {
     SAVE_ASSERT(cores >= 1 && cores <= mcfg_.cores, "bad core count");
 
@@ -47,7 +47,8 @@ Engine::runGemm(const GemmConfig &cfg, int cores, int vpus)
 }
 
 bool
-Engine::verifyGemm(const GemmConfig &cfg, int vpus, std::string *detail)
+Engine::verifyGemm(const GemmConfig &cfg, int vpus,
+                   std::string *detail) const
 {
     // Simulated machine state.
     MemoryImage sim_image;

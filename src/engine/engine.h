@@ -37,7 +37,9 @@ struct KernelResult
     StatGroup stats;
 };
 
-/** Simulation façade. */
+/** Simulation façade. Holds only configuration: each run builds its
+ *  own machine, so one Engine (or copies of it) may simulate from many
+ *  host threads concurrently. */
 class Engine
 {
   public:
@@ -50,14 +52,14 @@ class Engine
      * a small run models those cores' share of the full machine.
      */
     KernelResult runGemm(const GemmConfig &cfg, int cores = 1,
-                         int vpus = 2);
+                         int vpus = 2) const;
 
     /**
      * Run the trace through the OoO pipeline and through the in-order
      * reference; true iff final C-matrix memory is bitwise identical.
      */
     bool verifyGemm(const GemmConfig &cfg, int vpus = 2,
-                    std::string *detail = nullptr);
+                    std::string *detail = nullptr) const;
 
     const MachineConfig &machine() const { return mcfg_; }
     const SaveConfig &save() const { return scfg_; }

@@ -66,6 +66,7 @@ class MemHierarchy
     HitLevel lastLevel() const { return last_level_; }
 
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
     SetAssocCache &l1(int core) { return *l1_[static_cast<size_t>(core)]; }
     SetAssocCache &l2(int core) { return *l2_[static_cast<size_t>(core)]; }
 

@@ -119,6 +119,7 @@ class Core
 
     Renamer &renamer() { return renamer_; }
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
     BroadcastCache *bcache() { return bcache_.get(); }
 
     /** Shared with the scheduler ------------------------------------ */

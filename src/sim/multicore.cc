@@ -29,6 +29,13 @@ Multicore::bindTraces(const std::vector<TraceSource *> &traces)
 uint64_t
 Multicore::run(uint64_t max_cycles)
 {
+    // The cycle-limit check is hoisted out of the per-core hot loop:
+    // every kCheckInterval lock-step rounds is cheap and still bounds
+    // a runaway simulation to max_cycles + kCheckInterval cycles.
+    constexpr uint64_t kCheckInterval = 1024;
+    static_assert((kCheckInterval & (kCheckInterval - 1)) == 0,
+                  "check interval must be a power of two");
+    uint64_t rounds = 0;
     bool any = true;
     while (any) {
         any = false;
@@ -36,11 +43,10 @@ Multicore::run(uint64_t max_cycles)
             if (!core->drained()) {
                 core->step();
                 any = true;
-                SAVE_ASSERT(core->cycle() < max_cycles,
-                            "multicore simulation exceeded ", max_cycles,
-                            " cycles");
             }
         }
+        if ((++rounds & (kCheckInterval - 1)) == 0)
+            checkCycleLimit(max_cycles);
     }
     uint64_t max = 0;
     for (auto &core : cores_) {
@@ -50,13 +56,24 @@ Multicore::run(uint64_t max_cycles)
     return max;
 }
 
+void
+Multicore::checkCycleLimit(uint64_t max_cycles) const
+{
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        if (cores_[c]->cycle() >= max_cycles)
+            SAVE_PANIC("multicore simulation exceeded ", max_cycles,
+                       " cycles on core ", c, " (cycle ",
+                       cores_[c]->cycle(), ")");
+    }
+}
+
 StatGroup
 Multicore::aggregateStats() const
 {
     StatGroup g;
     for (const auto &core : cores_)
-        g.merge(const_cast<Core &>(*core).stats());
-    g.merge(const_cast<MemHierarchy &>(*mem_).stats());
+        g.merge(core->stats());
+    g.merge(mem_->stats());
     return g;
 }
 

@@ -41,6 +41,9 @@ class Multicore
     StatGroup aggregateStats() const;
 
   private:
+    /** Panic (naming the core) if any core passed max_cycles. */
+    void checkCycleLimit(uint64_t max_cycles) const;
+
     MachineConfig mcfg_;
     std::unique_ptr<MemHierarchy> mem_;
     std::vector<std::unique_ptr<Core>> cores_;

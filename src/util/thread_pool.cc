@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+#include "util/logging.h"
+
+namespace save {
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads > 0 ? threads : defaultThreads();
+    queues_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back(
+            [this, i] { workerLoop(static_cast<size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(idle_mu_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    idle_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    size_t slot = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                  queues_.size();
+    {
+        std::lock_guard<std::mutex> lk(queues_[slot]->mu);
+        queues_[slot]->q.push_back(std::move(fn));
+    }
+    {
+        // Increment under idle_mu_ so a worker checking the predicate
+        // can never miss the wakeup (lost-notify race).
+        std::lock_guard<std::mutex> lk(idle_mu_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    idle_cv_.notify_one();
+}
+
+bool
+ThreadPool::tryRunOne(size_t self)
+{
+    std::function<void()> task;
+    size_t n = queues_.size();
+    for (size_t k = 0; k < n && !task; ++k) {
+        // Own queue first (back = most recently pushed, cache-hot),
+        // then steal the oldest task from the other queues in order.
+        size_t victim = (self + k) % n;
+        std::lock_guard<std::mutex> lk(queues_[victim]->mu);
+        if (queues_[victim]->q.empty())
+            continue;
+        if (victim == self) {
+            task = std::move(queues_[victim]->q.back());
+            queues_[victim]->q.pop_back();
+        } else {
+            task = std::move(queues_[victim]->q.front());
+            queues_[victim]->q.pop_front();
+        }
+    }
+    if (!task)
+        return false;
+    pending_.fetch_sub(1, std::memory_order_acquire);
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(size_t id)
+{
+    for (;;) {
+        if (tryRunOne(id))
+            continue;
+        std::unique_lock<std::mutex> lk(idle_mu_);
+        idle_cv_.wait(lk, [this] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_.load(std::memory_order_relaxed) &&
+            pending_.load(std::memory_order_acquire) <= 0)
+            return;
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t n,
+                        const std::function<void(int64_t)> &body)
+{
+    if (n <= 0)
+        return;
+
+    struct Loop
+    {
+        std::atomic<int64_t> next{0};
+        std::atomic<int64_t> done{0};
+        int64_t total;
+        std::mutex mu;
+        std::condition_variable cv;
+        std::exception_ptr error;
+    };
+    auto loop = std::make_shared<Loop>();
+    loop->total = n;
+
+    auto drain = [loop, &body] {
+        int64_t i;
+        while ((i = loop->next.fetch_add(1, std::memory_order_relaxed)) <
+               loop->total) {
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(loop->mu);
+                if (!loop->error)
+                    loop->error = std::current_exception();
+            }
+            if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                loop->total) {
+                std::lock_guard<std::mutex> lk(loop->mu);
+                loop->cv.notify_all();
+            }
+        }
+    };
+
+    // One helper task per worker; each loops over the shared index
+    // counter, so helpers that start late (or never) cost nothing.
+    int64_t helpers =
+        std::min<int64_t>(static_cast<int64_t>(size()), n - 1);
+    for (int64_t h = 0; h < helpers; ++h)
+        submit(drain);
+
+    drain(); // the caller participates — nested calls cannot deadlock
+
+    std::unique_lock<std::mutex> lk(loop->mu);
+    loop->cv.wait(lk, [&] {
+        return loop->done.load(std::memory_order_acquire) == loop->total;
+    });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreads());
+    return pool;
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("SAVE_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        SAVE_WARN("ignoring bad SAVE_THREADS value '", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace save

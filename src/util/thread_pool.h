@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Work-stealing host thread pool for embarrassingly-parallel
+ * simulation fan-out (the estimator's slice sweeps and the bench
+ * harnesses' sparsity grids).
+ *
+ * Design: one mutex-guarded deque per worker. A worker pops from the
+ * back of its own deque and steals from the front of a victim's, so
+ * related tasks stay hot on one worker while idle workers drain the
+ * oldest work. `parallelFor` is the main entry point: the calling
+ * thread participates in the index loop, which makes nested use from
+ * inside a worker deadlock-free and keeps a size-1 pool exactly
+ * serial.
+ *
+ * Determinism: the pool only decides *where* a task runs, never what
+ * it computes. Callers that need bit-identical output across thread
+ * counts must make each index's work independent and write results
+ * into per-index slots (as the estimator does).
+ */
+
+#ifndef SAVE_UTIL_THREAD_POOL_H
+#define SAVE_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace save {
+
+/** A fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /** threads == 0 picks defaultThreads(). threads == 1 still spawns
+     *  one worker, but parallelFor degrades to a serial loop on the
+     *  calling thread plus that worker. */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue one fire-and-forget task (round-robin across worker
+     *  deques; an idle worker may steal it). */
+    void submit(std::function<void()> fn);
+
+    /**
+     * Run body(0..n-1) across the pool and the calling thread; returns
+     * when all n indices completed. The first exception thrown by any
+     * index is rethrown on the caller after the loop drains. Safe to
+     * call from inside a pool task (the nested caller drains its own
+     * indices).
+     */
+    void parallelFor(int64_t n, const std::function<void(int64_t)> &body);
+
+    /** Process-wide shared pool, lazily built with defaultThreads(). */
+    static ThreadPool &global();
+
+    /** SAVE_THREADS env override, else std::thread::hardware_concurrency
+     *  (min 1). */
+    static int defaultThreads();
+
+  private:
+    struct WorkQueue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> q;
+    };
+
+    void workerLoop(size_t id);
+    /** Pop from own back, else steal from another queue's front. */
+    bool tryRunOne(size_t self);
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex idle_mu_;
+    std::condition_variable idle_cv_;
+    std::atomic<bool> stop_{false};
+    std::atomic<uint64_t> next_queue_{0};
+    std::atomic<int64_t> pending_{0};
+};
+
+} // namespace save
+
+#endif // SAVE_UTIL_THREAD_POOL_H

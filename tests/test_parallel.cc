@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for the parallel simulation layer: the work-stealing thread
+ * pool, the estimator's concurrent slice fan-out (results must be
+ * bit-identical to the serial path for every thread count), and the
+ * persistent surface cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <unistd.h>
+
+#include "dnn/estimator.h"
+#include "dnn/networks.h"
+#include "dnn/surface_cache.h"
+#include "util/thread_pool.h"
+
+namespace save {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN, [&](int64_t i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1);
+}
+
+TEST(ThreadPool, UsesMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    // Enough chunky tasks that helpers wake up and participate.
+    pool.parallelFor(64, [&](int64_t) {
+        volatile uint64_t x = 0;
+        for (int k = 0; k < 2'000'000; ++k)
+            x = x + static_cast<uint64_t>(k);
+        std::lock_guard<std::mutex> lk(mu);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](int64_t) {
+        pool.parallelFor(8, [&](int64_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(16,
+                                  [&](int64_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroAndOneSizedLoops)
+{
+    ThreadPool pool(2);
+    int runs = 0;
+    pool.parallelFor(0, [&](int64_t) { ++runs; });
+    EXPECT_EQ(runs, 0);
+    pool.parallelFor(1, [&](int64_t) { ++runs; });
+    EXPECT_EQ(runs, 1);
+}
+
+// ----------------------------------------------- estimator determinism
+
+EstimatorOptions
+fastOptions(int threads)
+{
+    EstimatorOptions o;
+    o.kSteps = 24;
+    o.tiles = 1;
+    o.gridStep = 9; // only 0% and 90% bins: fast
+    o.threads = threads;
+    o.cacheDir = "none"; // never mix persistent state into this test
+    return o;
+}
+
+/** Byte-wise equality: "bit-identical" in the strictest sense. */
+bool
+bytesEqual(const NetResult &a, const NetResult &b)
+{
+    return std::memcmp(&a, &b, sizeof(NetResult)) == 0;
+}
+
+TEST(ParallelEstimator, BitIdenticalAcrossThreadCounts)
+{
+    NetworkModel net = vgg16Dense();
+    net.convLayers.resize(4);
+    net.schedule = PruningSchedule::none(3);
+
+    TrainingEstimator serial(MachineConfig{}, SaveConfig{},
+                             fastOptions(1));
+    EXPECT_EQ(serial.threads(), 1);
+    NetResult want_inf = serial.inference(net, Precision::Fp32);
+    NetResult want_train = serial.training(net, Precision::Bf16);
+
+    for (int threads : {2, 8}) {
+        TrainingEstimator par(MachineConfig{}, SaveConfig{},
+                              fastOptions(threads));
+        EXPECT_EQ(par.threads(), threads);
+        NetResult inf = par.inference(net, Precision::Fp32);
+        NetResult train = par.training(net, Precision::Bf16);
+        EXPECT_TRUE(bytesEqual(want_inf, inf))
+            << "inference differs with " << threads << " threads";
+        EXPECT_TRUE(bytesEqual(want_train, train))
+            << "training differs with " << threads << " threads";
+    }
+}
+
+TEST(ParallelEstimator, FanOutMatchesSerialSimulationCount)
+{
+    NetworkModel net = vgg16Dense();
+    net.convLayers.resize(3);
+
+    TrainingEstimator serial(MachineConfig{}, SaveConfig{},
+                             fastOptions(1));
+    TrainingEstimator par(MachineConfig{}, SaveConfig{},
+                          fastOptions(4));
+    serial.inference(net, Precision::Fp32);
+    par.inference(net, Precision::Fp32);
+    // Single-flight dedup: the concurrent fan-out must not simulate
+    // any surface point twice.
+    EXPECT_EQ(par.simulations(), serial.simulations());
+}
+
+TEST(ParallelEstimator, PrefetchCoversEvaluation)
+{
+    NetworkModel net = vgg16Dense();
+    net.convLayers.resize(3);
+
+    TrainingEstimator est(MachineConfig{}, SaveConfig{},
+                          fastOptions(2));
+    est.prefetch(net, Precision::Fp32, true);
+    uint64_t after_prefetch = est.simulations();
+    EXPECT_GT(after_prefetch, 0u);
+    est.inference(net, Precision::Fp32);
+    // The evaluation itself must be fully served from cache.
+    EXPECT_EQ(est.simulations(), after_prefetch);
+}
+
+// -------------------------------------------------------- surface cache
+
+class SurfaceCacheTest : public ::testing::Test
+{
+  protected:
+    SurfaceCacheTest()
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("save-cache-test-" +
+                std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+    }
+
+    ~SurfaceCacheTest() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(SurfaceCacheTest, SaveLoadRoundTrip)
+{
+    SurfaceCache cache(dir_.string(), 0x1234abcd);
+    std::vector<SurfaceRecord> in;
+    for (int i = 0; i < 5; ++i) {
+        SurfaceRecord r;
+        r.mr = 7 + i;
+        r.nr = 3;
+        r.kSteps = 192;
+        r.pattern = static_cast<uint8_t>(i % 2);
+        r.precision = static_cast<uint8_t>(i % 2);
+        r.saveOn = 1;
+        r.vpus = 2;
+        r.wBin = static_cast<uint8_t>(i);
+        r.aBin = static_cast<uint8_t>(9 - i);
+        r.timeNs = 1000.5 * (i + 1);
+        in.push_back(r);
+    }
+    ASSERT_TRUE(cache.save(in));
+
+    std::vector<SurfaceRecord> out;
+    std::string why;
+    ASSERT_TRUE(cache.load(out, &why)) << why;
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out[i].mr, in[i].mr);
+        EXPECT_EQ(out[i].wBin, in[i].wBin);
+        EXPECT_EQ(out[i].aBin, in[i].aBin);
+        EXPECT_EQ(out[i].timeNs, in[i].timeNs); // exact, not approx
+    }
+}
+
+TEST_F(SurfaceCacheTest, RejectsConfigHashMismatch)
+{
+    SurfaceCache writer(dir_.string(), 1);
+    ASSERT_TRUE(writer.save({SurfaceRecord{}}));
+
+    // Same directory, same file *name* only if the hash matched — a
+    // different hash reads a different file and finds nothing...
+    SurfaceCache other(dir_.string(), 2);
+    std::vector<SurfaceRecord> out;
+    std::string why;
+    EXPECT_FALSE(other.load(out, &why));
+    EXPECT_TRUE(out.empty());
+
+    // ...and even a forged file under the expected name is rejected
+    // when the stored hash disagrees.
+    std::filesystem::copy_file(writer.path(), other.path());
+    EXPECT_FALSE(other.load(out, &why));
+    EXPECT_NE(why.find("config-hash mismatch"), std::string::npos)
+        << why;
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(SurfaceCacheTest, RejectsVersionSkewAndGarbage)
+{
+    SurfaceCache cache(dir_.string(), 7);
+    ASSERT_TRUE(cache.save({SurfaceRecord{}}));
+
+    // Corrupt the version field (offset 8, after the u64 magic).
+    {
+        std::fstream f(cache.path(),
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(8);
+        uint32_t bad_version = SurfaceCache::kVersion + 1;
+        f.write(reinterpret_cast<const char *>(&bad_version),
+                sizeof(bad_version));
+    }
+    std::vector<SurfaceRecord> out;
+    std::string why;
+    EXPECT_FALSE(cache.load(out, &why));
+    EXPECT_NE(why.find("version"), std::string::npos) << why;
+
+    // Garbage magic.
+    {
+        std::ofstream f(cache.path(),
+                        std::ios::binary | std::ios::trunc);
+        f << "this is not a surface cache";
+    }
+    EXPECT_FALSE(cache.load(out, &why));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(SurfaceCacheTest, TruncatedRecordsRejected)
+{
+    SurfaceCache cache(dir_.string(), 7);
+    std::vector<SurfaceRecord> in(3);
+    ASSERT_TRUE(cache.save(in));
+    auto size = std::filesystem::file_size(cache.path());
+    std::filesystem::resize_file(cache.path(), size - 4);
+
+    std::vector<SurfaceRecord> out;
+    std::string why;
+    EXPECT_FALSE(cache.load(out, &why));
+    EXPECT_NE(why.find("truncated"), std::string::npos) << why;
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(SurfaceCacheTest, DisabledCacheIsInert)
+{
+    SurfaceCache cache("", 7);
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.save({SurfaceRecord{}}));
+    std::vector<SurfaceRecord> out;
+    EXPECT_FALSE(cache.load(out));
+}
+
+TEST_F(SurfaceCacheTest, HashSensitivity)
+{
+    MachineConfig m;
+    SaveConfig s;
+    uint64_t base = SurfaceCache::hashConfig(m, s, 0);
+    EXPECT_EQ(base, SurfaceCache::hashConfig(m, s, 0)); // stable
+
+    MachineConfig m2 = m;
+    m2.dramGBps += 1.0;
+    EXPECT_NE(base, SurfaceCache::hashConfig(m2, s, 0));
+
+    SaveConfig s2 = s;
+    s2.policy = SchedPolicy::VC;
+    EXPECT_NE(base, SurfaceCache::hashConfig(m, s2, 0));
+
+    EXPECT_NE(base, SurfaceCache::hashConfig(m, s, 1));
+}
+
+TEST_F(SurfaceCacheTest, EstimatorPersistsAndReloadsSurfaces)
+{
+    NetworkModel net = vgg16Dense();
+    net.convLayers.resize(2);
+
+    EstimatorOptions o;
+    o.kSteps = 24;
+    o.tiles = 1;
+    o.gridStep = 9;
+    o.threads = 2;
+    o.cacheDir = dir_.string();
+
+    NetResult cold, warm;
+    uint64_t cold_sims;
+    {
+        TrainingEstimator est(MachineConfig{}, SaveConfig{}, o);
+        EXPECT_EQ(est.persistentHits(), 0u);
+        cold = est.inference(net, Precision::Fp32);
+        cold_sims = est.simulations();
+        EXPECT_GT(cold_sims, 0u);
+    } // destructor flushes the cache file
+
+    {
+        TrainingEstimator est(MachineConfig{}, SaveConfig{}, o);
+        EXPECT_EQ(est.persistentHits(), cold_sims);
+        warm = est.inference(net, Precision::Fp32);
+        // Warm run: zero new simulations, bit-identical result.
+        EXPECT_EQ(est.simulations(), 0u);
+        EXPECT_EQ(std::memcmp(&cold, &warm, sizeof cold), 0);
+    }
+
+    // A different machine config must ignore the stale file.
+    MachineConfig other;
+    other.dramGBps *= 2;
+    TrainingEstimator est(other, SaveConfig{}, o);
+    EXPECT_EQ(est.persistentHits(), 0u);
+}
+
+} // namespace
+} // namespace save
