@@ -10,8 +10,8 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
 
@@ -57,4 +57,10 @@ main(int argc, char **argv)
                 "paper's design exploits is created by the kernel's "
                 "data layout.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -12,8 +12,8 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 2);
@@ -59,4 +59,10 @@ main(int argc, char **argv)
                 "leakage roughly in half while the op count is "
                 "unchanged.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -12,8 +12,8 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 3);
@@ -54,4 +54,10 @@ main(int argc, char **argv)
                 "additional states trade more rotator hardware for "
                 "small returns.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

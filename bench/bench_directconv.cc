@@ -34,8 +34,8 @@ runConv(const SaveConfig &scfg, const DirectConvWorkload &w,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 2);
@@ -93,4 +93,10 @@ main(int argc, char **argv)
                 "zeros and strided broadcast streams, which the B$ "
                 "and the MGU handle identically.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

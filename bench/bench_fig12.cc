@@ -9,8 +9,8 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int samples = flags.getInt("samples", 5);
@@ -46,4 +46,10 @@ main(int argc, char **argv)
     std::printf("GNMT omitted as in the paper: activation sparsity is "
                 "constantly 20%% (dropout).\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -8,8 +8,8 @@
 
 using namespace save;
 
-int
-main()
+static int
+run()
 {
     {
         PruningSchedule p = PruningSchedule::resnet50();
@@ -39,4 +39,10 @@ main()
                 "epoch 60; GNMT ramps from iteration 40K to 90%% at "
                 "190K.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(); });
 }

@@ -11,6 +11,9 @@
  *
  * Flags: --grid=1 reproduces the paper's full 10% sparsity sampling
  * (slower); the default --grid=3 samples every 30% and interpolates.
+ * With --journal=PATH (or SAVE_JOURNAL) every completed network
+ * evaluation is checkpointed, so an interrupted run resumes without
+ * resimulating finished points.
  */
 
 #include "bench_util.h"
@@ -46,12 +49,15 @@ printNet(const char *title, const NetResult &r, bool training)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
-    TrainingEstimator est(MachineConfig{}, SaveConfig{},
-                          estimatorOptions(flags));
+    EstimatorOptions eopt = estimatorOptions(flags);
+    SweepRunner runner(flags, "fig14",
+                       {eopt.gridStep, eopt.kSteps, eopt.tiles,
+                        eopt.cores, static_cast<int64_t>(eopt.seed)});
+    TrainingEstimator est(MachineConfig{}, SaveConfig{}, eopt);
     std::printf("simulation fan-out: %d thread(s), %lu surface "
                 "point(s) from persistent cache\n\n",
                 est.threads(),
@@ -76,26 +82,41 @@ main(int argc, char **argv)
         {gnmtPruned(), Precision::Bf16, "GNMT MP pruned"},
     };
 
+    auto eval = [&](const Entry &e, bool training) {
+        std::string key = std::string(training ? "train/" : "infer/") +
+                          e.label;
+        return runner.point<NetResult>(key, [&] {
+            return training ? est.training(e.net, e.prec)
+                            : est.inference(e.net, e.prec);
+        });
+    };
+
     std::printf("=== Fig. 14a: CNN inference ===\n");
     for (const Entry &e : cnn_entries)
-        printNet(e.label, est.inference(e.net, e.prec), false);
+        printNet(e.label, eval(e, false), false);
 
     std::printf("\n=== Fig. 14b: GNMT inference ===\n");
     for (const Entry &e : gnmt_entries)
-        printNet(e.label, est.inference(e.net, e.prec), false);
+        printNet(e.label, eval(e, false), false);
 
     std::printf("\n=== Fig. 14c: CNN end-to-end training ===\n");
     for (const Entry &e : cnn_entries)
-        printNet(e.label, est.training(e.net, e.prec), true);
+        printNet(e.label, eval(e, true), true);
 
     std::printf("\n=== Fig. 14d: GNMT end-to-end training ===\n");
     for (const Entry &e : gnmt_entries)
-        printNet(e.label, est.training(e.net, e.prec), true);
+        printNet(e.label, eval(e, true), true);
 
     std::printf("\nslice simulations: %lu\n",
                 static_cast<unsigned long>(est.simulations()));
     std::printf("Paper (dynamic, MP): inference 1.68x/1.37x/1.59x "
                 "(VGG/ResNet/ResNet-pruned), 1.39x GNMT; training "
                 "1.64x/1.29x/1.42x, 1.28x GNMT.\n");
-    return 0;
+    return runner.finish(est.failures().size(), est.failureReport());
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

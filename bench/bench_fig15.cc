@@ -10,11 +10,14 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 1);
+    SweepRunner runner(flags, "fig15",
+                       {step, flags.getInt("ksteps", 192),
+                        flags.getInt("tiles", 6)});
 
     MachineConfig m;
     NetworkModel net = resnet50Pruned();
@@ -42,11 +45,15 @@ main(int argc, char **argv)
     std::vector<double> speedups = parallelSweep(
         static_cast<int>(points.size()), [&](int i) {
             const Point &p = points[static_cast<size_t>(i)];
-            GemmConfig g = sliceFor(spec, Precision::Bf16, p.a * 0.1,
-                                    p.w * 0.1, flags,
-                                    7 + static_cast<uint64_t>(
-                                            p.w * 10 + p.a));
-            return speedup(rb, sv.runGemm(g, 1, p.vpus));
+            std::string key = "vpus" + std::to_string(p.vpus) + "/w" +
+                              std::to_string(p.w) + "/a" +
+                              std::to_string(p.a);
+            return runner.point<double>(key, [&] {
+                GemmConfig g = sliceFor(
+                    spec, Precision::Bf16, p.a * 0.1, p.w * 0.1, flags,
+                    7 + static_cast<uint64_t>(p.w * 10 + p.a));
+                return speedup(rb, sv.runGemm(g, 1, p.vpus));
+            });
         });
 
     size_t next = 0;
@@ -70,5 +77,11 @@ main(int argc, char **argv)
                 "type); 1 VPU starts at 0.71x dense, reaches ~1.96x, "
                 "and beats 2 VPUs when either sparsity exceeds "
                 "~70%%.\n");
-    return 0;
+    return runner.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -15,10 +15,13 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
+    SweepRunner runner(flags, "fig16",
+                       {flags.getInt("ksteps", 192),
+                        flags.getInt("tiles", 6)});
     MachineConfig m;
     Engine base(m, SaveConfig::baseline());
     Engine sv(m, SaveConfig{});
@@ -76,14 +79,23 @@ main(int argc, char **argv)
     std::vector<double> caps = parallelSweep(
         static_cast<int>(unique_keys.size()), [&](int i) {
             const Key &key = unique_keys[static_cast<size_t>(i)];
-            GemmConfig g = sliceFor(
-                *unique_specs[static_cast<size_t>(i)],
-                static_cast<Precision>(key.prec), 0.9, 0.9, flags);
-            GemmConfig dense = g;
-            dense.bsSparsity = dense.nbsSparsity = 0.0;
-            auto rb = base.runGemm(dense, 1, 2);
-            auto rs = sv.runGemm(g, 1, key.vpus);
-            return speedup(rb, rs);
+            std::string jkey =
+                "mr" + std::to_string(key.mr) + "/nr" +
+                std::to_string(key.nr) + "/ks" +
+                std::to_string(key.ks) + "/pat" +
+                std::to_string(key.pattern) + "/prec" +
+                std::to_string(key.prec) + "/vpus" +
+                std::to_string(key.vpus);
+            return runner.point<double>(jkey, [&] {
+                GemmConfig g = sliceFor(
+                    *unique_specs[static_cast<size_t>(i)],
+                    static_cast<Precision>(key.prec), 0.9, 0.9, flags);
+                GemmConfig dense = g;
+                dense.bsSparsity = dense.nbsSparsity = 0.0;
+                auto rb = base.runGemm(dense, 1, 2);
+                auto rs = sv.runGemm(g, 1, key.vpus);
+                return speedup(rb, rs);
+            });
         });
     for (size_t i = 0; i < unique_keys.size(); ++i)
         cache[unique_keys[i]] = caps[i];
@@ -115,5 +127,11 @@ main(int argc, char **argv)
     }
     std::printf("Paper geomean caps: FP32 1.39x (2 VPUs) / 1.62x "
                 "(1 VPU); MP 1.48x / 1.77x.\n");
-    return 0;
+    return runner.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -10,11 +10,14 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 1);
+    SweepRunner runner(flags, "fig17",
+                       {step, flags.getInt("ksteps", 192),
+                        flags.getInt("tiles", 6)});
 
     MachineConfig m;
     NetworkModel net = resnet50Pruned();
@@ -58,13 +61,19 @@ main(int argc, char **argv)
     std::vector<double> speedups = parallelSweep(
         static_cast<int>(points.size()), [&](int i) {
             const Point &p = points[static_cast<size_t>(i)];
-            SaveConfig s;
-            s.bcache = p.kind;
-            Engine e(m, s);
-            GemmConfig g = sliceFor(
-                spec, Precision::Fp32, p.bs, p.w * 0.1, flags,
-                31 + static_cast<uint64_t>(p.w));
-            return speedup(rb, e.runGemm(g, 1, 2));
+            std::string key =
+                "bs" + std::to_string(p.bs) + "/bc" +
+                std::to_string(static_cast<int>(p.kind)) + "/w" +
+                std::to_string(p.w);
+            return runner.point<double>(key, [&] {
+                SaveConfig s;
+                s.bcache = p.kind;
+                Engine e(m, s);
+                GemmConfig g = sliceFor(
+                    spec, Precision::Fp32, p.bs, p.w * 0.1, flags,
+                    31 + static_cast<uint64_t>(p.w));
+                return speedup(rb, e.runGemm(g, 1, 2));
+            });
         });
 
     size_t next = 0;
@@ -85,5 +94,11 @@ main(int argc, char **argv)
                 "sparsity; the data design keeps gaining with NBS "
                 "while the mask design is limited by L1 bandwidth on "
                 "non-zero broadcasts.\n");
-    return 0;
+    return runner.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -13,11 +13,14 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 1);
+    SweepRunner runner(flags, "fig18",
+                       {step, flags.getInt("ksteps", 192),
+                        flags.getInt("tiles", 6)});
 
     MachineConfig m;
     NetworkModel net = resnet50Pruned();
@@ -67,14 +70,21 @@ main(int argc, char **argv)
         std::vector<double> speedups = parallelSweep(
             static_cast<int>(points.size()), [&](int i) {
                 const Point &p = points[static_cast<size_t>(i)];
-                SaveConfig s;
-                s.policy = p.policy;
-                s.laneWiseDep = p.lwd;
-                Engine e(m, s);
-                GemmConfig g = sliceFor(
-                    spec, Precision::Fp32, 0.0, p.w * 0.1, flags,
-                    53 + static_cast<uint64_t>(p.w));
-                return speedup(rb, e.runGemm(g, 1, 1));
+                std::string key =
+                    std::string(layer) + "/pol" +
+                    std::to_string(static_cast<int>(p.policy)) +
+                    "/lwd" + std::to_string(p.lwd ? 1 : 0) + "/w" +
+                    std::to_string(p.w);
+                return runner.point<double>(key, [&] {
+                    SaveConfig s;
+                    s.policy = p.policy;
+                    s.laneWiseDep = p.lwd;
+                    Engine e(m, s);
+                    GemmConfig g = sliceFor(
+                        spec, Precision::Fp32, 0.0, p.w * 0.1, flags,
+                        53 + static_cast<uint64_t>(p.w));
+                    return speedup(rb, e.runGemm(g, 1, 1));
+                });
             });
 
         size_t next = 0;
@@ -89,5 +99,11 @@ main(int argc, char **argv)
     std::printf("Paper: with CW~1, plain VC suffers badly and RVC "
                 "recovers; with CW~3, VC+LWD catches up to RVC; "
                 "RVC+LWD is best everywhere and close to HC.\n");
-    return 0;
+    return runner.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -10,11 +10,14 @@
 
 using namespace save;
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 1);
+    SweepRunner runner(flags, "fig19",
+                       {step, flags.getInt("ksteps", 192),
+                        flags.getInt("tiles", 6)});
 
     MachineConfig m;
     NetworkModel net = resnet50Pruned();
@@ -44,10 +47,14 @@ main(int argc, char **argv)
         parallelSweep(2 * n, [&](int i) {
             const Engine &e = i < n ? eo : ew;
             int w = nbs_bins[static_cast<size_t>(i % n)];
-            GemmConfig g = sliceFor(spec, Precision::Bf16, 0.0,
-                                    w * 0.1, flags,
-                                    71 + static_cast<uint64_t>(w));
-            return speedup(rb, e.runGemm(g, 1, 1));
+            std::string key = std::string(i < n ? "nomp" : "mp") +
+                              "/w" + std::to_string(w);
+            return runner.point<double>(key, [&] {
+                GemmConfig g = sliceFor(spec, Precision::Bf16, 0.0,
+                                        w * 0.1, flags,
+                                        71 + static_cast<uint64_t>(w));
+                return speedup(rb, e.runGemm(g, 1, 1));
+            });
         });
 
     std::printf("%-18s", "NBS");
@@ -63,5 +70,11 @@ main(int argc, char **argv)
                 "sparsity level, sometimes substantially (exploitable "
                 "sparsity without it is only the square of the ML "
                 "sparsity).\n");
-    return 0;
+    return runner.finish();
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -34,8 +34,8 @@ runTrace(const SaveConfig &scfg, const GemmWorkload &w,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int step = flags.getInt("grid", 1);
@@ -105,4 +105,10 @@ main(int argc, char **argv)
                 "broadcasted sparsity while SAVE exploits both "
                 "broadcasted and non-broadcasted sparsity.\"\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

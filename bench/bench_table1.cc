@@ -8,8 +8,8 @@
 
 using namespace save;
 
-int
-main()
+static int
+run()
 {
     MachineConfig m;
     TextTable t({"component", "configuration"});
@@ -57,4 +57,10 @@ main()
                 "cycles (paper SecVI).\n",
                 m.fp32FmaLatency, m.mpFmaLatency);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(); });
 }

@@ -38,8 +38,8 @@ tempBookkeepingBytes(int lanes, int pipe_stages, int rs_entries)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     MachineConfig m;
     MemoryImage img;
@@ -73,4 +73,10 @@ main()
                 "276B/340B; B$ data 2260B. Power/energy columns are "
                 "the paper's CACTI 7.0 @22nm constants.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(); });
 }

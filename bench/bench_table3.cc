@@ -31,8 +31,8 @@ mark(bool b)
 
 } // namespace
 
-int
-main()
+static int
+run()
 {
     std::printf("Table III: Types of sparsity in the evaluated "
                 "networks (X = present).\n\n");
@@ -80,4 +80,10 @@ main()
         "ResNet-50 -> fwd BS, bwd-w BS; pruned ResNet-50 -> fwd BS+NBS, "
         "bwd-in NBS only, bwd-w BS; pruned GNMT -> all four.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(); });
 }

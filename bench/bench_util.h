@@ -5,33 +5,53 @@
  * across figures.
  *
  * Common flags:
- *   --grid=N       sparsity-grid stride for estimator-driven figures
- *   --ksteps=N     slice K length
- *   --tiles=N      register tiles per slice
- *   --cores=N      active cores per slice simulation
- *   --threads=N    host threads for the simulation fan-out
- *                  (0 = SAVE_THREADS env or hardware concurrency)
- *   --cache-dir=D  persistent surface cache ("none" disables; default
- *                  is the SAVE_CACHE_DIR environment variable)
+ *   --grid=N        sparsity-grid stride for estimator-driven figures
+ *   --ksteps=N      slice K length
+ *   --tiles=N       register tiles per slice
+ *   --cores=N       active cores per slice simulation
+ *   --threads=N     host threads for the simulation fan-out
+ *                   (0 = SAVE_THREADS env or hardware concurrency)
+ *   --cache-dir=D   persistent surface cache ("none" disables; default
+ *                   is the SAVE_CACHE_DIR environment variable)
+ *   --max-retries=N retries for a failed sweep point / slice (default 2)
+ *   --fail-fast     abort the sweep on the first permanent failure
+ *   --max-failures=N tolerated permanent failures before a nonzero
+ *                   exit (default 0: any failure fails the run, but
+ *                   only after the whole sweep completes)
+ *   --journal=PATH  crash-safe sweep journal ("none" disables; default
+ *                   is the SAVE_JOURNAL environment variable). An
+ *                   interrupted run resumes from completed points.
  */
 
 #ifndef SAVE_BENCH_BENCH_UTIL_H
 #define SAVE_BENCH_BENCH_UTIL_H
 
+#include <atomic>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "dnn/estimator.h"
 #include "dnn/networks.h"
 #include "engine/engine.h"
+#include "util/error.h"
+#include "util/journal.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace save {
 
-/** Tiny --key=value flag reader. */
+/** Tiny --key=value flag reader. Malformed values throw ConfigError
+ *  (caught by benchMain, which prints usage and exits cleanly). */
 class Flags
 {
   public:
@@ -41,10 +61,22 @@ class Flags
     getInt(const char *name, int def) const
     {
         std::string prefix = std::string("--") + name + "=";
-        for (int i = 1; i < argc_; ++i)
-            if (std::strncmp(argv_[i], prefix.c_str(), prefix.size()) ==
-                0)
-                return std::atoi(argv_[i] + prefix.size());
+        for (int i = 1; i < argc_; ++i) {
+            if (std::strncmp(argv_[i], prefix.c_str(),
+                             prefix.size()) != 0)
+                continue;
+            const char *text = argv_[i] + prefix.size();
+            char *end = nullptr;
+            errno = 0;
+            long v = std::strtol(text, &end, 10);
+            if (*text == '\0' || end == nullptr || *end != '\0' ||
+                errno == ERANGE || v < std::numeric_limits<int>::min() ||
+                v > std::numeric_limits<int>::max())
+                throw ConfigError(std::string("--") + name +
+                                  " expects an integer (got '" + text +
+                                  "')");
+            return static_cast<int>(v);
+        }
         return def;
     }
 
@@ -86,7 +118,279 @@ estimatorOptions(const Flags &flags)
     o.cores = flags.getInt("cores", o.cores);
     o.threads = flags.getInt("threads", 0);
     o.cacheDir = flags.getStr("cache-dir", "");
+    o.maxRetries = flags.getInt("max-retries", o.maxRetries);
+    o.failFast = flags.has("fail-fast");
+    o.validate();
     return o;
+}
+
+/** Sweep robustness knobs shared by the bench harnesses. */
+struct SweepOptions
+{
+    int maxRetries = 2;
+    bool failFast = false;
+    /** Permanent failures tolerated before finish() returns nonzero. */
+    int maxFailures = 0;
+    /** Journal file; empty disables checkpoint/resume. */
+    std::string journalPath;
+};
+
+inline SweepOptions
+sweepOptions(const Flags &flags)
+{
+    SweepOptions o;
+    o.maxRetries = flags.getInt("max-retries", o.maxRetries);
+    o.failFast = flags.has("fail-fast");
+    o.maxFailures = flags.getInt("max-failures", o.maxFailures);
+    o.journalPath = flags.getStr("journal", "");
+    if (o.journalPath.empty()) {
+        const char *env = std::getenv("SAVE_JOURNAL");
+        o.journalPath = env ? env : "";
+    }
+    if (o.journalPath == "none" || o.journalPath == "-")
+        o.journalPath.clear();
+    if (o.maxRetries < 0)
+        throw ConfigError("--max-retries must be >= 0 (got " +
+                          std::to_string(o.maxRetries) + ")");
+    if (o.maxFailures < 0)
+        throw ConfigError("--max-failures must be >= 0 (got " +
+                          std::to_string(o.maxFailures) + ")");
+    return o;
+}
+
+/** Stable id for a sweep's journal: FNV-1a over the bench name and
+ *  every flag value that shifts point results. */
+inline uint64_t
+sweepHash(const char *bench, std::initializer_list<int64_t> knobs)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix_byte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    for (const char *p = bench; *p; ++p)
+        mix_byte(static_cast<unsigned char>(*p));
+    for (int64_t v : knobs)
+        for (int i = 0; i < 8; ++i)
+            mix_byte(static_cast<unsigned char>(
+                (static_cast<uint64_t>(v) >> (i * 8)) & 0xffu));
+    return h;
+}
+
+/**
+ * Fault-isolated, journaled sweep driver.
+ *
+ * point() computes one sweep point: a journal hit replays the stored
+ * payload without recomputing anything; a miss runs the worker with
+ * the retry policy, journals the result, and — when retries are
+ * exhausted without --fail-fast — records a failure and yields a NaN
+ * (floating-point T) or value-initialized result so the rest of the
+ * sweep still completes. finish() prints the failure report and maps
+ * it to the process exit code.
+ *
+ * Thread-safe: point() may be called concurrently from parallelSweep
+ * workers.
+ */
+class SweepRunner
+{
+  public:
+    SweepRunner(const Flags &flags, const char *bench,
+                std::initializer_list<int64_t> knobs)
+        : opt_(sweepOptions(flags))
+    {
+        if (!opt_.journalPath.empty())
+            journal_ = std::make_unique<SweepJournal>(
+                opt_.journalPath, sweepHash(bench, knobs));
+    }
+
+    explicit SweepRunner(SweepOptions opt) : opt_(std::move(opt))
+    {
+        if (!opt_.journalPath.empty())
+            journal_ = std::make_unique<SweepJournal>(opt_.journalPath,
+                                                      0);
+    }
+
+    template <typename T, typename Fn>
+    T
+    point(const std::string &key, Fn fn)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "journal payloads are raw bytes");
+        if (journal_) {
+            std::string hex;
+            T v;
+            if (journal_->lookup(key, &hex) &&
+                SweepJournal::decode(hex, v)) {
+                resumed_.fetch_add(1, std::memory_order_relaxed);
+                return v;
+            }
+        }
+        const int attempts = 1 + opt_.maxRetries;
+        for (int a = 1;; ++a) {
+            try {
+                T v = fn();
+                if (journal_)
+                    journal_->record(key, SweepJournal::encode(v));
+                computed_.fetch_add(1, std::memory_order_relaxed);
+                return v;
+            } catch (const std::exception &e) {
+                if (a < attempts) {
+                    SAVE_WARN("sweep point '", key, "' attempt ", a,
+                              "/", attempts, " failed: ", e.what(),
+                              "; retrying");
+                    continue;
+                }
+                if (opt_.failFast)
+                    throw;
+                {
+                    std::lock_guard<std::mutex> lk(mu_);
+                    failures_.push_back(
+                        {key, e.what(), attempts});
+                }
+                SAVE_WARN("sweep point '", key,
+                          "' failed permanently after ", attempts,
+                          " attempt(s): ", e.what());
+                return failedValue<T>();
+            }
+        }
+    }
+
+    size_t resumedPoints() const
+    {
+        return resumed_.load(std::memory_order_relaxed);
+    }
+    size_t computedPoints() const
+    {
+        return computed_.load(std::memory_order_relaxed);
+    }
+    bool journaling() const { return journal_ != nullptr; }
+
+    /**
+     * Print the resume summary and failure report (stderr), then
+     * return the process exit code: 0 when total failures (sweep +
+     * `extra`, e.g. estimator slice failures) stay within
+     * --max-failures, 1 otherwise.
+     */
+    int
+    finish(size_t extra_failures = 0,
+           const std::string &extra_report = "")
+    {
+        if (journal_)
+            std::fprintf(stderr,
+                         "journal %s: %zu point(s) resumed, %zu "
+                         "computed\n",
+                         journal_->path().c_str(), resumedPoints(),
+                         computedPoints());
+        std::lock_guard<std::mutex> lk(mu_);
+        size_t total = failures_.size() + extra_failures;
+        if (!failures_.empty()) {
+            std::fprintf(stderr,
+                         "%zu sweep point(s) failed permanently:\n",
+                         failures_.size());
+            for (const Failure &f : failures_)
+                std::fprintf(stderr, "  %s: %s (%d attempts)\n",
+                             f.key.c_str(), f.reason.c_str(),
+                             f.attempts);
+        }
+        if (!extra_report.empty())
+            std::fprintf(stderr, "%s", extra_report.c_str());
+        if (total == 0)
+            return 0;
+        if (total <= static_cast<size_t>(opt_.maxFailures)) {
+            std::fprintf(stderr,
+                         "%zu failure(s) within --max-failures=%d; "
+                         "exiting 0\n",
+                         total, opt_.maxFailures);
+            return 0;
+        }
+        return 1;
+    }
+
+  private:
+    struct Failure
+    {
+        std::string key;
+        std::string reason;
+        int attempts;
+    };
+
+    template <typename T>
+    static T
+    failedValue()
+    {
+        if constexpr (std::is_floating_point_v<T>)
+            return std::numeric_limits<T>::quiet_NaN();
+        else
+            return T{};
+    }
+
+    SweepOptions opt_;
+    std::unique_ptr<SweepJournal> journal_;
+    std::atomic<size_t> resumed_{0};
+    std::atomic<size_t> computed_{0};
+    std::mutex mu_;
+    std::vector<Failure> failures_;
+};
+
+/** Print the shared flag reference (stderr). */
+inline void
+printBenchUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--flag=value ...]\n"
+        "  --grid=N         sparsity-grid stride (1 = paper's full "
+        "sampling)\n"
+        "  --ksteps=N       slice K length\n"
+        "  --tiles=N        register tiles per slice\n"
+        "  --cores=N        active cores per slice simulation\n"
+        "  --threads=N      host threads (0 = SAVE_THREADS env or "
+        "hardware)\n"
+        "  --cache-dir=D    persistent surface cache ('none' "
+        "disables)\n"
+        "  --max-retries=N  retries per failed sweep point (default "
+        "2)\n"
+        "  --fail-fast      abort on the first permanent failure\n"
+        "  --max-failures=N tolerated failures before exit 1\n"
+        "  --journal=PATH   crash-safe sweep journal ('none' "
+        "disables;\n"
+        "                   default: SAVE_JOURNAL env)\n",
+        argv0);
+}
+
+/**
+ * Run a bench body with the shared error policy: ConfigError prints
+ * the message plus the flag reference and exits 2 (usage error);
+ * any other SimError (deadlock, cache corruption under --fail-fast)
+ * prints what it knows — including the pipeline snapshot for
+ * deadlocks — and exits 1. Returns the body's own exit code
+ * otherwise.
+ */
+template <typename Fn>
+int
+benchMain(int argc, char **argv, Fn body)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            printBenchUsage(argv[0]);
+            return 0;
+        }
+    }
+    try {
+        return body();
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "error: %s\n\n", e.what());
+        printBenchUsage(argc > 0 ? argv[0] : "bench");
+        return 2;
+    } catch (const DeadlockError &e) {
+        std::fprintf(stderr, "error: %s\n%s", e.what(),
+                     e.snapshot().c_str());
+        return 1;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }
 
 /**

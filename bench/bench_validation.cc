@@ -40,8 +40,8 @@ runWorkload(const SaveConfig &scfg, const GemmWorkload &w,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+run(int argc, char **argv)
 {
     Flags flags(argc, argv);
     int panels = flags.getInt("panels", 8);
@@ -114,4 +114,10 @@ main(int argc, char **argv)
                 "slice method's absolute-time error reflects the cold "
                 "weight streaming it deliberately amortizes away.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return benchMain(argc, argv, [&] { return run(argc, argv); });
 }

@@ -4,9 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
+#include <sstream>
 
 #include "dnn/surface.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace save {
@@ -46,6 +50,29 @@ readyFuture(double v)
 
 } // namespace
 
+void
+EstimatorOptions::validate() const
+{
+    if (gridStep < 1 || gridStep > 9)
+        throw ConfigError("EstimatorOptions.gridStep must be in [1, 9] "
+                          "(got " + std::to_string(gridStep) + ")");
+    if (threads < 0)
+        throw ConfigError("EstimatorOptions.threads must be >= 0 "
+                          "(got " + std::to_string(threads) + ")");
+    if (kSteps < 1)
+        throw ConfigError("EstimatorOptions.kSteps must be >= 1 "
+                          "(got " + std::to_string(kSteps) + ")");
+    if (tiles < 1)
+        throw ConfigError("EstimatorOptions.tiles must be >= 1 "
+                          "(got " + std::to_string(tiles) + ")");
+    if (cores < 1)
+        throw ConfigError("EstimatorOptions.cores must be >= 1 "
+                          "(got " + std::to_string(cores) + ")");
+    if (maxRetries < 0)
+        throw ConfigError("EstimatorOptions.maxRetries must be >= 0 "
+                          "(got " + std::to_string(maxRetries) + ")");
+}
+
 PhaseBreakdown &
 PhaseBreakdown::operator+=(const PhaseBreakdown &o)
 {
@@ -74,9 +101,9 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
                   SurfaceCache::hashConfig(mcfg, save_features,
                                            optionSalt(opt)))
 {
-    SAVE_ASSERT(opt_.gridStep >= 1 && opt_.gridStep <= 9,
-                "bad estimator grid step");
-    SAVE_ASSERT(opt_.threads >= 0, "bad estimator thread count");
+    opt_.validate();
+    mcfg_.validate();
+    save_cfg_.validate();
 
     if (opt_.threads >= 2) {
         owned_pool_ = std::make_unique<ThreadPool>(opt_.threads);
@@ -128,6 +155,79 @@ TrainingEstimator::simulateSlice(const Key &key) const
     return eng.runGemm(g, opt_.cores, key.vpus).timeNs;
 }
 
+uint64_t
+TrainingEstimator::keyHash(const Key &key) const
+{
+    // FNV-1a over the key fields plus the option salt: stable across
+    // runs, so seeded fault injection deterministically picks the same
+    // surface points every time.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(static_cast<uint64_t>(key.mr));
+    mix(static_cast<uint64_t>(key.nr));
+    mix(static_cast<uint64_t>(key.kSteps));
+    mix(key.pattern);
+    mix(key.precision);
+    mix(key.saveOn);
+    mix(key.vpus);
+    mix(key.wBin);
+    mix(key.aBin);
+    mix(optionSalt(opt_));
+    return h;
+}
+
+std::string
+TrainingEstimator::keyLabel(const Key &key) const
+{
+    std::ostringstream os;
+    os << "slice mr=" << key.mr << " nr=" << key.nr
+       << " kSteps=" << key.kSteps
+       << " pattern=" << static_cast<int>(key.pattern)
+       << " precision=" << static_cast<int>(key.precision)
+       << " save=" << static_cast<int>(key.saveOn)
+       << " vpus=" << static_cast<int>(key.vpus)
+       << " wBin=" << static_cast<int>(key.wBin)
+       << " aBin=" << static_cast<int>(key.aBin);
+    return os.str();
+}
+
+double
+TrainingEstimator::simulateWithRetry(const Key &key)
+{
+    const uint64_t site = keyHash(key);
+    const int attempts = 1 + opt_.maxRetries;
+    for (int a = 1;; ++a) {
+        try {
+            FaultInjector::global().maybeFailSlice(site);
+            return simulateSlice(key);
+        } catch (const std::exception &e) {
+            if (a < attempts) {
+                SAVE_WARN("retrying ", keyLabel(key), " after attempt ",
+                          a, "/", attempts, " failed: ", e.what());
+                continue;
+            }
+            if (opt_.failFast)
+                throw;
+            SliceFailure f;
+            f.point = keyLabel(key);
+            f.reason = e.what();
+            f.attempts = attempts;
+            {
+                std::lock_guard<std::mutex> lk(failures_mu_);
+                failures_.push_back(std::move(f));
+            }
+            SAVE_WARN(keyLabel(key), " failed permanently after ",
+                      attempts, " attempts: ", e.what());
+            return std::numeric_limits<double>::quiet_NaN();
+        }
+    }
+}
+
 double
 TrainingEstimator::sliceTime(const Key &key)
 {
@@ -150,15 +250,43 @@ TrainingEstimator::sliceTime(const Key &key)
 
     double t;
     try {
-        t = simulateSlice(key);
+        t = simulateWithRetry(key);
     } catch (...) {
+        // failFast (or a non-isolatable error): fail every waiter too,
+        // then let the sweep driver unwind.
         promise.set_exception(std::current_exception());
         throw;
     }
-    sims_.fetch_add(1, std::memory_order_relaxed);
-    dirty_.store(true, std::memory_order_relaxed);
+    if (std::isfinite(t)) {
+        sims_.fetch_add(1, std::memory_order_relaxed);
+        dirty_.store(true, std::memory_order_relaxed);
+    }
+    // NaN (exhausted retries) is cached like any value: the point is
+    // not re-attempted within this process, and waiters observe the
+    // same poisoned result instead of a duplicate simulation.
     promise.set_value(t);
     return t;
+}
+
+std::vector<SliceFailure>
+TrainingEstimator::failures() const
+{
+    std::lock_guard<std::mutex> lk(failures_mu_);
+    return failures_;
+}
+
+std::string
+TrainingEstimator::failureReport() const
+{
+    std::lock_guard<std::mutex> lk(failures_mu_);
+    if (failures_.empty())
+        return "";
+    std::ostringstream os;
+    os << failures_.size() << " surface point(s) failed permanently:\n";
+    for (const SliceFailure &f : failures_)
+        os << "  " << f.point << ": " << f.reason << " ("
+           << f.attempts << " attempts)\n";
+    return os.str();
 }
 
 TrainingEstimator::BinWeights
@@ -448,6 +576,8 @@ TrainingEstimator::flushPersistentCache()
             } catch (...) {
                 continue; // failed simulation: never persist it
             }
+            if (!std::isfinite(t))
+                continue; // exhausted-retry marker: never persist
             SurfaceRecord r;
             r.mr = k.mr;
             r.nr = k.nr;

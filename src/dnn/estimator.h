@@ -71,6 +71,28 @@ struct EstimatorOptions
      *  SAVE_CACHE_DIR environment variable; "none" disables
      *  persistence even when the variable is set. */
     std::string cacheDir;
+    /** Extra attempts after a slice simulation throws. Each retry
+     *  rebuilds the Engine from scratch, so a transient fault (e.g.
+     *  injected via SAVE_FAULT_INJECT) cannot poison later attempts. */
+    int maxRetries = 2;
+    /** Rethrow the first slice failure instead of recording it and
+     *  continuing with the rest of the sweep. */
+    bool failFast = false;
+
+    /** Throws ConfigError on out-of-range knobs; the estimator ctor
+     *  calls this. */
+    void validate() const;
+};
+
+/** One permanently failed surface point (all retries exhausted). */
+struct SliceFailure
+{
+    /** Human-readable point id, e.g. "slice mr=4 nr=6 ... wBin=3". */
+    std::string point;
+    /** what() of the final attempt's exception. */
+    std::string reason;
+    /** Attempts made (1 + retries). */
+    int attempts = 0;
 };
 
 /** Per-phase time breakdown (ns), Fig. 14 bar segments. */
@@ -146,8 +168,17 @@ class TrainingEstimator
     int threads() const;
 
     /** Write new surface points back to the persistent cache (no-op
-     *  when disabled or clean). Also runs on destruction. */
+     *  when disabled or clean). Failed (non-finite) points are never
+     *  persisted. Also runs on destruction. */
     void flushPersistentCache();
+
+    /** Surface points that exhausted their retries. Their times are
+     *  quiet NaN, which propagates through interpolation so callers
+     *  can detect a poisoned result with std::isnan. */
+    std::vector<SliceFailure> failures() const;
+
+    /** Multi-line report of all failures; empty string when clean. */
+    std::string failureReport() const;
 
   private:
     struct Key
@@ -168,6 +199,16 @@ class TrainingEstimator
     /** Run one slice simulation (pure: no estimator state touched;
      *  the worker builds its own short-lived Engine). */
     double simulateSlice(const Key &key) const;
+
+    /** Stable hash of a surface point (fault-injection site id and
+     *  failure-report label share it). */
+    uint64_t keyHash(const Key &key) const;
+    std::string keyLabel(const Key &key) const;
+
+    /** simulateSlice with the retry/fault-isolation policy applied.
+     *  Returns NaN after maxRetries + 1 failed attempts (recording a
+     *  SliceFailure) unless failFast, which rethrows. */
+    double simulateWithRetry(const Key &key);
 
     /** Simulated slice time in ns at binned sparsities; single-flight
      *  cached so concurrent callers never duplicate a simulation. */
@@ -209,6 +250,9 @@ class TrainingEstimator
     SurfaceCache persistent_;
     uint64_t persistent_hits_ = 0;
     std::atomic<bool> dirty_{false};
+
+    mutable std::mutex failures_mu_;
+    std::vector<SliceFailure> failures_;
 };
 
 } // namespace save

@@ -1,10 +1,14 @@
 #include "dnn/surface_cache.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace save {
@@ -82,6 +86,21 @@ fail(std::string *why, const std::string &msg)
     return false;
 }
 
+/** Move a content-corrupt cache file aside so the next run rebuilds
+ *  it while the evidence survives for inspection. */
+bool
+quarantine(const std::string &path, std::string *why,
+           const std::string &msg)
+{
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec)
+        std::filesystem::remove(path, ec);
+    SAVE_WARN("quarantined corrupt cache file ", path, " -> ", path,
+              ".corrupt: ", msg);
+    return fail(why, msg);
+}
+
 } // namespace
 
 SurfaceCache::SurfaceCache(std::string dir, uint64_t config_hash)
@@ -116,22 +135,25 @@ SurfaceCache::load(std::vector<SurfaceRecord> &out, std::string *why) const
     uint64_t hash = 0;
     uint64_t count = 0;
     if (!get(is, magic) || magic != kMagic)
-        return fail(why, "bad magic (not a surface cache)");
+        return quarantine(path(), why, "bad magic (not a surface cache)");
     if (!get(is, version) || version != kVersion)
-        return fail(why, "version " + std::to_string(version) +
-                             " != expected " + std::to_string(kVersion));
+        return quarantine(path(), why,
+                          "version " + std::to_string(version) +
+                              " != expected " + std::to_string(kVersion));
     if (!get(is, hash) || hash != config_hash_)
-        return fail(why, "config-hash mismatch (machine/feature/"
-                         "estimator configuration changed)");
+        return quarantine(path(), why,
+                          "config-hash mismatch (machine/feature/"
+                          "estimator configuration changed)");
     if (!get(is, count))
-        return fail(why, "truncated header");
+        return quarantine(path(), why, "truncated header");
 
     out.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
         SurfaceRecord r;
         if (!getRecord(is, r)) {
             out.clear();
-            return fail(why, "truncated record " + std::to_string(i));
+            return quarantine(path(), why,
+                              "truncated record " + std::to_string(i));
         }
         out.push_back(r);
     }
@@ -151,8 +173,14 @@ SurfaceCache::save(const std::vector<SurfaceRecord> &records) const
         return false;
     }
 
+    // Unique temp name per writer: concurrent processes (or two
+    // estimators in one process) flushing the same cache must never
+    // interleave writes into a shared temp file.
+    static std::atomic<uint64_t> tmp_serial{0};
     std::string final_path = path();
-    std::string tmp_path = final_path + ".tmp";
+    std::string tmp_path =
+        final_path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(tmp_serial.fetch_add(1));
     {
         std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
         if (!os) {
@@ -176,6 +204,10 @@ SurfaceCache::save(const std::vector<SurfaceRecord> &records) const
         std::filesystem::remove(tmp_path, ec);
         return false;
     }
+    // Test hook: deterministic corruption of the just-written file
+    // (SAVE_FAULT_INJECT cache-truncate/cache-bitflip).
+    FaultInjector::global().maybeTamperCacheFile(final_path,
+                                                config_hash_);
     return true;
 }
 

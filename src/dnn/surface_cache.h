@@ -18,8 +18,13 @@
  *   u64 count
  *   count x SurfaceRecord (packed field-by-field, no struct padding)
  *
- * Writes go to a temp file in the same directory and are renamed into
- * place, so concurrent readers only ever see complete files.
+ * Writes go to a uniquely-named temp file in the same directory and
+ * are renamed into place, so concurrent readers only ever see complete
+ * files and concurrent writers never clobber each other's temp file.
+ * A file that fails content validation on load (bad magic, version
+ * skew, hash mismatch, truncation) is quarantined to `<path>.corrupt`
+ * so the next run starts clean and the evidence survives for
+ * inspection — corruption is reported, never silently retried.
  */
 
 #ifndef SAVE_DNN_SURFACE_CACHE_H
@@ -67,10 +72,15 @@ class SurfaceCache
     /** The cache file this instance reads/writes. */
     std::string path() const;
 
+    /** The configuration hash this cache is keyed by. */
+    uint64_t configHash() const { return config_hash_; }
+
     /**
      * Read all records from path(). Returns false (and explains in
      * *why, when given) on a missing file, bad magic, version skew, or
      * config-hash mismatch; out is left empty in every failure case.
+     * Corrupt content additionally quarantines the file to
+     * `<path>.corrupt` (with a warning) so a rerun rebuilds it.
      */
     bool load(std::vector<SurfaceRecord> &out,
               std::string *why = nullptr) const;

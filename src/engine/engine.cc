@@ -4,6 +4,7 @@
 
 #include "sim/multicore.h"
 #include "sim/reference.h"
+#include "util/error.h"
 #include "util/logging.h"
 
 namespace save {
@@ -11,12 +12,22 @@ namespace save {
 Engine::Engine(MachineConfig mcfg, SaveConfig scfg)
     : mcfg_(mcfg), scfg_(scfg)
 {
+    mcfg_.validate();
+    scfg_.validate();
 }
 
 KernelResult
 Engine::runGemm(const GemmConfig &cfg, int cores, int vpus) const
 {
-    SAVE_ASSERT(cores >= 1 && cores <= mcfg_.cores, "bad core count");
+    if (cores < 1 || cores > mcfg_.cores)
+        throw ConfigError("core count must be in [1, " +
+                          std::to_string(mcfg_.cores) + "] (got " +
+                          std::to_string(cores) + ")");
+    if (vpus < 1 || vpus > mcfg_.numVpus)
+        throw ConfigError("VPU count must be in [1, " +
+                          std::to_string(mcfg_.numVpus) + "] (got " +
+                          std::to_string(vpus) + ")");
+    cfg.validate();
 
     MachineConfig mc = mcfg_;
     // Model `cores` cores' share of the full machine: private

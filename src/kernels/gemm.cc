@@ -2,6 +2,7 @@
 
 #include "kernels/sparsity.h"
 #include "mem/hierarchy.h"
+#include "util/error.h"
 #include "util/logging.h"
 
 namespace save {
@@ -134,13 +135,10 @@ buildWith(const GemmConfig &cfg, MemoryImage &mem, uint64_t a_base,
 {
     const int mr = cfg.mr;
     const int nr = cfg.nrVecs;
-    SAVE_ASSERT(mr >= 1 && nr >= 1 && cfg.kSteps >= 1 &&
-                cfg.tiles >= 1 && n_panels >= 1,
-                "degenerate GEMM config");
-    int regs_needed = mr * nr + nr +
-                      (cfg.pattern == BroadcastPattern::Explicit ? 2 : 0);
-    SAVE_ASSERT(regs_needed <= kLogicalVecRegs, "register tile too big: ",
-                regs_needed, " regs");
+    cfg.validate();
+    if (n_panels < 1)
+        throw ConfigError("GEMM panel count must be >= 1 (got " +
+                          std::to_string(n_panels) + ")");
 
     GemmWorkload w;
     w.cfg = cfg;
@@ -177,6 +175,45 @@ buildWith(const GemmConfig &cfg, MemoryImage &mem, uint64_t a_base,
 }
 
 } // namespace
+
+void
+GemmConfig::validate() const
+{
+    auto at_least = [](const char *field, int value, int min) {
+        if (value < min)
+            throw ConfigError(std::string("GemmConfig.") + field +
+                              " must be >= " + std::to_string(min) +
+                              " (got " + std::to_string(value) + ")");
+    };
+    at_least("mr", mr, 1);
+    at_least("nrVecs", nrVecs, 1);
+    at_least("kSteps", kSteps, 1);
+    at_least("tiles", tiles, 1);
+    auto fraction = [](const char *field, double value) {
+        if (!(value >= 0.0 && value <= 1.0))
+            throw ConfigError(std::string("GemmConfig.") + field +
+                              " must be in [0, 1] (got " +
+                              std::to_string(value) + ")");
+    };
+    fraction("bsSparsity", bsSparsity);
+    fraction("nbsSparsity", nbsSparsity);
+    // The register plan needs mr*nr accumulators, nr B registers, and
+    // two A rotation slots for the explicit-broadcast pattern.
+    int regs_needed =
+        mr * nrVecs + nrVecs +
+        (pattern == BroadcastPattern::Explicit ? 2 : 0);
+    if (regs_needed > kLogicalVecRegs)
+        throw ConfigError(
+            "GemmConfig register tile too big: " + std::to_string(mr) +
+            "x" + std::to_string(nrVecs) + " needs " +
+            std::to_string(regs_needed) + " of " +
+            std::to_string(kLogicalVecRegs) +
+            " logical vector registers; shrink mr or nrVecs");
+    if (useWriteMask && writeMask == 0)
+        throw ConfigError("GemmConfig.writeMask must be non-zero when "
+                          "useWriteMask is set (an all-masked kernel "
+                          "does no work)");
+}
 
 namespace {
 

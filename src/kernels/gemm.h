@@ -76,6 +76,14 @@ struct GemmConfig
     /** FP32 lanes of MAC work per VFMA. */
     int lanesPerVfma() const { return 16; }
 
+    /**
+     * Check the configuration is buildable: positive tile/slice
+     * dimensions, sparsities in [0,1], and a register tile that fits
+     * the 32 logical vector registers. Throws ConfigError with the
+     * offending field; called by the workload builders.
+     */
+    void validate() const;
+
     /** Total multiply-accumulates encoded in the slice. */
     uint64_t
     macs() const

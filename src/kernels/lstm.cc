@@ -1,8 +1,24 @@
 #include "kernels/lstm.h"
 
+#include "util/error.h"
 #include "util/logging.h"
 
 namespace save {
+
+void
+LstmCell::validate() const
+{
+    auto at_least = [this](const char *field, int value, int min) {
+        if (value < min)
+            throw ConfigError("LstmCell '" + name + "': " + field +
+                              " must be >= " + std::to_string(min) +
+                              " (got " + std::to_string(value) + ")");
+    };
+    at_least("inputDim", inputDim, 1);
+    at_least("hiddenDim", hiddenDim, 1);
+    at_least("batch", batch, 1);
+    at_least("timeSteps", timeSteps, 1);
+}
 
 uint64_t
 LstmCell::macs() const
@@ -18,8 +34,11 @@ LstmCell::macs() const
 KernelSpec
 makeLstmKernel(const LstmCell &cell, Phase phase)
 {
-    SAVE_ASSERT(phase != Phase::BwdWeights,
-                "LSTM backward is a single merged phase");
+    cell.validate();
+    if (phase == Phase::BwdWeights)
+        throw ConfigError("LSTM backward is a single merged phase; use "
+                          "Phase::BwdInput for cell '" + cell.name +
+                          "'");
     KernelSpec spec;
     spec.name = cell.name + ":" +
                 (phase == Phase::Forward ? "forward" : "backward");

@@ -30,6 +30,10 @@ struct LstmCell
     int timeSteps = 16;
 
     uint64_t macs() const;
+
+    /** Throws ConfigError on non-positive dimensions; called by
+     *  makeLstmKernel(). */
+    void validate() const;
 };
 
 /** Build the KernelSpec for a cell. Phase::BwdInput stands for the

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Configuration validation: every user-reachable config struct gets a
+ * validate() that turns a bad field into an actionable ConfigError
+ * instead of an assert-abort deep inside the simulator.
+ */
+
+#include "sim/config.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace save {
+
+namespace {
+
+void
+requireAtLeast(const char *strct, const char *field, int value, int min)
+{
+    if (value < min)
+        throw ConfigError(std::string(strct) + "." + field +
+                          " must be >= " + std::to_string(min) +
+                          " (got " + std::to_string(value) + ")");
+}
+
+void
+requirePositive(const char *strct, const char *field, double value)
+{
+    if (!(value > 0))
+        throw ConfigError(std::string(strct) + "." + field +
+                          " must be > 0 (got " +
+                          std::to_string(value) + ")");
+}
+
+void
+requireNonNegative(const char *strct, const char *field, double value)
+{
+    if (!(value >= 0))
+        throw ConfigError(std::string(strct) + "." + field +
+                          " must be >= 0 (got " +
+                          std::to_string(value) + ")");
+}
+
+} // namespace
+
+void
+SaveConfig::validate() const
+{
+    // RVC tracks rotated-copy usage in a per-register uint8_t bitmask,
+    // so the R-state count is capped at 8.
+    if (rotationStates < 1 || rotationStates > 8)
+        throw ConfigError(
+            "SaveConfig.rotationStates must be in [1, 8] (got " +
+            std::to_string(rotationStates) + ")");
+    requireAtLeast("SaveConfig", "hcExtraLatency", hcExtraLatency, 0);
+    if (enabled && policy == SchedPolicy::Baseline && laneWiseDep)
+        throw ConfigError(
+            "SaveConfig.laneWiseDep requires a coalescing policy "
+            "(policy is Baseline; set policy=VC/RVC/HC or disable "
+            "laneWiseDep)");
+}
+
+void
+MachineConfig::validate() const
+{
+    requireAtLeast("MachineConfig", "cores", cores, 1);
+    requirePositive("MachineConfig", "freq2VpuGhz", freq2VpuGhz);
+    requirePositive("MachineConfig", "freq1VpuGhz", freq1VpuGhz);
+    requirePositive("MachineConfig", "uncoreGhz", uncoreGhz);
+    requireAtLeast("MachineConfig", "issueWidth", issueWidth, 1);
+    requireAtLeast("MachineConfig", "commitWidth", commitWidth, 1);
+    requireAtLeast("MachineConfig", "rsEntries", rsEntries, 1);
+    requireAtLeast("MachineConfig", "robEntries", robEntries, 1);
+    // Renaming needs at least one free physical register beyond the
+    // architectural set or allocation stalls forever.
+    requireAtLeast("MachineConfig", "prfExtraRegs", prfExtraRegs, 1);
+    requireAtLeast("MachineConfig", "numVpus", numVpus, 1);
+    requireAtLeast("MachineConfig", "fp32FmaLatency", fp32FmaLatency, 1);
+    requireAtLeast("MachineConfig", "mpFmaLatency", mpFmaLatency, 1);
+    requireAtLeast("MachineConfig", "l1ReadPorts", l1ReadPorts, 1);
+    requireAtLeast("MachineConfig", "bcachePorts", bcachePorts, 1);
+    requireAtLeast("MachineConfig", "bcacheEntries", bcacheEntries, 1);
+    requireAtLeast("MachineConfig", "l1SizeKb", l1SizeKb, 1);
+    requireAtLeast("MachineConfig", "l1Ways", l1Ways, 1);
+    requireAtLeast("MachineConfig", "l1LatCycles", l1LatCycles, 1);
+    requireAtLeast("MachineConfig", "l2SizeKb", l2SizeKb, 1);
+    requireAtLeast("MachineConfig", "l2Ways", l2Ways, 1);
+    requireAtLeast("MachineConfig", "l2LatCycles", l2LatCycles, 1);
+    requirePositive("MachineConfig", "l3SizeKbPerCore", l3SizeKbPerCore);
+    requireAtLeast("MachineConfig", "l3Ways", l3Ways, 1);
+    requireNonNegative("MachineConfig", "l3LatNs", l3LatNs);
+    requireAtLeast("MachineConfig", "nocHopCycles", nocHopCycles, 0);
+    requirePositive("MachineConfig", "dramGBps", dramGBps);
+    requireAtLeast("MachineConfig", "dramChannels", dramChannels, 1);
+    requireNonNegative("MachineConfig", "dramLatNs", dramLatNs);
+    requireAtLeast("MachineConfig", "prefetchDegree", prefetchDegree, 0);
+    requireAtLeast("MachineConfig", "exceptionServiceCycles",
+                   exceptionServiceCycles, 0);
+    requireAtLeast("MachineConfig", "watchdogCycles", watchdogCycles, 0);
+}
+
+} // namespace save

@@ -49,6 +49,13 @@ struct SaveConfig
     /** Number of rotational states for RVC. */
     int rotationStates = 3;
 
+    /**
+     * Check every field for sanity; throws ConfigError naming the
+     * offending field, its value, and the accepted range. Call before
+     * building machines from user-supplied configuration.
+     */
+    void validate() const;
+
     /** A fully-disabled configuration (the paper's baseline). */
     static SaveConfig
     baseline()
@@ -119,6 +126,18 @@ struct MachineConfig
 
     /** Cycles the front-end stalls to service an injected exception. */
     int exceptionServiceCycles = 50;
+
+    /**
+     * Retirement-watchdog threshold: a core that commits nothing for
+     * this many cycles raises DeadlockError with a pipeline snapshot.
+     * 0 defers to the SAVE_WATCHDOG_CYCLES environment variable (or
+     * the built-in 200k-cycle default). Timing-neutral: not part of
+     * the surface-cache config hash.
+     */
+    int watchdogCycles = 0;
+
+    /** See SaveConfig::validate(). */
+    void validate() const;
 
     /** Active core frequency for a given VPU count. */
     double

@@ -1,12 +1,43 @@
 #include "sim/core.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
 
 #include "save/scheduler.h"
 #include "sim/mgu.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace save {
+
+namespace {
+
+constexpr uint64_t kDefaultWatchdogCycles = 200'000;
+
+/** SAVE_WATCHDOG_CYCLES environment override, parsed once. */
+uint64_t
+envWatchdogCycles()
+{
+    static const uint64_t cycles = [] {
+        const char *env = std::getenv("SAVE_WATCHDOG_CYCLES");
+        if (!env || !*env)
+            return kDefaultWatchdogCycles;
+        char *end = nullptr;
+        long long v = std::strtoll(env, &end, 10);
+        if (end == env || *end != '\0' || v <= 0) {
+            SAVE_WARN("ignoring SAVE_WATCHDOG_CYCLES='", env,
+                      "' (expected a positive integer); using ",
+                      kDefaultWatchdogCycles);
+            return kDefaultWatchdogCycles;
+        }
+        return static_cast<uint64_t>(v);
+    }();
+    return cycles;
+}
+
+} // namespace
 
 Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
            int core_id, int active_vpus, MemHierarchy *mem,
@@ -18,8 +49,16 @@ Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
       core_id_(core_id), freq_ghz_(machine_cfg.coreFreqGhz(active_vpus)),
       mem_(mem), image_(image), renamer_(&prf)
 {
-    SAVE_ASSERT(active_vpus >= 1 && active_vpus <= machine_cfg.numVpus,
-                "bad VPU count ", active_vpus);
+    if (active_vpus < 1 || active_vpus > machine_cfg.numVpus)
+        throw ConfigError("active VPU count must be in [1, " +
+                          std::to_string(machine_cfg.numVpus) +
+                          "] (got " + std::to_string(active_vpus) +
+                          ")");
+    watchdog_cycles_ = machine_cfg.watchdogCycles > 0
+        ? static_cast<uint64_t>(machine_cfg.watchdogCycles)
+        : envWatchdogCycles();
+    forced_watchdog_cycle_ =
+        FaultInjector::global().watchdogFireCycle(core_id);
     if (scfg.enabled && scfg.bcache != BcastCacheKind::None) {
         bcache_ = std::make_unique<BroadcastCache>(
             scfg.bcache, mcfg.bcacheEntries, image_);
@@ -107,8 +146,8 @@ Core::run(uint64_t max_cycles)
 {
     while (!drained()) {
         step();
-        SAVE_ASSERT(cycle_ < max_cycles, "simulation exceeded ",
-                    max_cycles, " cycles");
+        if (cycle_ >= max_cycles)
+            fireWatchdog("cycle budget exceeded");
     }
     finalizeStats();
     return cycle_;
@@ -145,10 +184,10 @@ Core::step()
     allocate();
 
     ++cycle_;
-    SAVE_ASSERT(rob.empty() ||
-                cycle_ - last_progress_cycle_ < 200000,
-                "no commit progress for 200k cycles: likely deadlock; "
-                "rob=", rob.size(), " rs=", rs.size());
+    if (!rob.empty() && cycle_ - last_progress_cycle_ >= watchdog_cycles_)
+        fireWatchdog("no uop committed within the watchdog window");
+    if (cycle_ >= forced_watchdog_cycle_)
+        fireWatchdog("fault injection forced the watchdog");
     return !drained();
 }
 
@@ -618,6 +657,60 @@ Core::allocate()
         have_peek_ = false;
         stats_.add("uops");
     }
+}
+
+std::string
+Core::pipelineSnapshot() const
+{
+    std::ostringstream os;
+    os << "core " << core_id_ << " @ cycle " << cycle_
+       << " (last commit @ " << last_progress_cycle_ << ")\n";
+
+    os << "  rob: " << rob.size() << "/" << rob.capacity();
+    if (!rob.empty()) {
+        const RobEntry &h = rob.at(rob.head());
+        os << ", head seq " << h.seq << " " << h.uop.toString()
+           << (h.done ? " [done]" : " [pending]")
+           << ", lanesPending=" << h.lanesPending;
+    }
+    os << "\n";
+
+    int elm_valid = 0, issued = 0;
+    for (int idx : rs.order()) {
+        const RsEntry &e = rs.at(idx);
+        if (e.elmValid)
+            ++elm_valid;
+        if (e.issued)
+            ++issued;
+    }
+    os << "  rs: " << rs.size() << "/" << rs.capacity()
+       << " (mgu elmValid=" << elm_valid << ", issued=" << issued
+       << ")\n";
+
+    os << "  mem: load_queue=" << load_queue_.size()
+       << ", events=" << events_.size()
+       << ", pending_stores=" << pending_stores_.size()
+       << ", replay=" << replay_.size() << "\n";
+
+    for (size_t v = 0; v < vpus.size(); ++v)
+        os << "  vpu" << v << ": "
+           << (vpus[v].idle() ? "idle" : "busy")
+           << ", ops=" << vpus[v].opsIssued() << "\n";
+
+    if (bcache_)
+        os << "  bcache hit rate: " << bcache_->hitRate() << "\n";
+    return os.str();
+}
+
+void
+Core::fireWatchdog(const char *why) const
+{
+    SimError::Context ctx;
+    ctx.coreId = core_id_;
+    ctx.cycle = static_cast<int64_t>(cycle_);
+    if (!rob.empty())
+        ctx.uopSeq = static_cast<int64_t>(rob.at(rob.head()).seq);
+    throw DeadlockError(why, pipelineSnapshot(), ctx);
 }
 
 } // namespace save

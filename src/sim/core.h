@@ -109,6 +109,14 @@ class Core
      */
     void injectFaultAtSeq(uint64_t seq);
 
+    /**
+     * Human-readable dump of the pipeline state: ROB head and
+     * occupancy, scheduler/MGU state, outstanding loads and events,
+     * VPU status. Attached to DeadlockError when the retirement
+     * watchdog fires; also useful from a debugger.
+     */
+    std::string pipelineSnapshot() const;
+
     uint64_t cycle() const { return cycle_; }
     double freqGhz() const { return freq_ghz_; }
     double nowNs() const
@@ -195,6 +203,9 @@ class Core
 
     void pushEvent(Event ev);
 
+    /** Throw DeadlockError carrying pipelineSnapshot(). */
+    [[noreturn]] void fireWatchdog(const char *why) const;
+
     int core_id_;
     double freq_ghz_;
     MemHierarchy *mem_;
@@ -217,6 +228,11 @@ class Core
     uint64_t seq_ = 0;
     uint64_t event_order_ = 0;
     uint64_t last_progress_cycle_ = 0;
+    /** Retirement-watchdog threshold (see MachineConfig::watchdogCycles
+     *  and SAVE_WATCHDOG_CYCLES). */
+    uint64_t watchdog_cycles_ = 0;
+    /** Cycle at which fault injection force-fires the watchdog. */
+    uint64_t forced_watchdog_cycle_ = ~0ull;
 
     std::deque<LoadReq> load_queue_;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;

@@ -1,7 +1,9 @@
 #include "sim/multicore.h"
 
 #include <algorithm>
+#include <string>
 
+#include "util/error.h"
 #include "util/logging.h"
 
 namespace save {
@@ -19,8 +21,10 @@ Multicore::Multicore(const MachineConfig &mcfg, const SaveConfig &scfg,
 void
 Multicore::bindTraces(const std::vector<TraceSource *> &traces)
 {
-    SAVE_ASSERT(traces.size() == cores_.size(),
-                "need one trace slot per core");
+    if (traces.size() != cores_.size())
+        throw TraceError("need one trace slot per core (got " +
+                         std::to_string(traces.size()) + " traces for " +
+                         std::to_string(cores_.size()) + " cores)");
     for (size_t c = 0; c < cores_.size(); ++c)
         if (traces[c])
             cores_[c]->bindTrace(traces[c]);
@@ -60,10 +64,15 @@ void
 Multicore::checkCycleLimit(uint64_t max_cycles) const
 {
     for (size_t c = 0; c < cores_.size(); ++c) {
-        if (cores_[c]->cycle() >= max_cycles)
-            SAVE_PANIC("multicore simulation exceeded ", max_cycles,
-                       " cycles on core ", c, " (cycle ",
-                       cores_[c]->cycle(), ")");
+        if (cores_[c]->cycle() >= max_cycles) {
+            SimError::Context ctx;
+            ctx.coreId = static_cast<int>(c);
+            ctx.cycle = static_cast<int64_t>(cores_[c]->cycle());
+            throw DeadlockError("multicore simulation exceeded " +
+                                    std::to_string(max_cycles) +
+                                    " cycles",
+                                cores_[c]->pipelineSnapshot(), ctx);
+        }
     }
 }
 

@@ -1,0 +1,57 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace save {
+
+std::string
+SimError::Context::toString() const
+{
+    if (coreId < 0 && cycle < 0 && uopSeq < 0 && configHash == 0)
+        return "";
+    std::ostringstream os;
+    os << " [";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ", ";
+        first = false;
+    };
+    if (coreId >= 0) {
+        sep();
+        os << "core " << coreId;
+    }
+    if (cycle >= 0) {
+        sep();
+        os << "cycle " << cycle;
+    }
+    if (uopSeq >= 0) {
+        sep();
+        os << "uop seq " << uopSeq;
+    }
+    if (configHash != 0) {
+        sep();
+        os << "config 0x" << std::hex << configHash;
+    }
+    os << "]";
+    return os.str();
+}
+
+SimError::SimError(const std::string &what, Context ctx)
+    : std::runtime_error(what + ctx.toString()), ctx_(ctx)
+{
+}
+
+DeadlockError::DeadlockError(const std::string &what,
+                             std::string snapshot, Context ctx)
+    : SimError(what, ctx), snapshot_(std::move(snapshot))
+{
+}
+
+CacheError::CacheError(const std::string &what, std::string path,
+                       Context ctx)
+    : SimError(what + " (" + path + ")", ctx), path_(std::move(path))
+{
+}
+
+} // namespace save

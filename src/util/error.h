@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Typed simulation errors.
+ *
+ * The gem5-style macros in logging.h (SAVE_PANIC / SAVE_FATAL) kill
+ * the process, which is right for internal invariant violations but
+ * wrong for everything a long-running sweep should survive: bad user
+ * configuration, a wedged slice simulation, a corrupt cache file.
+ * Those conditions throw a SimError subclass instead, carrying enough
+ * context (core id, cycle, uop sequence number, configuration hash)
+ * that a failure buried in an hours-long fig14-19 sweep is actionable
+ * from the report alone.
+ *
+ * Taxonomy:
+ *   ConfigError   -- the user asked for something impossible; thrown
+ *                    by the validate() methods and argument parsing.
+ *                    Always actionable: names the field, the value,
+ *                    and the accepted range.
+ *   TraceError    -- a uop stream is malformed or inconsistent with
+ *                    the machine it is bound to (also used for
+ *                    injected slice faults, see fault_injection.h).
+ *   DeadlockError -- the retirement watchdog detected no forward
+ *                    progress; carries a pipeline snapshot.
+ *   CacheError    -- a persistent artifact (surface cache, sweep
+ *                    journal) cannot be read or written; carries the
+ *                    path.
+ */
+
+#ifndef SAVE_UTIL_ERROR_H
+#define SAVE_UTIL_ERROR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace save {
+
+/** Where an error happened; unset fields are omitted from the
+ *  formatted message (core -1, cycle/seq -1, hash 0 = unset). */
+struct SimContext
+{
+    int coreId = -1;
+    int64_t cycle = -1;
+    int64_t uopSeq = -1;
+    uint64_t configHash = 0;
+
+    /** " [core 3, cycle 1024, uop seq 77, config 0xabc...]" or ""
+     *  when nothing is set. */
+    std::string toString() const;
+};
+
+/** Base class for all recoverable simulation errors. */
+class SimError : public std::runtime_error
+{
+  public:
+    using Context = SimContext;
+
+    explicit SimError(const std::string &what, Context ctx = Context());
+
+    const Context &context() const { return ctx_; }
+
+  private:
+    Context ctx_;
+};
+
+/** Invalid user-supplied configuration or arguments. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &what, Context ctx = Context())
+        : SimError(what, ctx)
+    {
+    }
+};
+
+/** Malformed or inconsistent uop trace (and injected slice faults). */
+class TraceError : public SimError
+{
+  public:
+    explicit TraceError(const std::string &what, Context ctx = Context())
+        : SimError(what, ctx)
+    {
+    }
+};
+
+/** The watchdog saw no retirement progress; snapshot() holds the
+ *  pipeline state dump taken when it fired. */
+class DeadlockError : public SimError
+{
+  public:
+    DeadlockError(const std::string &what, std::string snapshot,
+                  Context ctx = Context());
+
+    const std::string &snapshot() const { return snapshot_; }
+
+  private:
+    std::string snapshot_;
+};
+
+/** Persistent cache/journal I/O or format failure. */
+class CacheError : public SimError
+{
+  public:
+    CacheError(const std::string &what, std::string path,
+               Context ctx = Context());
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace save
+
+#endif // SAVE_UTIL_ERROR_H

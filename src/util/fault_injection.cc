@@ -1,0 +1,215 @@
+#include "util/fault_injection.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace save {
+
+namespace {
+
+/** SplitMix64: full-avalanche mix so nearby keys draw independently. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double
+parseDouble(const std::string &key, const std::string &val)
+{
+    errno = 0;
+    char *end = nullptr;
+    double d = std::strtod(val.c_str(), &end);
+    if (errno != 0 || end == val.c_str() || *end != '\0')
+        throw ConfigError("fault-injection key '" + key +
+                          "' expects a number, got '" + val + "'");
+    return d;
+}
+
+int64_t
+parseInt(const std::string &key, const std::string &val)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(val.c_str(), &end, 10);
+    if (errno != 0 || end == val.c_str() || *end != '\0')
+        throw ConfigError("fault-injection key '" + key +
+                          "' expects an integer, got '" + val + "'");
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+FaultInjector::parsePlan(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            throw ConfigError("fault-injection item '" + item +
+                              "' is not key=value");
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (key == "slice") {
+            plan.sliceProb = parseDouble(key, val);
+        } else if (key == "times") {
+            plan.sliceTimes = static_cast<int>(parseInt(key, val));
+        } else if (key == "seed") {
+            plan.seed = static_cast<uint64_t>(parseInt(key, val));
+        } else if (key == "cache-truncate") {
+            plan.cacheTruncateProb = parseDouble(key, val);
+        } else if (key == "cache-bitflip") {
+            plan.cacheBitflipProb = parseDouble(key, val);
+        } else if (key == "watchdog-core") {
+            plan.watchdogCore = static_cast<int>(parseInt(key, val));
+        } else if (key == "watchdog-after") {
+            plan.watchdogAfterCycles =
+                static_cast<uint64_t>(parseInt(key, val));
+        } else {
+            throw ConfigError("unknown fault-injection key '" + key +
+                              "'");
+        }
+    }
+    if (plan.sliceProb < 0 || plan.sliceProb > 1 ||
+        plan.cacheTruncateProb < 0 || plan.cacheTruncateProb > 1 ||
+        plan.cacheBitflipProb < 0 || plan.cacheBitflipProb > 1)
+        throw ConfigError(
+            "fault-injection probabilities must be in [0,1]");
+    if (plan.sliceTimes < 1)
+        throw ConfigError("fault-injection 'times' must be >= 1 (got " +
+                          std::to_string(plan.sliceTimes) + ")");
+    return plan;
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector *inj = [] {
+        auto *p = new FaultInjector;
+        const char *env = std::getenv("SAVE_FAULT_INJECT");
+        if (env && *env) {
+            try {
+                p->configure(parsePlan(env));
+                SAVE_WARN("fault injection active: SAVE_FAULT_INJECT=",
+                          env);
+            } catch (const ConfigError &e) {
+                SAVE_WARN("ignoring SAVE_FAULT_INJECT: ", e.what());
+            }
+        }
+        return p;
+    }();
+    return *inj;
+}
+
+void
+FaultInjector::configure(const FaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    plan_ = plan;
+    enabled_ = plan.any();
+    slice_attempts_.clear();
+}
+
+double
+FaultInjector::draw(uint64_t site, uint64_t key) const
+{
+    uint64_t h = mix64(plan_.seed ^ mix64(site * 0x517cc1b727220a95ull ^
+                                          key));
+    // 53 high bits -> uniform double in [0,1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void
+FaultInjector::maybeFailSlice(uint64_t key)
+{
+    if (!enabled_ || plan_.sliceProb <= 0)
+        return;
+    if (draw(1, key) >= plan_.sliceProb)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        int &failed = slice_attempts_[key];
+        if (failed >= plan_.sliceTimes)
+            return; // this slice has failed its quota; let it succeed
+        ++failed;
+    }
+    throw TraceError("injected slice fault (key 0x" +
+                     [](uint64_t k) {
+                         char buf[32];
+                         std::snprintf(buf, sizeof(buf), "%llx",
+                                       static_cast<unsigned long long>(k));
+                         return std::string(buf);
+                     }(key) +
+                     ")");
+}
+
+uint64_t
+FaultInjector::watchdogFireCycle(int core) const
+{
+    if (!enabled_ || plan_.watchdogCore != core)
+        return ~0ull;
+    return plan_.watchdogAfterCycles;
+}
+
+void
+FaultInjector::maybeTamperCacheFile(const std::string &path,
+                                    uint64_t key)
+{
+    if (!enabled_ ||
+        (plan_.cacheTruncateProb <= 0 && plan_.cacheBitflipProb <= 0))
+        return;
+
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    if (ec || size == 0)
+        return;
+
+    if (plan_.cacheTruncateProb > 0 &&
+        draw(2, key) < plan_.cacheTruncateProb) {
+        // Cut the file roughly in half: models a SIGKILL mid-write.
+        std::filesystem::resize_file(path, size / 2, ec);
+        SAVE_WARN("fault injection: truncated cache file ", path,
+                  " to ", size / 2, " bytes");
+        return;
+    }
+    if (plan_.cacheBitflipProb > 0 &&
+        draw(3, key) < plan_.cacheBitflipProb) {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        if (!f)
+            return;
+        // Flip within the header (magic/version/hash): the surface
+        // format carries no per-record checksum, so only header damage
+        // is guaranteed to be *detected* — the point of the exercise.
+        uint64_t span = size < 20 ? size : 20;
+        uint64_t off = mix64(plan_.seed ^ key) % span;
+        f.seekg(static_cast<std::streamoff>(off));
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x10);
+        f.seekp(static_cast<std::streamoff>(off));
+        f.write(&byte, 1);
+        SAVE_WARN("fault injection: flipped a bit at offset ", off,
+                  " of ", path);
+    }
+}
+
+} // namespace save

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * Every recovery path in the harness (slice retry, cache-corruption
+ * quarantine, watchdog snapshot-and-raise) is dead code unless
+ * something actually fails, so this facility makes failures happen on
+ * demand, reproducibly:
+ *
+ *  - Slice faults: a seeded hash selects a fraction of slice keys;
+ *    the first `times` simulation attempts of a selected slice throw
+ *    TraceError. The selection depends only on (seed, key), never on
+ *    scheduling, so a run with injection and max-retries >= times
+ *    produces output bit-identical to a fault-free run.
+ *  - Cache tampering: after the surface cache atomically writes a
+ *    file, truncate it or flip one bit, exercising the corrupt-file
+ *    quarantine on the next load.
+ *  - Watchdog on demand: force a core's retirement watchdog to fire
+ *    at a chosen cycle, exercising the snapshot/DeadlockError path
+ *    without constructing a real deadlock.
+ *
+ * Configuration: programmatic via configure(), or the
+ * SAVE_FAULT_INJECT environment variable, a comma-separated key=value
+ * list:
+ *
+ *   SAVE_FAULT_INJECT="slice=0.1,times=1,seed=42"
+ *   SAVE_FAULT_INJECT="cache-truncate=1"
+ *   SAVE_FAULT_INJECT="watchdog-core=0,watchdog-after=5000"
+ *
+ * Keys: slice (probability 0-1), times (failures per selected slice),
+ * seed, cache-truncate (probability per save), cache-bitflip
+ * (probability per save), watchdog-core (core id, -1 off),
+ * watchdog-after (cycle at which the forced watchdog fires).
+ */
+
+#ifndef SAVE_UTIL_FAULT_INJECTION_H
+#define SAVE_UTIL_FAULT_INJECTION_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace save {
+
+/** What to break, how often, and how hard. All off by default. */
+struct FaultPlan
+{
+    uint64_t seed = 1;
+    /** Fraction of slice keys whose simulation throws. */
+    double sliceProb = 0.0;
+    /** How many attempts of a selected slice fail before succeeding
+     *  (1 = fail once, succeed on first retry). */
+    int sliceTimes = 1;
+    /** Probability that a surface-cache save leaves a truncated file. */
+    double cacheTruncateProb = 0.0;
+    /** Probability that a surface-cache save leaves a bit-flipped file. */
+    double cacheBitflipProb = 0.0;
+    /** Core whose watchdog is force-fired (-1 = none). */
+    int watchdogCore = -1;
+    /** Cycle at which the forced watchdog fires. */
+    uint64_t watchdogAfterCycles = 1000;
+
+    bool
+    any() const
+    {
+        return sliceProb > 0 || cacheTruncateProb > 0 ||
+               cacheBitflipProb > 0 || watchdogCore >= 0;
+    }
+};
+
+/** Process-wide fault injector. Thread-safe. */
+class FaultInjector
+{
+  public:
+    /** The global instance, initialized once from SAVE_FAULT_INJECT
+     *  (malformed specs warn and leave injection off). */
+    static FaultInjector &global();
+
+    /** Install a plan and clear per-slice attempt state. */
+    void configure(const FaultPlan &plan);
+
+    /** Disable all injection (tests call this in teardown). */
+    void reset() { configure(FaultPlan{}); }
+
+    bool enabled() const { return enabled_; }
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Throws TraceError iff `key` is selected by (seed, sliceProb)
+     * and fewer than sliceTimes attempts for it have already failed.
+     * Call once per simulation attempt with a stable per-slice hash.
+     */
+    void maybeFailSlice(uint64_t key);
+
+    /** Cycle at which core `core` must force-fire its watchdog
+     *  (~0ull = never). Cores cache this at construction. */
+    uint64_t watchdogFireCycle(int core) const;
+
+    /** Deterministically truncate or bit-flip the file at `path`
+     *  (post-rename surface-cache hook); `key` salts the decision so
+     *  successive saves differ. */
+    void maybeTamperCacheFile(const std::string &path, uint64_t key);
+
+    /** Parse a SAVE_FAULT_INJECT spec. Throws ConfigError on
+     *  malformed input. */
+    static FaultPlan parsePlan(const std::string &spec);
+
+  private:
+    /** Deterministic uniform draw in [0,1) from (seed, site, key). */
+    double draw(uint64_t site, uint64_t key) const;
+
+    bool enabled_ = false;
+    FaultPlan plan_;
+    std::mutex mu_;
+    /** Failed-attempt counts per selected slice key. */
+    std::unordered_map<uint64_t, int> slice_attempts_;
+};
+
+} // namespace save
+
+#endif // SAVE_UTIL_FAULT_INJECTION_H

@@ -1,0 +1,186 @@
+#include "util/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace save {
+
+namespace {
+
+constexpr const char *kMagic = "SAVEJRNL";
+constexpr int kFormatVersion = 1;
+
+std::string
+headerLine(uint64_t hash)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %d %016llx", kMagic,
+                  kFormatVersion,
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace
+
+std::string
+SweepJournal::encodeBytes(const char *data, size_t n)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+        unsigned char b = static_cast<unsigned char>(data[i]);
+        out.push_back(hex[b >> 4]);
+        out.push_back(hex[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+SweepJournal::decodeBytes(const std::string &hex, char *out, size_t n)
+{
+    if (hex.size() != 2 * n)
+        return false;
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        int hi = nibble(hex[2 * i]);
+        int lo = nibble(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out[i] = static_cast<char>((hi << 4) | lo);
+    }
+    return true;
+}
+
+SweepJournal::SweepJournal(const std::string &path, uint64_t config_hash)
+    : path_(path)
+{
+    if (path_.empty())
+        return;
+
+    std::error_code ec;
+    auto parent = std::filesystem::path(path_).parent_path();
+    if (!parent.empty())
+        std::filesystem::create_directories(parent, ec);
+
+    load(config_hash);
+
+    bool fresh = !std::filesystem::exists(path_);
+    out_.open(path_, std::ios::app);
+    if (!out_)
+        throw CacheError("cannot open sweep journal for append", path_);
+    if (fresh) {
+        out_ << headerLine(config_hash) << "\n";
+        out_.flush();
+        if (!out_)
+            throw CacheError("cannot write sweep journal header",
+                             path_);
+    }
+}
+
+void
+SweepJournal::load(uint64_t config_hash)
+{
+    std::ifstream is(path_, std::ios::binary);
+    if (!is)
+        return; // no journal yet: start fresh
+
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    is.close();
+
+    // A record torn by a mid-append kill lacks its trailing '\n', so
+    // only the prefix up to the last newline is trusted.
+    size_t trusted = text.rfind('\n');
+    bool torn_tail = trusted != std::string::npos &&
+                     trusted + 1 != text.size();
+    if (trusted == std::string::npos) {
+        trusted = 0;
+        torn_tail = !text.empty();
+    } else {
+        trusted += 1; // keep the newline inside the trusted prefix
+    }
+
+    size_t pos = 0;
+    auto next_line = [&](std::string &line) {
+        if (pos >= trusted)
+            return false;
+        size_t nl = text.find('\n', pos);
+        line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return true;
+    };
+
+    std::string line;
+    if (!next_line(line) || line != headerLine(config_hash)) {
+        // Different configuration (or not a journal at all): set the
+        // old file aside so its points are never replayed here.
+        std::error_code ec;
+        std::filesystem::rename(path_, path_ + ".stale", ec);
+        if (ec)
+            std::filesystem::remove(path_, ec);
+        SAVE_WARN("sweep journal ", path_,
+                  " does not match this configuration; moved to ",
+                  path_ + ".stale", " and starting fresh");
+        return;
+    }
+
+    size_t dropped = torn_tail ? 1 : 0;
+    while (next_line(line)) {
+        size_t tab = line.find('\t');
+        if (tab == std::string::npos || tab == 0) {
+            ++dropped;
+            continue;
+        }
+        entries_.emplace(line.substr(0, tab), line.substr(tab + 1));
+    }
+    if (dropped > 0)
+        SAVE_WARN("sweep journal ", path_, ": dropped ", dropped,
+                  " incomplete record(s) (interrupted write)");
+    if (!entries_.empty())
+        SAVE_INFORM("sweep journal ", path_, ": resuming with ",
+                    entries_.size(), " completed point(s)");
+}
+
+bool
+SweepJournal::lookup(const std::string &key, std::string *payload) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    if (payload)
+        *payload = it->second;
+    return true;
+}
+
+void
+SweepJournal::record(const std::string &key, const std::string &payload)
+{
+    if (!enabled())
+        return;
+    if (key.empty() || key.find('\t') != std::string::npos ||
+        key.find('\n') != std::string::npos)
+        throw ConfigError("journal key must be non-empty and free of "
+                          "tabs/newlines: '" + key + "'");
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!entries_.emplace(key, payload).second)
+        return; // already journaled
+    out_ << key << '\t' << payload << '\n';
+    out_.flush();
+    if (!out_)
+        throw CacheError("cannot append to sweep journal", path_);
+}
+
+} // namespace save

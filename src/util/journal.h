@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Append-only sweep journal: crash-safe checkpoint/resume for the
+ * bench harnesses.
+ *
+ * A fig14-19 style sweep is a list of independent points, each
+ * expensive to compute. The journal records every completed point
+ * (key -> serialized payload) as one flushed line, so an interrupted
+ * run — SIGKILL included — resumes by replaying the journal and
+ * recomputing only the missing points.
+ *
+ * Crash-safety comes from the format, not from rename tricks: the
+ * file is append-only, each record is a single '\n'-terminated line,
+ * and load() ignores an unterminated tail line (the only damage a
+ * kill mid-append can cause). Payloads are hex-encoded so records
+ * never contain separators.
+ *
+ * File format (text):
+ *   SAVEJRNL 1 <16-hex config hash>\n
+ *   <key>\t<hex payload>\n ...
+ *
+ * The config hash covers everything that affects point values; a
+ * mismatch (flags changed between runs) moves the stale journal to
+ * <path>.stale and starts fresh — stale results are never replayed
+ * into a differently-configured sweep.
+ */
+
+#ifndef SAVE_UTIL_JOURNAL_H
+#define SAVE_UTIL_JOURNAL_H
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace save {
+
+/** Crash-tolerant key->payload journal for sweep checkpointing. */
+class SweepJournal
+{
+  public:
+    /** Disabled journal: lookup misses, record is a no-op. */
+    SweepJournal() = default;
+
+    /**
+     * Open (or create) the journal at `path`. Loads every complete
+     * record whose header matches `config_hash`. Throws CacheError if
+     * the file cannot be created or appended to.
+     */
+    SweepJournal(const std::string &path, uint64_t config_hash);
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+    size_t size() const { return entries_.size(); }
+
+    /** True iff `key` has a journaled payload; copies it out when
+     *  `payload` is non-null. */
+    bool lookup(const std::string &key, std::string *payload = nullptr) const;
+
+    /**
+     * Append one completed point and flush. Keys must be non-empty
+     * and free of tabs/newlines (throws ConfigError otherwise);
+     * payload must be hex (use encode()). Duplicate keys are ignored.
+     * Thread-safe.
+     */
+    void record(const std::string &key, const std::string &payload);
+
+    /** Hex-encode a trivially-copyable value for record(). */
+    template <typename T>
+    static std::string
+    encode(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return encodeBytes(reinterpret_cast<const char *>(&v),
+                           sizeof(T));
+    }
+
+    /** Decode an encode()d payload; false on size/format mismatch. */
+    template <typename T>
+    static bool
+    decode(const std::string &hex, T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return decodeBytes(hex, reinterpret_cast<char *>(&v),
+                           sizeof(T));
+    }
+
+    static std::string encodeBytes(const char *data, size_t n);
+    static bool decodeBytes(const std::string &hex, char *out, size_t n);
+
+  private:
+    void load(uint64_t config_hash);
+
+    std::string path_;
+    std::map<std::string, std::string> entries_;
+    std::ofstream out_;
+    mutable std::mutex mu_;
+};
+
+} // namespace save
+
+#endif // SAVE_UTIL_JOURNAL_H

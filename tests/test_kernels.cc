@@ -11,6 +11,7 @@
 #include "kernels/gemm.h"
 #include "kernels/lstm.h"
 #include "kernels/sparsity.h"
+#include "util/error.h"
 
 namespace save {
 namespace {
@@ -127,7 +128,14 @@ TEST(GemmGen, RegisterBudgetEnforced)
     EXPECT_NO_THROW(buildGemm(g, m)); // 29 regs: fits
     GemmConfig bad = g;
     bad.mr = 32;
-    EXPECT_DEATH(buildGemm(bad, m), "register tile too big");
+    try {
+        buildGemm(bad, m);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("register tile too big"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(GemmGen, ShardedSharesAPanel)
@@ -253,7 +261,15 @@ TEST(Lstm, GemmShape)
 TEST(LstmDeathTest, NoSeparateWeightPhase)
 {
     LstmCell c;
-    EXPECT_DEATH(makeLstmKernel(c, Phase::BwdWeights), "merged");
+    c.name = "cell";
+    try {
+        makeLstmKernel(c, Phase::BwdWeights);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("merged"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 } // namespace

@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Hardened-harness coverage: error taxonomy and validate() rejection
+ * messages, the retirement watchdog (via forced fault injection), the
+ * estimator's retry/fault-isolation policy, cache corruption recovery
+ * and quarantine, and sweep-journal checkpoint/resume.
+ *
+ * Every fault here is injected deterministically (FaultInjector), so
+ * the recovery paths run on every CI invocation, not just when
+ * something happens to break.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "../bench/bench_util.h"
+#include "dnn/estimator.h"
+#include "dnn/networks.h"
+#include "dnn/surface_cache.h"
+#include "engine/engine.h"
+#include "kernels/gemm.h"
+#include "kernels/lstm.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
+#include "util/journal.h"
+
+namespace save {
+namespace {
+
+/** Fast estimator knobs shared by the fault-injection tests. */
+EstimatorOptions
+fastOptions(int threads = 2)
+{
+    EstimatorOptions o;
+    o.kSteps = 24;
+    o.tiles = 1;
+    o.gridStep = 9;
+    o.threads = threads;
+    o.cacheDir = "none";
+    return o;
+}
+
+NetworkModel
+tinyNet()
+{
+    NetworkModel net = vgg16Dense();
+    net.convLayers.resize(3);
+    return net;
+}
+
+bool
+bytesEqual(const NetResult &a, const NetResult &b)
+{
+    return std::memcmp(&a, &b, sizeof(NetResult)) == 0;
+}
+
+/** Resets the global injector around every test and provides a scratch
+ *  directory for cache/journal artifacts. */
+class RobustnessTest : public ::testing::Test
+{
+  protected:
+    RobustnessTest()
+    {
+        FaultInjector::global().reset();
+        dir_ = std::filesystem::temp_directory_path() /
+               ("save-robust-test-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    ~RobustnessTest() override
+    {
+        FaultInjector::global().reset();
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::filesystem::path dir_;
+};
+
+// ------------------------------------------------------ error taxonomy
+
+TEST_F(RobustnessTest, ContextFormatsOnlySetFields)
+{
+    SimError::Context ctx;
+    EXPECT_EQ(ctx.toString(), "");
+    ctx.coreId = 3;
+    ctx.cycle = 1024;
+    std::string s = ctx.toString();
+    EXPECT_NE(s.find("core 3"), std::string::npos) << s;
+    EXPECT_NE(s.find("cycle 1024"), std::string::npos) << s;
+    EXPECT_EQ(s.find("uop"), std::string::npos) << s;
+}
+
+TEST_F(RobustnessTest, MachineConfigValidateNamesTheField)
+{
+    MachineConfig m;
+    m.cores = 0;
+    try {
+        m.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("cores"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("got 0"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    MachineConfig bad_freq;
+    bad_freq.freq2VpuGhz = -1.0;
+    EXPECT_THROW(bad_freq.validate(), ConfigError);
+    EXPECT_NO_THROW(MachineConfig{}.validate());
+}
+
+TEST_F(RobustnessTest, SaveConfigValidateRejectsBadRotationStates)
+{
+    SaveConfig s;
+    s.rotationStates = 0;
+    EXPECT_THROW(s.validate(), ConfigError);
+    EXPECT_NO_THROW(SaveConfig{}.validate());
+    EXPECT_NO_THROW(SaveConfig::baseline().validate());
+}
+
+TEST_F(RobustnessTest, GemmConfigValidateRejectsBadShapes)
+{
+    GemmConfig g;
+    g.mr = 0;
+    EXPECT_THROW(g.validate(), ConfigError);
+
+    GemmConfig frac;
+    frac.bsSparsity = 1.5;
+    EXPECT_THROW(frac.validate(), ConfigError);
+
+    GemmConfig big;
+    big.mr = 32;
+    big.nrVecs = 1;
+    big.pattern = BroadcastPattern::Embedded;
+    EXPECT_THROW(big.validate(), ConfigError);
+    EXPECT_NO_THROW(GemmConfig{}.validate());
+}
+
+TEST_F(RobustnessTest, LstmCellValidateNamesTheCell)
+{
+    LstmCell c;
+    c.name = "enc0";
+    c.batch = 0;
+    try {
+        c.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("enc0"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(RobustnessTest, EstimatorOptionsValidateRejectsBadKnobs)
+{
+    EstimatorOptions o;
+    o.threads = -1;
+    EXPECT_THROW(o.validate(), ConfigError);
+    o = EstimatorOptions{};
+    o.maxRetries = -1;
+    EXPECT_THROW(o.validate(), ConfigError);
+    EXPECT_NO_THROW(EstimatorOptions{}.validate());
+}
+
+TEST_F(RobustnessTest, EngineRejectsOutOfRangeResources)
+{
+    Engine eng(MachineConfig{}, SaveConfig{});
+    GemmConfig g;
+    g.kSteps = 8;
+    g.tiles = 1;
+    EXPECT_THROW(eng.runGemm(g, 99, 2), ConfigError);
+    EXPECT_THROW(eng.runGemm(g, 1, 0), ConfigError);
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST_F(RobustnessTest, ForcedWatchdogNamesCoreAndDumpsPipeline)
+{
+    FaultPlan plan;
+    plan.watchdogCore = 0;
+    plan.watchdogAfterCycles = 50;
+    FaultInjector::global().configure(plan);
+
+    Engine eng(MachineConfig{}, SaveConfig{});
+    GemmConfig g;
+    g.kSteps = 64;
+    g.tiles = 2;
+    try {
+        eng.runGemm(g, 1, 2);
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError &e) {
+        EXPECT_EQ(e.context().coreId, 0);
+        EXPECT_GE(e.context().cycle, 50);
+        std::string what = e.what();
+        EXPECT_NE(what.find("core 0"), std::string::npos) << what;
+        EXPECT_NE(e.snapshot().find("rob:"), std::string::npos)
+            << e.snapshot();
+        EXPECT_NE(e.snapshot().find("vpu0:"), std::string::npos)
+            << e.snapshot();
+    }
+
+    // Injection off: the same kernel completes.
+    FaultInjector::global().reset();
+    EXPECT_NO_THROW(eng.runGemm(g, 1, 2));
+}
+
+// ----------------------------------------- retry and fault isolation
+
+TEST_F(RobustnessTest, InjectedSliceFaultsRetryToBitIdenticalResult)
+{
+    NetworkModel net = tinyNet();
+
+    EstimatorOptions opt = fastOptions();
+    TrainingEstimator clean(MachineConfig{}, SaveConfig{}, opt);
+    NetResult want = clean.inference(net, Precision::Fp32);
+
+    // Every slice throws once; one retry recovers each.
+    FaultPlan plan;
+    plan.sliceProb = 1.0;
+    plan.sliceTimes = 1;
+    plan.seed = 42;
+    FaultInjector::global().configure(plan);
+    setQuietLogging(true);
+    TrainingEstimator faulty(MachineConfig{}, SaveConfig{}, opt);
+    NetResult got = faulty.inference(net, Precision::Fp32);
+    setQuietLogging(false);
+
+    EXPECT_TRUE(bytesEqual(want, got));
+    EXPECT_EQ(faulty.simulations(), clean.simulations());
+    EXPECT_TRUE(faulty.failures().empty());
+    EXPECT_EQ(faulty.failureReport(), "");
+}
+
+TEST_F(RobustnessTest, ExhaustedRetriesYieldNanAndFailureReport)
+{
+    NetworkModel net = tinyNet();
+
+    FaultPlan plan;
+    plan.sliceProb = 1.0;
+    plan.sliceTimes = 1000; // never recovers
+    FaultInjector::global().configure(plan);
+
+    EstimatorOptions opt = fastOptions();
+    opt.maxRetries = 1;
+    setQuietLogging(true);
+    TrainingEstimator est(MachineConfig{}, SaveConfig{}, opt);
+    NetResult r = est.inference(net, Precision::Fp32);
+    setQuietLogging(false);
+
+    EXPECT_TRUE(std::isnan(r.baseline2.total()));
+    // failures() returns a snapshot copy; keep it alive while we poke
+    // at the front element.
+    std::vector<SliceFailure> fails = est.failures();
+    ASSERT_FALSE(fails.empty());
+    const SliceFailure &f = fails.front();
+    EXPECT_EQ(f.attempts, 2);
+    EXPECT_NE(f.reason.find("injected slice fault"), std::string::npos)
+        << f.reason;
+    EXPECT_NE(est.failureReport().find("failed permanently"),
+              std::string::npos);
+    EXPECT_EQ(est.simulations(), 0u);
+}
+
+TEST_F(RobustnessTest, FailFastRethrowsTheSliceFault)
+{
+    FaultPlan plan;
+    plan.sliceProb = 1.0;
+    plan.sliceTimes = 1000;
+    FaultInjector::global().configure(plan);
+
+    EstimatorOptions opt = fastOptions(1);
+    opt.maxRetries = 0;
+    opt.failFast = true;
+    setQuietLogging(true);
+    TrainingEstimator est(MachineConfig{}, SaveConfig{}, opt);
+    EXPECT_THROW(est.inference(tinyNet(), Precision::Fp32), TraceError);
+    setQuietLogging(false);
+}
+
+TEST_F(RobustnessTest, FaultSelectionIsDeterministic)
+{
+    FaultPlan plan;
+    plan.sliceProb = 0.5;
+    plan.seed = 7;
+    plan.sliceTimes = 1;
+
+    auto selected = [&](uint64_t key) {
+        FaultInjector::global().configure(plan);
+        bool threw = false;
+        try {
+            FaultInjector::global().maybeFailSlice(key);
+        } catch (const TraceError &) {
+            threw = true;
+        }
+        return threw;
+    };
+    int hits = 0;
+    for (uint64_t k = 0; k < 64; ++k) {
+        bool first = selected(k);
+        EXPECT_EQ(first, selected(k)) << "key " << k;
+        hits += first ? 1 : 0;
+    }
+    // ~50% of keys selected; generous determinism-friendly bounds.
+    EXPECT_GT(hits, 16);
+    EXPECT_LT(hits, 48);
+}
+
+TEST_F(RobustnessTest, ParsePlanAcceptsSpecAndRejectsGarbage)
+{
+    FaultPlan p = FaultInjector::parsePlan(
+        "slice=0.25,times=3,seed=9,watchdog-core=1,watchdog-after=77");
+    EXPECT_DOUBLE_EQ(p.sliceProb, 0.25);
+    EXPECT_EQ(p.sliceTimes, 3);
+    EXPECT_EQ(p.seed, 9u);
+    EXPECT_EQ(p.watchdogCore, 1);
+    EXPECT_EQ(p.watchdogAfterCycles, 77u);
+
+    EXPECT_THROW(FaultInjector::parsePlan("slice=2.0"), ConfigError);
+    EXPECT_THROW(FaultInjector::parsePlan("slice=abc"), ConfigError);
+    EXPECT_THROW(FaultInjector::parsePlan("times=0"), ConfigError);
+    EXPECT_THROW(FaultInjector::parsePlan("nonsense=1"), ConfigError);
+}
+
+// -------------------------------------------- cache corruption recovery
+
+TEST_F(RobustnessTest, TamperedCacheIsQuarantinedAndRebuilt)
+{
+    for (const char *mode : {"truncate", "bitflip"}) {
+        SurfaceCache cache((dir_ / mode).string(), 0xfeed);
+        std::vector<SurfaceRecord> in(3);
+        in[0].mr = 4;
+        in[1].mr = 8;
+        in[2].mr = 12;
+
+        FaultPlan plan;
+        if (std::string(mode) == "truncate")
+            plan.cacheTruncateProb = 1.0;
+        else
+            plan.cacheBitflipProb = 1.0;
+        FaultInjector::global().configure(plan);
+        setQuietLogging(true);
+        ASSERT_TRUE(cache.save(in));
+        FaultInjector::global().reset();
+
+        // The tampered file fails validation and is quarantined, so
+        // the failure is visible, non-destructive, and non-repeating.
+        std::vector<SurfaceRecord> out;
+        std::string why;
+        EXPECT_FALSE(cache.load(out, &why)) << mode;
+        EXPECT_TRUE(out.empty());
+        EXPECT_TRUE(
+            std::filesystem::exists(cache.path() + ".corrupt"))
+            << mode;
+        EXPECT_FALSE(std::filesystem::exists(cache.path())) << mode;
+
+        // A clean rewrite fully recovers.
+        ASSERT_TRUE(cache.save(in));
+        EXPECT_TRUE(cache.load(out, &why)) << why;
+        setQuietLogging(false);
+        ASSERT_EQ(out.size(), in.size());
+        EXPECT_EQ(out[2].mr, 12);
+    }
+}
+
+TEST_F(RobustnessTest, NoStrayTempFilesAfterSave)
+{
+    SurfaceCache cache(dir_.string(), 0xbeef);
+    ASSERT_TRUE(cache.save({SurfaceRecord{}}));
+    size_t files = 0;
+    for (const auto &ent :
+         std::filesystem::directory_iterator(dir_))
+        files += ent.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1u);
+}
+
+// ------------------------------------------------------- sweep journal
+
+TEST_F(RobustnessTest, JournalRoundTripAndDuplicateKeys)
+{
+    std::string path = (dir_ / "sweep.jrnl").string();
+    {
+        SweepJournal j(path, 0xabc);
+        EXPECT_EQ(j.size(), 0u);
+        j.record("p1", SweepJournal::encode(1.5));
+        j.record("p2", SweepJournal::encode(2.5));
+        j.record("p1", SweepJournal::encode(99.0)); // ignored
+        EXPECT_THROW(j.record("bad\tkey", "00"), ConfigError);
+        EXPECT_THROW(j.record("", "00"), ConfigError);
+    }
+    SweepJournal j(path, 0xabc);
+    EXPECT_EQ(j.size(), 2u);
+    std::string hex;
+    ASSERT_TRUE(j.lookup("p1", &hex));
+    double v = 0;
+    ASSERT_TRUE(SweepJournal::decode(hex, v));
+    EXPECT_DOUBLE_EQ(v, 1.5); // first record wins, duplicate ignored
+    EXPECT_FALSE(j.lookup("p3"));
+}
+
+TEST_F(RobustnessTest, JournalIgnoresTornTailLine)
+{
+    std::string path = (dir_ / "torn.jrnl").string();
+    {
+        SweepJournal j(path, 1);
+        j.record("done", SweepJournal::encode(4.0));
+    }
+    // Simulate a SIGKILL mid-append: an unterminated tail line.
+    {
+        std::ofstream os(path, std::ios::app | std::ios::binary);
+        os << "half-written\t00ff";
+    }
+    setQuietLogging(true);
+    SweepJournal j(path, 1);
+    setQuietLogging(false);
+    EXPECT_EQ(j.size(), 1u);
+    EXPECT_TRUE(j.lookup("done"));
+    EXPECT_FALSE(j.lookup("half-written"));
+    // The reopened journal keeps accepting records.
+    j.record("next", SweepJournal::encode(5.0));
+    SweepJournal again(path, 1);
+    EXPECT_EQ(again.size(), 2u);
+}
+
+TEST_F(RobustnessTest, JournalWithStaleHashRotatesAndStartsFresh)
+{
+    std::string path = (dir_ / "stale.jrnl").string();
+    {
+        SweepJournal j(path, 111);
+        j.record("old", SweepJournal::encode(1.0));
+    }
+    setQuietLogging(true);
+    SweepJournal j(path, 222); // flags changed between runs
+    setQuietLogging(false);
+    EXPECT_EQ(j.size(), 0u);
+    EXPECT_FALSE(j.lookup("old"));
+    EXPECT_TRUE(std::filesystem::exists(path + ".stale"));
+}
+
+TEST_F(RobustnessTest, SweepRunnerResumesWithoutRecomputing)
+{
+    SweepOptions opt;
+    opt.journalPath = (dir_ / "runner.jrnl").string();
+
+    int calls = 0;
+    auto work = [&calls] {
+        ++calls;
+        return 3.25;
+    };
+    {
+        SweepRunner r(opt);
+        EXPECT_DOUBLE_EQ(r.point<double>("a", work), 3.25);
+        EXPECT_DOUBLE_EQ(r.point<double>("b", work), 3.25);
+        EXPECT_EQ(r.computedPoints(), 2u);
+        EXPECT_EQ(r.resumedPoints(), 0u);
+    }
+    EXPECT_EQ(calls, 2);
+
+    // A rerun (same config) replays the journal: zero recomputation.
+    SweepRunner r(opt);
+    EXPECT_DOUBLE_EQ(r.point<double>("a", work), 3.25);
+    EXPECT_DOUBLE_EQ(r.point<double>("b", work), 3.25);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(r.resumedPoints(), 2u);
+    EXPECT_EQ(r.computedPoints(), 0u);
+    EXPECT_EQ(r.finish(), 0);
+}
+
+TEST_F(RobustnessTest, SweepRunnerIsolatesAndReportsFailures)
+{
+    SweepOptions opt;
+    opt.maxRetries = 1;
+
+    int attempts = 0;
+    setQuietLogging(true);
+    SweepRunner r(opt);
+    // Fails on the first attempt, succeeds on the retry.
+    double ok = r.point<double>("flaky", [&attempts] {
+        if (++attempts == 1)
+            throw TraceError("transient");
+        return 7.0;
+    });
+    EXPECT_DOUBLE_EQ(ok, 7.0);
+    EXPECT_EQ(attempts, 2);
+
+    // Exhausts retries: NaN result, sweep continues, finish() fails.
+    double bad = r.point<double>("doomed", []() -> double {
+        throw TraceError("permanent");
+    });
+    setQuietLogging(false);
+    EXPECT_TRUE(std::isnan(bad));
+    EXPECT_EQ(r.finish(), 1);
+}
+
+TEST_F(RobustnessTest, SweepRunnerFailFastRethrows)
+{
+    SweepOptions opt;
+    opt.maxRetries = 0;
+    opt.failFast = true;
+    SweepRunner r(opt);
+    EXPECT_THROW(r.point<double>(
+                     "x", []() -> double { throw TraceError("boom"); }),
+                 TraceError);
+}
+
+TEST_F(RobustnessTest, SweepRunnerHonorsMaxFailures)
+{
+    SweepOptions opt;
+    opt.maxRetries = 0;
+    opt.maxFailures = 1;
+    setQuietLogging(true);
+    SweepRunner r(opt);
+    r.point<double>("one", []() -> double { throw TraceError("x"); });
+    EXPECT_EQ(r.finish(), 0); // one failure tolerated
+    r.point<double>("two", []() -> double { throw TraceError("y"); });
+    EXPECT_EQ(r.finish(), 1); // threshold exceeded
+    setQuietLogging(false);
+}
+
+// --------------------------------------------------- flag parsing
+
+TEST_F(RobustnessTest, FlagsRejectMalformedIntegers)
+{
+    const char *argv_bad[] = {"bench", "--threads=abc"};
+    Flags bad(2, const_cast<char **>(argv_bad));
+    EXPECT_THROW(bad.getInt("threads", 0), ConfigError);
+
+    const char *argv_tail[] = {"bench", "--grid=3x"};
+    Flags tail(2, const_cast<char **>(argv_tail));
+    EXPECT_THROW(tail.getInt("grid", 1), ConfigError);
+
+    const char *argv_ok[] = {"bench", "--grid=3", "--threads=-1"};
+    Flags ok(3, const_cast<char **>(argv_ok));
+    EXPECT_EQ(ok.getInt("grid", 1), 3);
+    // -1 parses, but estimatorOptions() validation rejects it with an
+    // actionable message instead of the old assert-abort.
+    EXPECT_THROW(estimatorOptions(ok), ConfigError);
+}
+
+} // namespace
+} // namespace save
