@@ -1,137 +1,311 @@
 /**
  * @file
- * Simulator micro-benchmarks (google-benchmark): host cost of one
- * simulated slice per scheduler policy and precision. Useful for
- * sizing the estimator's sampling budget and catching performance
- * regressions in the scheduler loops.
+ * Simulator speed benchmark — a plain, dependency-free binary so the
+ * CI perf-smoke job can run it anywhere and diff its JSON against a
+ * committed baseline.
+ *
+ * Measures host throughput (simulated uops/s and cycles/s) of pinned
+ * GEMM slices per scheduler policy, precision, and sparsity, with the
+ * stall fast-forward on and off, plus the steady-state heap-allocation
+ * rate of the cycle loop (the event-driven loop is allocation-free in
+ * steady state; a regression here shows up as allocs/cycle creeping
+ * up). Workload sizes are hard-pinned — nothing in this file reads the
+ * environment except the SAVE_FASTFORWARD toggle it sets itself.
+ *
+ * Usage:
+ *   bench_simspeed              human-readable table
+ *   bench_simspeed --json       JSON document on stdout
+ *   bench_simspeed --check F    also compare uops/s against the
+ *                               baseline JSON at F; exit 1 if any
+ *                               benchmark regressed by more than 20%
+ *                               (tolerance for shared-runner noise).
  */
 
-#include <benchmark/benchmark.h>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
 
-#include "dnn/estimator.h"
-#include "dnn/networks.h"
-#include "engine/engine.h"
+#include "kernels/gemm.h"
+#include "mem/memory_image.h"
+#include "sim/multicore.h"
+
+/* Heap-allocation counter: interpose the global allocation functions
+ * (this binary only). Counting news is enough — the metric is churn,
+ * and every free pairs with an allocation we counted. */
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void *
+operator new(std::size_t n)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
 
 namespace save {
 namespace {
 
+/** The pinned slice: big enough to reach steady state, small enough
+ *  for a CI smoke job. Do not derive any of these from the machine or
+ *  the environment — the committed baseline assumes these numbers. */
 GemmConfig
-sliceConfig(Precision prec)
+slice(double bs, double nbs, Precision prec)
 {
     GemmConfig g;
     g.mr = 7;
     g.nrVecs = 3;
-    g.kSteps = 96;
-    g.tiles = 2;
+    g.kSteps = 192;
+    g.tiles = 6;
     g.pattern = BroadcastPattern::Embedded;
     g.precision = prec;
-    g.bsSparsity = 0.3;
-    g.nbsSparsity = 0.5;
+    g.bsSparsity = bs;
+    g.nbsSparsity = nbs;
+    g.seed = 7;
     return g;
 }
 
-void
-BM_BaselineSlice(benchmark::State &state)
+struct RunResult
 {
-    MachineConfig m;
-    Engine e(m, SaveConfig::baseline());
-    GemmConfig g = sliceConfig(Precision::Fp32);
     uint64_t cycles = 0;
-    for (auto _ : state)
-        cycles += e.runGemm(g, 1, 2).cycles;
-    state.counters["sim_cycles_per_s"] = benchmark::Counter(
-        static_cast<double>(cycles), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_BaselineSlice)->Unit(benchmark::kMillisecond);
+    double uops = 0;
+    uint64_t ffJumps = 0;
+    uint64_t ffSkipped = 0;
+};
 
-void
-BM_SaveRvcSlice(benchmark::State &state)
+/** One single-core run, built directly on Multicore (not Engine) so
+ *  the fast-forward counters — deliberately kept out of the stat map —
+ *  are reachable. */
+RunResult
+runOnce(const SaveConfig &scfg, const GemmConfig &g)
 {
-    MachineConfig m;
-    Engine e(m, SaveConfig{});
-    GemmConfig g = sliceConfig(Precision::Fp32);
+    MachineConfig mc;
+    mc.dramGBps = mc.dramGBps / mc.cores; // one core's bandwidth share
+    mc.cores = 1;
+
+    MemoryImage image;
+    std::vector<GemmWorkload> work = buildShardedGemm(g, image, 1);
+    Multicore machine(mc, scfg, 2, &image);
+    work[0].warmup(machine.hierarchy());
+    VectorTrace trace(work[0].trace);
+    machine.bindTraces({&trace});
+
+    RunResult r;
+    r.cycles = machine.run();
+    r.uops = machine.aggregateStats().get("uops");
+    r.ffJumps = machine.core(0).ffJumps();
+    r.ffSkipped = machine.core(0).ffCyclesSkipped();
+    return r;
+}
+
+struct BenchRow
+{
+    std::string name;
+    double uopsPerSec = 0;
+    double cyclesPerSec = 0;
+    uint64_t simCycles = 0;
+    uint64_t ffJumps = 0;
+    uint64_t ffSkipped = 0;
+    double allocsPerCycle = 0;
+};
+
+BenchRow
+bench(const char *name, const SaveConfig &scfg, const GemmConfig &g,
+      bool fastforward)
+{
+    setenv("SAVE_FASTFORWARD", fastforward ? "1" : "0", 1);
+
+    runOnce(scfg, g); // warm-up (page cache, allocator arenas)
+
+    constexpr int kReps = 5;
+    uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
+    double uops = 0;
     uint64_t cycles = 0;
-    for (auto _ : state)
-        cycles += e.runGemm(g, 1, 2).cycles;
-    state.counters["sim_cycles_per_s"] = benchmark::Counter(
-        static_cast<double>(cycles), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_SaveRvcSlice)->Unit(benchmark::kMillisecond);
-
-void
-BM_SaveHcSlice(benchmark::State &state)
-{
-    MachineConfig m;
-    SaveConfig s;
-    s.policy = SchedPolicy::HC;
-    Engine e(m, s);
-    GemmConfig g = sliceConfig(Precision::Fp32);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(e.runGemm(g, 1, 2).cycles);
-}
-BENCHMARK(BM_SaveHcSlice)->Unit(benchmark::kMillisecond);
-
-void
-BM_SaveMixedPrecisionSlice(benchmark::State &state)
-{
-    MachineConfig m;
-    Engine e(m, SaveConfig{});
-    GemmConfig g = sliceConfig(Precision::Bf16);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(e.runGemm(g, 1, 2).cycles);
-}
-BENCHMARK(BM_SaveMixedPrecisionSlice)->Unit(benchmark::kMillisecond);
-
-void
-BM_MulticoreSlice(benchmark::State &state)
-{
-    MachineConfig m;
-    Engine e(m, SaveConfig{});
-    GemmConfig g = sliceConfig(Precision::Fp32);
-    int cores = static_cast<int>(state.range(0));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(e.runGemm(g, cores, 2).cycles);
-}
-BENCHMARK(BM_MulticoreSlice)->Arg(1)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond);
-
-/**
- * Whole-network estimation with the slice fan-out on N host threads,
- * cold in-memory cache each iteration (fresh estimator, persistence
- * disabled). Arg(1) is the strictly serial path; the
- * `norm_rate` counter is estimations/second divided by the thread
- * count — constant across rows means perfect scaling, and
- * norm_rate(N) / norm_rate(1) is the parallel efficiency at N.
- */
-void
-BM_EstimatorFanout(benchmark::State &state)
-{
-    int threads = static_cast<int>(state.range(0));
-    NetworkModel net = vgg16Dense();
-    for (auto _ : state) {
-        EstimatorOptions o;
-        o.kSteps = 48;
-        o.tiles = 2;
-        o.gridStep = 3;
-        o.threads = threads;
-        o.cacheDir = "none";
-        TrainingEstimator est(MachineConfig{}, SaveConfig{}, o);
-        NetResult r = est.inference(net, Precision::Bf16);
-        benchmark::DoNotOptimize(r);
+    RunResult last;
+    for (int i = 0; i < kReps; ++i) {
+        last = runOnce(scfg, g);
+        uops += last.uops;
+        cycles += last.cycles;
     }
-    state.counters["threads"] = threads;
-    state.counters["norm_rate"] = benchmark::Counter(
-        1.0 / threads, benchmark::Counter::kIsIterationInvariantRate);
+    auto t1 = std::chrono::steady_clock::now();
+    uint64_t allocs1 = g_heap_allocs.load(std::memory_order_relaxed);
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    BenchRow row;
+    row.name = name;
+    row.uopsPerSec = uops / secs;
+    row.cyclesPerSec = static_cast<double>(cycles) / secs;
+    row.simCycles = last.cycles;
+    row.ffJumps = last.ffJumps;
+    row.ffSkipped = last.ffSkipped;
+    // Whole-run allocation rate: includes machine construction, so it
+    // is an upper bound on steady-state churn.
+    row.allocsPerCycle =
+        static_cast<double>(allocs1 - allocs0) / static_cast<double>(cycles);
+
+    unsetenv("SAVE_FASTFORWARD");
+    return row;
 }
-BENCHMARK(BM_EstimatorFanout)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+
+std::vector<BenchRow>
+runAll()
+{
+    std::vector<BenchRow> rows;
+    rows.push_back(bench("baseline_fp32_dense", SaveConfig::baseline(),
+                         slice(0.0, 0.0, Precision::Fp32), true));
+    rows.push_back(bench("rvc_fp32_dense", SaveConfig{},
+                         slice(0.0, 0.0, Precision::Fp32), true));
+    rows.push_back(bench("rvc_fp32_sparse80", SaveConfig{},
+                         slice(0.8, 0.8, Precision::Fp32), true));
+    rows.push_back(bench("rvc_bf16_sparse80", SaveConfig{},
+                         slice(0.8, 0.8, Precision::Bf16), true));
+    rows.push_back(bench("rvc_fp32_sparse80_noff", SaveConfig{},
+                         slice(0.8, 0.8, Precision::Fp32), false));
+    return rows;
+}
+
+void
+printTable(const std::vector<BenchRow> &rows)
+{
+    std::printf("%-26s %14s %14s %10s %10s %12s %14s\n", "benchmark",
+                "uops/s", "sim_cycles/s", "cycles", "ff_jumps",
+                "ff_skipped", "allocs/cycle");
+    for (const BenchRow &r : rows) {
+        std::printf("%-26s %14.0f %14.0f %10llu %10llu %12llu %14.4f\n",
+                    r.name.c_str(), r.uopsPerSec, r.cyclesPerSec,
+                    static_cast<unsigned long long>(r.simCycles),
+                    static_cast<unsigned long long>(r.ffJumps),
+                    static_cast<unsigned long long>(r.ffSkipped),
+                    r.allocsPerCycle);
+    }
+}
+
+void
+printJson(const std::vector<BenchRow> &rows)
+{
+    std::printf("{\n  \"schema\": \"save-bench-simspeed-v1\",\n"
+                "  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const BenchRow &r = rows[i];
+        std::printf("    {\"name\": \"%s\", \"uops_per_sec\": %.0f, "
+                    "\"sim_cycles_per_sec\": %.0f, \"sim_cycles\": %llu, "
+                    "\"ff_jumps\": %llu, \"ff_cycles_skipped\": %llu, "
+                    "\"allocs_per_cycle\": %.4f}%s\n",
+                    r.name.c_str(), r.uopsPerSec, r.cyclesPerSec,
+                    static_cast<unsigned long long>(r.simCycles),
+                    static_cast<unsigned long long>(r.ffJumps),
+                    static_cast<unsigned long long>(r.ffSkipped),
+                    r.allocsPerCycle, i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+}
+
+/** Minimal extraction of {"name": ..., "uops_per_sec": ...} pairs from
+ *  a baseline JSON produced by --json (no general JSON parsing). */
+std::vector<std::pair<std::string, double>>
+readBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    std::vector<std::pair<std::string, double>> out;
+    size_t pos = 0;
+    const std::string kName = "\"name\": \"";
+    const std::string kRate = "\"uops_per_sec\": ";
+    while ((pos = text.find(kName, pos)) != std::string::npos) {
+        size_t nb = pos + kName.size();
+        size_t ne = text.find('"', nb);
+        size_t rb = text.find(kRate, ne);
+        if (ne == std::string::npos || rb == std::string::npos)
+            break;
+        out.emplace_back(text.substr(nb, ne - nb),
+                         std::strtod(text.c_str() + rb + kRate.size(),
+                                     nullptr));
+        pos = rb;
+    }
+    return out;
+}
+
+int
+check(const std::vector<BenchRow> &rows, const std::string &baseline_path)
+{
+    constexpr double kTolerance = 0.20;
+    auto baseline = readBaseline(baseline_path);
+    if (baseline.empty()) {
+        std::fprintf(stderr, "baseline %s has no benchmarks\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+    int failures = 0;
+    for (const auto &[name, base_rate] : baseline) {
+        const BenchRow *cur = nullptr;
+        for (const BenchRow &r : rows)
+            if (r.name == name)
+                cur = &r;
+        if (!cur) {
+            std::fprintf(stderr, "FAIL %s: present in baseline, not run\n",
+                         name.c_str());
+            ++failures;
+            continue;
+        }
+        double ratio = cur->uopsPerSec / base_rate;
+        bool ok = ratio >= 1.0 - kTolerance;
+        std::printf("%-5s %-26s %.0f uops/s vs baseline %.0f (%+.1f%%)\n",
+                    ok ? "ok" : "FAIL", name.c_str(), cur->uopsPerSec,
+                    base_rate, (ratio - 1.0) * 100.0);
+        if (!ok)
+            ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+}
 
 } // namespace
 } // namespace save
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+            check_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json] [--check baseline.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::vector<save::BenchRow> rows = save::runAll();
+    if (json)
+        save::printJson(rows);
+    else
+        save::printTable(rows);
+    if (!check_path.empty())
+        return save::check(rows, check_path);
+    return 0;
+}

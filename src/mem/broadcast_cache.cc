@@ -34,7 +34,7 @@ BroadcastCache::access(uint64_t addr)
 
     if (e.valid && e.line == line) {
         res.hit = true;
-        stats_.add("hits");
+        st_hits_.add();
         if (kind_ == BcastCacheKind::Data) {
             // Data design: the element is served from the B$ whether it
             // is zero or not (paper Fig.6c/6e).
@@ -46,13 +46,13 @@ BroadcastCache::access(uint64_t addr)
             bool is_zero = (e.zero_mask >> elem) & 1;
             res.needsL1 = !is_zero;
             if (is_zero)
-                stats_.add("zero_short_circuits");
+                st_zero_short_circuits_.add();
         }
         return res;
     }
 
     // Miss: fetch the line through the L1-D and install it (Fig.6a/6b).
-    stats_.add("misses");
+    st_misses_.add();
     e.valid = true;
     e.line = line;
     e.zero_mask = mem_->contains(line) ? mem_->lineZeroMaskF32(line) : 0;
@@ -94,7 +94,7 @@ BroadcastCache::invalidate(uint64_t line_addr)
     Entry &e = table_[static_cast<size_t>(indexOf(line))];
     if (e.valid && e.line == line) {
         e.valid = false;
-        stats_.add("invalidations");
+        st_invalidations_.add();
     }
 }
 

@@ -85,6 +85,11 @@ class BroadcastCache
     const MemoryImage *mem_;
     std::vector<Entry> table_;
     StatGroup stats_;
+    /** Hot-path counters: resolved handles, no per-access map lookup. */
+    StatRef st_hits_{&stats_, "hits"};
+    StatRef st_misses_{&stats_, "misses"};
+    StatRef st_zero_short_circuits_{&stats_, "zero_short_circuits"};
+    StatRef st_invalidations_{&stats_, "invalidations"};
 };
 
 } // namespace save

@@ -63,10 +63,10 @@ SetAssocCache::access(uint64_t addr)
     Way *w = lookup(line);
     if (w) {
         touch(*w);
-        stats_.add("hits");
+        st_hits_.add();
         return true;
     }
-    stats_.add("misses");
+    st_misses_.add();
     return false;
 }
 
@@ -118,7 +118,7 @@ SetAssocCache::fill(uint64_t addr)
                          static_cast<size_t>(victim)];
     uint64_t evicted = w.valid ? w.line : kNoEviction;
     if (w.valid)
-        stats_.add("evictions");
+        st_evictions_.add();
     w.valid = true;
     w.line = line;
     w.lru = ++lru_clock_;
@@ -133,7 +133,7 @@ SetAssocCache::invalidate(uint64_t addr)
     if (!w)
         return false;
     w->valid = false;
-    stats_.add("invalidations");
+    st_invalidations_.add();
     return true;
 }
 

@@ -78,6 +78,11 @@ class SetAssocCache
     uint32_t lru_clock_ = 0;
     std::vector<Way> ways_store_;
     StatGroup stats_;
+    /** Hot-path counters: resolved handles, no per-access map lookup. */
+    StatRef st_hits_{&stats_, "hits"};
+    StatRef st_misses_{&stats_, "misses"};
+    StatRef st_evictions_{&stats_, "evictions"};
+    StatRef st_invalidations_{&stats_, "invalidations"};
 };
 
 } // namespace save

@@ -26,9 +26,9 @@ Dram::request(uint64_t line_addr, double now_ns)
 
     double start = std::max(now_ns, channel_free_ns_[ch]);
     channel_free_ns_[ch] = start + service_ns_;
-    stats_.add("requests");
-    stats_.add("bytes", static_cast<double>(kLineBytes));
-    stats_.add("queue_ns", start - now_ns);
+    st_requests_.add();
+    st_bytes_.add(static_cast<double>(kLineBytes));
+    st_queue_ns_.add(start - now_ns);
     return start + latency_ns_;
 }
 

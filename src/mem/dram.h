@@ -42,6 +42,10 @@ class Dram
     double latency_ns_;
     std::vector<double> channel_free_ns_;
     StatGroup stats_;
+    /** Hot-path counters: resolved handles, no per-access map lookup. */
+    StatRef st_requests_{&stats_, "requests"};
+    StatRef st_bytes_{&stats_, "bytes"};
+    StatRef st_queue_ns_{&stats_, "queue_ns"};
 };
 
 } // namespace save

@@ -9,7 +9,13 @@ namespace save {
 
 MemHierarchy::MemHierarchy(const MachineConfig &cfg)
     : cfg_(cfg), mesh_(cfg.cores, cfg.nocHopCycles),
-      dram_(cfg.dramGBps, cfg.dramChannels, cfg.dramLatNs)
+      dram_(cfg.dramGBps, cfg.dramChannels, cfg.dramLatNs),
+      st_loads_(&stats_, "loads"), st_stores_(&stats_, "stores"),
+      st_l1_hits_(&stats_, "l1_hits"), st_l2_hits_(&stats_, "l2_hits"),
+      st_l3_hits_(&stats_, "l3_hits"),
+      st_l3_misses_(&stats_, "l3_misses"),
+      st_prefetches_(&stats_, "prefetches"),
+      st_mshr_merges_(&stats_, "mshr_merges")
 {
     for (int c = 0; c < cfg.cores; ++c) {
         l1_.push_back(std::make_unique<SetAssocCache>(
@@ -85,11 +91,11 @@ MemHierarchy::fetchToL2(int core, uint64_t line, double start_ns)
     double tag_done = slice_start + cfg_.l3LatNs;
     double data_ready;
     if (l3_[static_cast<size_t>(slice)]->access(line)) {
-        stats_.add("l3_hits");
+        st_l3_hits_.add();
         data_ready = tag_done;
         last_level_ = HitLevel::L3;
     } else {
-        stats_.add("l3_misses");
+        st_l3_misses_.add();
         data_ready = dram_.request(line, tag_done);
         fillL3(line);
         last_level_ = HitLevel::Dram;
@@ -112,7 +118,7 @@ MemHierarchy::maybePrefetch(int core, uint64_t line, double now_ns)
             continue;
         double ready = fetchToL2(core, next, now_ns);
         mshr.emplace(next, ready);
-        stats_.add("prefetches");
+        st_prefetches_.add();
     }
     last_level_ = demand_level;
 }
@@ -121,11 +127,11 @@ double
 MemHierarchy::load(int core, uint64_t addr, double now_ns, double core_ghz)
 {
     uint64_t line = lineOf(addr);
-    stats_.add("loads");
+    st_loads_.add();
 
     double l1_lat_ns = cfg_.l1LatCycles / core_ghz;
     if (l1_[static_cast<size_t>(core)]->access(line)) {
-        stats_.add("l1_hits");
+        st_l1_hits_.add();
         last_level_ = HitLevel::L1;
         return now_ns + l1_lat_ns;
     }
@@ -139,14 +145,14 @@ MemHierarchy::load(int core, uint64_t addr, double now_ns, double core_ghz)
         mshr.erase(it);
         fillL2(core, line);
         fillL1(core, line);
-        stats_.add("mshr_merges");
+        st_mshr_merges_.add();
         last_level_ = HitLevel::Inflight;
         maybePrefetch(core, line, now_ns);
         return ready;
     }
 
     if (l2_[static_cast<size_t>(core)]->access(line)) {
-        stats_.add("l2_hits");
+        st_l2_hits_.add();
         fillL1(core, line);
         last_level_ = HitLevel::L2;
         return now_ns + l2_lat_ns;
@@ -164,7 +170,7 @@ void
 MemHierarchy::store(int core, uint64_t addr, double now_ns, double core_ghz)
 {
     uint64_t line = lineOf(addr);
-    stats_.add("stores");
+    st_stores_.add();
     if (l1_[static_cast<size_t>(core)]->access(line))
         return;
     // Write-allocate: bring the line in off the critical path, still

@@ -98,6 +98,15 @@ class MemHierarchy
     std::vector<std::function<void(uint64_t)>> l1_listeners_;
     HitLevel last_level_ = HitLevel::L1;
     StatGroup stats_;
+    /** Hot-path counters: resolved handles, no per-access map lookup. */
+    StatRef st_loads_;
+    StatRef st_stores_;
+    StatRef st_l1_hits_;
+    StatRef st_l2_hits_;
+    StatRef st_l3_hits_;
+    StatRef st_l3_misses_;
+    StatRef st_prefetches_;
+    StatRef st_mshr_merges_;
 };
 
 } // namespace save

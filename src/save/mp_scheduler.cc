@@ -145,10 +145,32 @@ VectorScheduler::trimChain(int chain_id)
         chains_.erase(it);
 }
 
-void
-VectorScheduler::scheduleChainAl(Chain &chain, int al,
-                                 std::vector<Temp> &temps)
+uint64_t
+VectorScheduler::nextTimeWake(uint64_t now) const
 {
+    // A chain AL whose forwarded partial result is still in flight
+    // (readyCycle in the future) becomes schedulable purely by time
+    // passing; everything else the scheduler waits on arrives through
+    // a publish/completion event the core already tracks.
+    uint64_t best = kNeverCycle;
+    for (const auto &[id, ch] : chains_) {
+        (void)id;
+        for (const ChainAl &ca : ch.al) {
+            if (ca.init && ca.readyCycle > now && ca.readyCycle < best)
+                best = ca.readyCycle;
+        }
+    }
+    return best;
+}
+
+void
+VectorScheduler::scheduleChainAl(Chain &chain, int al)
+{
+    ChainAl &ca = chain.al[static_cast<size_t>(al)];
+    if (ca.init && ca.readyCycle > c_.now())
+        return; // waiting on the forwarded partial result (fast path:
+                // skips the cursor walk; advanceCursor is idempotent)
+
     advanceCursor(chain, al);
     int &cursor = chain.cursor[static_cast<size_t>(al)];
     if (cursor >= static_cast<int>(chain.nodes.size()))
@@ -159,11 +181,9 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al,
     SAVE_ASSERT(e.valid && e.seq == front.seq, "cursor on stale node");
     if (!e.elmValid)
         return;
-    c_.refreshReadiness(e);
     if (!e.aReady || !e.bReady)
         return;
 
-    ChainAl &ca = chain.al[static_cast<size_t>(al)];
     if (!ca.init) {
         // Chain base: the accumulator input of the cursor node, read
         // from the register file once its lane has been published.
@@ -173,11 +193,9 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al,
         ca.readyCycle = c_.now();
         ca.init = true;
     }
-    if (ca.readyCycle > c_.now())
-        return; // waiting on the forwarded partial result
 
     int temp_lane = (al + chain.rot + kVecLanes) % kVecLanes;
-    int vpu = claimSlot(temps, temp_lane, 1, false);
+    int vpu = claimSlot(temp_lane, 1, false);
     if (vpu < 0)
         return;
 
@@ -194,7 +212,6 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al,
         }
         if (!e2.elmValid)
             break;
-        c_.refreshReadiness(e2);
         if (!e2.aReady || !e2.bReady)
             break;
 
@@ -239,29 +256,28 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al,
     ca.readyCycle =
         c_.now() +
         static_cast<uint64_t>(std::max(1, c_.fmaLatency(true) / 2));
-    c_.stats().add("mp_mls_issued", taken);
+    st_mp_mls_issued_.add(taken);
 }
 
 void
-VectorScheduler::scheduleChains(std::vector<Temp> &temps)
+VectorScheduler::scheduleChains()
 {
     if (chains_.empty())
         return;
 
     // Oldest chain first (front-entry program order).
-    std::vector<std::pair<uint64_t, int>> order;
-    order.reserve(chains_.size());
+    chain_order_.clear();
     for (auto &[id, ch] : chains_)
-        order.emplace_back(ch.frontSeq, id);
-    std::sort(order.begin(), order.end());
+        chain_order_.emplace_back(ch.frontSeq, id);
+    std::sort(chain_order_.begin(), chain_order_.end());
 
-    for (auto &[seq, id] : order) {
+    for (auto &[seq, id] : chain_order_) {
         (void)seq;
         Chain &ch = chains_.at(id);
         for (int al = 0; al < kVecLanes; ++al)
-            scheduleChainAl(ch, al, temps);
+            scheduleChainAl(ch, al);
     }
-    for (auto &[seq, id] : order) {
+    for (auto &[seq, id] : chain_order_) {
         (void)seq;
         trimChain(id);
     }

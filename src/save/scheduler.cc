@@ -7,7 +7,17 @@
 
 namespace save {
 
-VectorScheduler::VectorScheduler(Core &core) : c_(core) {}
+VectorScheduler::VectorScheduler(Core &core)
+    : c_(core), temps_(static_cast<size_t>(core.activeVpus)),
+      st_passthrough_lanes_(&core.stats(), "passthrough_lanes"),
+      st_baseline_issues_(&core.stats(), "baseline_vfma_issues"),
+      st_coalesced_lanes_(&core.stats(), "coalesced_lanes"),
+      st_hc_lanes_(&core.stats(), "hc_lanes"),
+      st_temps_issued_(&core.stats(), "temps_issued"),
+      st_temp_fill_(&core.stats(), "temp_fill"),
+      st_mp_mls_issued_(&core.stats(), "mp_mls_issued")
+{
+}
 
 uint16_t
 VectorScheduler::schedulableAls(const RsEntry &e) const
@@ -31,11 +41,10 @@ VectorScheduler::maybeRelease(int rs_idx)
 }
 
 int
-VectorScheduler::claimSlot(std::vector<Temp> &temps, int lane, int type,
-                           bool hc)
+VectorScheduler::claimSlot(int lane, int type, bool hc)
 {
-    for (size_t v = 0; v < temps.size(); ++v) {
-        Temp &t = temps[v];
+    for (size_t v = 0; v < temps_.size(); ++v) {
+        Temp &t = temps_[v];
         if (t.type != -1 && (t.type != type || t.hc != hc))
             continue;
         if (hc) {
@@ -61,53 +70,61 @@ VectorScheduler::passThrough()
     // to the destination; modeled as a one-cycle register move without
     // a VPU slot (paper SecIII: fully-ineffectual uops are removed
     // from the RS without issuing).
-    // Iterate over a copy: maybeRelease mutates the order list.
-    std::vector<int> order = c_.rs.order();
-    for (int idx : order) {
+    // Only post-ELM entries can have pass lanes; capture the list
+    // successor first since maybeRelease unlinks the current entry.
+    for (int idx = c_.rs.firstIssuable(); idx != Rs::kEnd;) {
+        int nxt = c_.rs.nextInList(idx);
         RsEntry &e = c_.rs.at(idx);
-        if (!e.valid || !e.uop.isVfma() || !e.elmValid || !e.passPending)
+        if (!e.passPending) {
+            idx = nxt;
             continue;
+        }
         uint16_t avail = e.passPending & c_.prf.laneReady(e.pc);
         if (!c_.scfg.laneWiseDep && !c_.prf.fullyReady(e.pc))
             avail = 0;
-        if (!avail)
+        if (!avail) {
+            idx = nxt;
             continue;
+        }
         const VecReg &cval = c_.prf.value(e.pc);
-        for (int lane = 0; lane < kVecLanes; ++lane) {
-            if (!((avail >> lane) & 1))
-                continue;
+        for (uint16_t m = avail; m;) {
+            int lane = lowestSetBit(m);
+            m &= static_cast<uint16_t>(m - 1);
             c_.schedulePublish(e.dstPhys, lane, cval.f32(lane), e.robIdx,
                                c_.now() + 1);
-            c_.stats().add("passthrough_lanes");
         }
+        st_passthrough_lanes_.add(popcount(avail));
         e.passPending &= static_cast<uint16_t>(~avail);
         maybeRelease(idx);
+        idx = nxt;
     }
 }
 
 void
-VectorScheduler::scheduleBaseline(std::vector<Temp> &temps)
+VectorScheduler::scheduleBaseline()
 {
-    std::vector<int> order = c_.rs.order();
-    for (int idx : order) {
+    // Under the baseline policy no entry is ever promoted, so the
+    // pending sublist is the full age order.
+    for (int idx = c_.rs.firstPending(); idx != Rs::kEnd;) {
+        int nxt = c_.rs.nextInList(idx);
         RsEntry &e = c_.rs.at(idx);
-        if (!e.valid || !e.uop.isVfma() || e.issued)
+        if (e.issued || !e.aReady || !e.bReady ||
+            !c_.prf.fullyReady(e.pc)) {
+            idx = nxt;
             continue;
-        c_.refreshReadiness(e);
-        if (!e.aReady || !e.bReady || !c_.prf.fullyReady(e.pc))
-            continue;
+        }
 
         bool mp = e.uop.isMixedPrecision();
         int vpu = -1;
-        for (size_t v = 0; v < temps.size(); ++v) {
-            if (temps[v].type == -1) {
+        for (size_t v = 0; v < temps_.size(); ++v) {
+            if (temps_[v].type == -1) {
                 vpu = static_cast<int>(v);
                 break;
             }
         }
         if (vpu < 0)
             break;
-        Temp &t = temps[static_cast<size_t>(vpu)];
+        Temp &t = temps_[static_cast<size_t>(vpu)];
         t.type = mp ? 1 : 0;
         t.lanesUsed = 0xffffu;
         t.count = kVecLanes;
@@ -131,38 +148,102 @@ VectorScheduler::scheduleBaseline(std::vector<Temp> &temps)
         }
         e.issued = true;
         c_.releaseEntry(idx);
-        c_.stats().add("baseline_vfma_issues");
+        st_baseline_issues_.add();
+        idx = nxt;
     }
 }
 
 void
-VectorScheduler::scheduleCoalesced(std::vector<Temp> &temps)
+VectorScheduler::scheduleCoalesced()
 {
     // Age-ordered, per-lane oldest-first selection: equivalent to
     // Algorithm 1's lane-major priority select, since walking entries
     // oldest-first hands each temp lane position to the oldest
-    // instruction wanting it.
-    std::vector<int> order = c_.rs.order();
-    for (int idx : order) {
+    // instruction wanting it. Only the post-ELM issuable sublist can
+    // have schedulable lanes.
+    for (int idx = c_.rs.firstIssuable(); idx != Rs::kEnd;) {
+        int nxt = c_.rs.nextInList(idx);
         RsEntry &e = c_.rs.at(idx);
-        if (!e.valid || !e.uop.isVfma())
+        if (e.uop.isMixedPrecision() && c_.scfg.mpCompress) {
+            idx = nxt; // handled by the chain path
             continue;
-        if (e.uop.isMixedPrecision() && c_.scfg.mpCompress)
-            continue; // handled by the chain path
+        }
         uint16_t avail = schedulableAls(e);
-        if (!avail)
+        if (!avail) {
+            idx = nxt;
             continue;
+        }
 
         bool mp = e.uop.isMixedPrecision();
         const VecReg &a = c_.operandA(e);
         const VecReg &b = c_.operandB(e);
         const VecReg &cv = c_.prf.value(e.pc);
+        int type = mp ? 1 : 0;
 
-        for (int lane = 0; lane < kVecLanes && avail; ++lane) {
-            if (!((avail >> lane) & 1))
+        if (avail == 0xffffu) {
+            // Dense fast path: a fully-effectual entry fills a whole
+            // temp (every rotated position is distinct), so one scan
+            // decides what sixteen claimSlot calls would. Only valid
+            // when no earlier temp could have absorbed a lane — a
+            // partially-filled matching temp falls back to the exact
+            // per-lane walk.
+            int vpu = -1;
+            for (size_t v = 0; v < temps_.size(); ++v) {
+                const Temp &t = temps_[v];
+                if (t.type != -1 && (t.type != type || t.hc))
+                    continue; // never eligible for these lanes
+                if (t.type == -1) {
+                    vpu = static_cast<int>(v);
+                    break;
+                }
+                if (t.lanesUsed == 0xffffu)
+                    continue; // full: cannot take any lane
+                vpu = -2;     // partial match: per-lane semantics
+                break;
+            }
+            if (vpu >= 0) {
+                Temp &t = temps_[static_cast<size_t>(vpu)];
+                t.type = type;
+                t.hc = false;
+                t.lanesUsed = 0xffffu;
+                t.count = kVecLanes;
+                for (int lane = 0; lane < kVecLanes; ++lane) {
+                    float r = cv.f32(lane);
+                    if (mp) {
+                        for (int s = 0; s < kMlPerAl; ++s) {
+                            int ml = kMlPerAl * lane + s;
+                            if ((e.elm >> ml) & 1)
+                                r = bf16Mac(r, a.bf16(ml), b.bf16(ml));
+                        }
+                    } else {
+                        r = r + a.f32(lane) * b.f32(lane);
+                    }
+                    t.writes.push_back({e.dstPhys,
+                                        static_cast<int8_t>(lane), r,
+                                        e.robIdx});
+                }
+                if (mp)
+                    e.pendingMl = 0;
+                e.pendingAl = 0;
+                st_coalesced_lanes_.add(kVecLanes);
+                maybeRelease(idx);
+                idx = nxt;
                 continue;
+            }
+            if (vpu == -1) {
+                // Every temp is full or type-incompatible: no lane can
+                // be placed, same outcome as sixteen failed claims.
+                idx = nxt;
+                continue;
+            }
+        }
+
+        int claimed = 0;
+        for (uint16_t m = avail; m;) {
+            int lane = lowestSetBit(m);
+            m &= static_cast<uint16_t>(m - 1);
             int temp_lane = (lane + e.rot + kVecLanes) % kVecLanes;
-            int vpu = claimSlot(temps, temp_lane, mp ? 1 : 0, false);
+            int vpu = claimSlot(temp_lane, type, false);
             if (vpu < 0)
                 continue;
 
@@ -179,44 +260,55 @@ VectorScheduler::scheduleCoalesced(std::vector<Temp> &temps)
             } else {
                 r = r + a.f32(lane) * b.f32(lane);
             }
-            temps[static_cast<size_t>(vpu)].writes.push_back(
+            temps_[static_cast<size_t>(vpu)].writes.push_back(
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
             e.pendingAl &= static_cast<uint16_t>(~(1u << lane));
-            avail &= static_cast<uint16_t>(~(1u << lane));
-            c_.stats().add("coalesced_lanes");
+            ++claimed;
         }
+        if (claimed)
+            st_coalesced_lanes_.add(claimed);
         maybeRelease(idx);
+        idx = nxt;
     }
 }
 
 void
-VectorScheduler::scheduleHc(std::vector<Temp> &temps)
+VectorScheduler::scheduleHc()
 {
     // Horizontal compression: bubble-collapse each VFMA's effectual
     // lanes and concatenate across instructions; any lane may take any
     // temp slot (paper Fig. 5b), at extra latency for the crossbars.
-    std::vector<int> order = c_.rs.order();
-    for (int idx : order) {
+    for (int idx = c_.rs.firstIssuable(); idx != Rs::kEnd;) {
+        int nxt = c_.rs.nextInList(idx);
         RsEntry &e = c_.rs.at(idx);
-        if (!e.valid || !e.uop.isVfma())
+        if (e.uop.isMixedPrecision() && c_.scfg.mpCompress) {
+            idx = nxt;
             continue;
-        if (e.uop.isMixedPrecision() && c_.scfg.mpCompress)
-            continue;
+        }
         uint16_t avail = schedulableAls(e);
-        if (!avail)
+        if (!avail) {
+            idx = nxt;
             continue;
+        }
 
         bool mp = e.uop.isMixedPrecision();
         const VecReg &a = c_.operandA(e);
         const VecReg &b = c_.operandB(e);
         const VecReg &cv = c_.prf.value(e.pc);
 
-        for (int lane = 0; lane < kVecLanes && avail; ++lane) {
-            if (!((avail >> lane) & 1))
-                continue;
-            int vpu = claimSlot(temps, -1, mp ? 1 : 0, true);
-            if (vpu < 0)
-                return; // all temps full
+        int claimed = 0;
+        for (uint16_t m = avail; m;) {
+            int lane = lowestSetBit(m);
+            m &= static_cast<uint16_t>(m - 1);
+            int vpu = claimSlot(-1, mp ? 1 : 0, true);
+            if (vpu < 0) {
+                // All temps full; account what this entry got first.
+                // The failed lane is still pending, so the entry
+                // cannot be releasable here.
+                if (claimed)
+                    st_hc_lanes_.add(claimed);
+                return;
+            }
             float r = cv.f32(lane);
             if (mp) {
                 for (int s = 0; s < kMlPerAl; ++s) {
@@ -228,41 +320,50 @@ VectorScheduler::scheduleHc(std::vector<Temp> &temps)
             } else {
                 r = r + a.f32(lane) * b.f32(lane);
             }
-            temps[static_cast<size_t>(vpu)].writes.push_back(
+            temps_[static_cast<size_t>(vpu)].writes.push_back(
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
             e.pendingAl &= static_cast<uint16_t>(~(1u << lane));
-            avail &= static_cast<uint16_t>(~(1u << lane));
-            c_.stats().add("hc_lanes");
+            ++claimed;
         }
+        if (claimed)
+            st_hc_lanes_.add(claimed);
         maybeRelease(idx);
+        idx = nxt;
     }
 }
 
 void
-VectorScheduler::issueTemps(std::vector<Temp> &temps)
+VectorScheduler::issueTemps()
 {
-    for (size_t v = 0; v < temps.size(); ++v) {
-        Temp &t = temps[v];
+    for (size_t v = 0; v < temps_.size(); ++v) {
+        Temp &t = temps_[v];
         if (t.count == 0)
             continue;
         int lat = c_.fmaLatency(t.type == 1);
         if (t.hc)
             lat += c_.scfg.hcExtraLatency;
-        c_.vpus[v].issue(std::move(t.writes),
+        c_.vpus[v].issue(t.writes,
                          c_.now() + static_cast<uint64_t>(lat));
-        c_.stats().add("temps_issued");
-        c_.stats().add("temp_fill", t.count);
+        c_.activity_ = true;
+        st_temps_issued_.add();
+        st_temp_fill_.add(t.count);
     }
 }
 
 void
 VectorScheduler::step()
 {
-    std::vector<Temp> temps(static_cast<size_t>(c_.activeVpus));
+    for (Temp &t : temps_) {
+        t.lanesUsed = 0;
+        t.count = 0;
+        t.type = -1;
+        t.hc = false;
+        t.writes.clear();
+    }
 
     if (!c_.scfg.enabled || c_.scfg.policy == SchedPolicy::Baseline) {
-        scheduleBaseline(temps);
-        issueTemps(temps);
+        scheduleBaseline();
+        issueTemps();
         return;
     }
 
@@ -272,27 +373,30 @@ VectorScheduler::step()
     // operands including the full accumulator available — bounded by
     // the number of accumulator registers, since same-accumulator
     // VFMAs carry a true dependence ("often 24-28" for a large GEMM).
+    // Candidates all carry an ELM (readiness implies the MGU ran), so
+    // scanning the issuable sublist suffices.
     int cw = 0;
-    for (int idx : c_.rs.order()) {
+    for (int idx = c_.rs.firstIssuable(); idx != Rs::kEnd;
+         idx = c_.rs.nextInList(idx)) {
         const RsEntry &e = c_.rs.at(idx);
-        if (e.valid && e.uop.isVfma() && e.elmValid && e.aReady &&
-            e.bReady && (e.pendingAl || e.pendingMl) &&
+        if (e.aReady && e.bReady && (e.pendingAl || e.pendingMl) &&
             c_.prf.fullyReady(e.pc)) {
             ++cw;
         }
     }
     if (cw > 0) {
-        c_.stats().add("cw_sum", cw);
-        c_.stats().add("cw_cycles");
+        c_.st_cw_sum_.add(cw);
+        c_.st_cw_cycles_.add();
+        c_.fx_cw_ = cw;
     }
 
     if (c_.scfg.mpCompress)
-        scheduleChains(temps);
+        scheduleChains();
     if (c_.scfg.policy == SchedPolicy::HC)
-        scheduleHc(temps);
+        scheduleHc();
     else
-        scheduleCoalesced(temps);
-    issueTemps(temps);
+        scheduleCoalesced();
+    issueTemps();
 }
 
 } // namespace save

@@ -19,6 +19,13 @@
  * chain machinery in mp_scheduler.cc: per (accumulator-chain, AL)
  * queues of effectual multiplicand lanes, packed two per temp AL slot
  * in program order, with partial results forwarded at half latency.
+ *
+ * Select scans only the RS sublist it needs — the post-ELM issuable
+ * list (or, under the baseline policy, the pending list, which is
+ * then the full age order) — and operand readiness comes from the
+ * writeback-wakeup flags, so no per-cycle full-RS polling remains.
+ * The per-cycle temps are fixed-capacity members: steady-state
+ * scheduling performs no heap allocation.
  */
 
 #ifndef SAVE_SAVE_SCHEDULER_H
@@ -28,10 +35,12 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa/vec.h"
 #include "sim/vpu.h"
+#include "stats/stats.h"
 
 namespace save {
 
@@ -57,6 +66,15 @@ class VectorScheduler
     bool idle() const { return chains_.empty(); }
 
     /**
+     * Earliest cycle after now at which a blocked mixed-precision
+     * chain forward becomes available (chain ALs waiting out the
+     * half-latency partial-result forward are the only scheduler state
+     * that wakes by time alone); kNeverCycle if none. Feeds the core's
+     * stall fast-forward horizon.
+     */
+    uint64_t nextTimeWake(uint64_t now) const;
+
+    /**
      * Exception support (paper SecV-B): discard partial results of
      * surviving mixed-precision VFMAs (restore the pending-ML state
      * of any accumulator lane whose final value was not yet scheduled
@@ -73,7 +91,7 @@ class VectorScheduler
         int count = 0;
         int type = -1; // -1 free, 0 fp32, 1 mixed-precision
         bool hc = false;
-        std::vector<LaneWrite> writes;
+        LaneWriteVec writes;
     };
 
     /**
@@ -81,13 +99,13 @@ class VectorScheduler
      * position; for HC pass -1 to take any free slot.
      * @return VPU index, or -1 if no capacity.
      */
-    int claimSlot(std::vector<Temp> &temps, int lane, int type, bool hc);
+    int claimSlot(int lane, int type, bool hc);
 
     void passThrough();
-    void scheduleBaseline(std::vector<Temp> &temps);
-    void scheduleCoalesced(std::vector<Temp> &temps);
-    void scheduleHc(std::vector<Temp> &temps);
-    void issueTemps(std::vector<Temp> &temps);
+    void scheduleBaseline();
+    void scheduleCoalesced();
+    void scheduleHc();
+    void issueTemps();
     /** Lanes of e that may legally issue this cycle. */
     uint16_t schedulableAls(const RsEntry &e) const;
     void maybeRelease(int rs_idx);
@@ -116,8 +134,8 @@ class VectorScheduler
         uint64_t frontSeq = 0;
     };
 
-    void scheduleChains(std::vector<Temp> &temps);
-    void scheduleChainAl(Chain &chain, int al, std::vector<Temp> &temps);
+    void scheduleChains();
+    void scheduleChainAl(Chain &chain, int al);
     /** Advance an AL cursor over consumed/ineffectual nodes. */
     void advanceCursor(Chain &chain, int al);
     /** Drop fully-passed front nodes; erase exhausted chains. */
@@ -127,6 +145,18 @@ class VectorScheduler
     Core &c_;
     std::unordered_map<int, Chain> chains_;
     int next_chain_id_ = 0;
+
+    /** Reusable per-cycle scratch (no steady-state allocation). */
+    std::vector<Temp> temps_;
+    std::vector<std::pair<uint64_t, int>> chain_order_;
+
+    StatRef st_passthrough_lanes_;
+    StatRef st_baseline_issues_;
+    StatRef st_coalesced_lanes_;
+    StatRef st_hc_lanes_;
+    StatRef st_temps_issued_;
+    StatRef st_temp_fill_;
+    StatRef st_mp_mls_issued_;
 };
 
 } // namespace save

@@ -1,7 +1,9 @@
 #include "sim/core.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "save/scheduler.h"
@@ -37,6 +39,18 @@ envWatchdogCycles()
     return cycles;
 }
 
+/** SAVE_FASTFORWARD: default on; "0"/"off"/"false" disables. Read per
+ *  core construction (not cached) so tests can toggle it. */
+bool
+envFastForward()
+{
+    const char *env = std::getenv("SAVE_FASTFORWARD");
+    if (!env || !*env)
+        return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+}
+
 } // namespace
 
 Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
@@ -47,7 +61,19 @@ Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
       prf(machine_cfg.prfExtraRegs + kLogicalVecRegs),
       vpus(static_cast<size_t>(active_vpus)),
       core_id_(core_id), freq_ghz_(machine_cfg.coreFreqGhz(active_vpus)),
-      mem_(mem), image_(image), renamer_(&prf)
+      mem_(mem), image_(image), renamer_(&prf),
+      st_committed_(&stats_, "committed"), st_uops_(&stats_, "uops"),
+      st_vfmas_(&stats_, "vfmas"),
+      st_loads_issued_(&stats_, "loads_issued"),
+      st_elms_generated_(&stats_, "elms_generated"),
+      st_bs_skipped_(&stats_, "bs_skipped_vfmas"),
+      st_rotated_copies_(&stats_, "rotated_copies"),
+      st_stall_rob_(&stats_, "stall_rob_full"),
+      st_stall_rs_(&stats_, "stall_rs_full"),
+      st_stall_prf_(&stats_, "stall_prf"),
+      st_bcast_l1_reads_(&stats_, "bcast_l1_reads"),
+      st_bcast_bc_served_(&stats_, "bcast_bc_served"),
+      st_cw_sum_(&stats_, "cw_sum"), st_cw_cycles_(&stats_, "cw_cycles")
 {
     if (active_vpus < 1 || active_vpus > machine_cfg.numVpus)
         throw ConfigError("active VPU count must be in [1, " +
@@ -59,6 +85,7 @@ Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
         : envWatchdogCycles();
     forced_watchdog_cycle_ =
         FaultInjector::global().watchdogFireCycle(core_id);
+    fastforward_ = envFastForward();
     if (scfg.enabled && scfg.bcache != BcastCacheKind::None) {
         bcache_ = std::make_unique<BroadcastCache>(
             scfg.bcache, mcfg.bcacheEntries, image_);
@@ -67,6 +94,17 @@ Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
         });
     }
     sched_ = std::make_unique<VectorScheduler>(*this);
+
+    reg_waiters_.resize(static_cast<size_t>(prf.numRegs()));
+    wb_scratch_.reserve(4 * kVecLanes);
+    squashed_rob_.assign(static_cast<size_t>(rob.capacity()), 0);
+    {
+        // Pre-size the event heap's backing store.
+        std::vector<Event> backing;
+        backing.reserve(256);
+        events_ = decltype(events_)(std::greater<>(),
+                                    std::move(backing));
+    }
 }
 
 Core::~Core() = default;
@@ -102,12 +140,21 @@ Core::pushEvent(Event ev)
 {
     ev.order = event_order_++;
     events_.push(ev);
+    activity_ = true;
 }
 
 void
 Core::schedulePublish(int phys, int lane, float value, int robIdx,
                       uint64_t at_cycle)
 {
+    SAVE_ASSERT(at_cycle > cycle_, "publish must be in the future");
+    if (at_cycle - cycle_ < kPubRingSlots) {
+        pub_ring_[at_cycle % kPubRingSlots].push_back(
+            {phys, static_cast<int16_t>(lane), value, robIdx});
+        ++pub_count_;
+        activity_ = true;
+        return;
+    }
     Event ev{};
     ev.cycle = at_cycle;
     ev.kind = Event::Publish;
@@ -128,12 +175,42 @@ Core::releaseEntry(int rs_idx)
     rs.release(rs_idx);
 }
 
+void
+Core::wakeWaiters(int phys)
+{
+    std::vector<RegWaiter> &ws =
+        reg_waiters_[static_cast<size_t>(phys)];
+    if (ws.empty())
+        return;
+    for (const RegWaiter &w : ws) {
+        RsEntry &e = rs.at(w.rsIdx);
+        if (!e.valid || e.seq != w.seq)
+            continue; // slot reused since enlisting
+        if (w.isA)
+            e.aReady = true;
+        else
+            e.bReady = true;
+    }
+    ws.clear();
+}
+
+void
+Core::addWaiters(int rs_idx, const RsEntry &e)
+{
+    if (!e.aReady && e.pa != kNoReg)
+        reg_waiters_[static_cast<size_t>(e.pa)].push_back(
+            {rs_idx, e.seq, true});
+    if (!e.bReady && e.pb != kNoReg)
+        reg_waiters_[static_cast<size_t>(e.pb)].push_back(
+            {rs_idx, e.seq, false});
+}
+
 bool
 Core::drained() const
 {
     if (have_peek_ || !trace_done_ || !rob.empty() || !replay_.empty())
         return false;
-    if (!load_queue_.empty() || !events_.empty())
+    if (!load_queue_.empty() || !events_.empty() || pub_count_ != 0)
         return false;
     for (const auto &v : vpus)
         if (!v.idle())
@@ -148,9 +225,67 @@ Core::run(uint64_t max_cycles)
         step();
         if (cycle_ >= max_cycles)
             fireWatchdog("cycle budget exceeded");
+        if (fastforward_ && !activity_) {
+            uint64_t h = std::min(wakeHorizon(), max_cycles);
+            if (h != kNeverCycle && h > cycle_) {
+                fastForwardTo(h);
+                if (cycle_ >= max_cycles)
+                    fireWatchdog("cycle budget exceeded");
+            }
+        }
     }
     finalizeStats();
     return cycle_;
+}
+
+uint64_t
+Core::wakeHorizon() const
+{
+    uint64_t h = kNeverCycle;
+    if (!events_.empty())
+        h = std::min(h, events_.top().cycle);
+    if (pub_count_ != 0) {
+        // The bucket for cycle_ was drained this cycle, so the first
+        // non-empty bucket ahead identifies the next publish cycle.
+        for (uint64_t d = 1; d < kPubRingSlots; ++d) {
+            if (!pub_ring_[(cycle_ + d) % kPubRingSlots].empty()) {
+                h = std::min(h, cycle_ + d);
+                break;
+            }
+        }
+    }
+    for (const auto &v : vpus)
+        h = std::min(h, v.nextCompletion());
+    if (cycle_ < resume_alloc_cycle_)
+        h = std::min(h, resume_alloc_cycle_);
+    h = std::min(h, sched_->nextTimeWake(cycle_));
+    if (!rob.empty())
+        h = std::min(h, last_progress_cycle_ + watchdog_cycles_);
+    h = std::min(h, forced_watchdog_cycle_);
+    return h;
+}
+
+void
+Core::fastForwardTo(uint64_t target)
+{
+    SAVE_PROF_SCOPE(prof_, FastFwd);
+    SAVE_ASSERT(target >= cycle_, "fast-forward must move forward");
+    uint64_t skipped = target - cycle_;
+    if (skipped == 0)
+        return;
+    // Each skipped cycle is a state-identical repeat of the probe
+    // cycle, so the per-cycle counters it fired must fire once per
+    // skipped cycle too. Everything else is untouched by construction.
+    if (fx_stall_)
+        fx_stall_->add(static_cast<double>(skipped));
+    if (fx_cw_ > 0) {
+        st_cw_sum_.add(static_cast<double>(skipped) * fx_cw_);
+        st_cw_cycles_.add(static_cast<double>(skipped));
+    }
+    cycle_ = target;
+    ++ff_jumps_;
+    ff_cycles_skipped_ += skipped;
+    checkWatchdogs();
 }
 
 void
@@ -166,28 +301,51 @@ Core::finalizeStats()
     }
     if (bcache_)
         stats_.set("bcache_hit_rate", bcache_->hitRate());
+    SAVE_PROF_REPORT(prof_, core_id_, cycle_);
 }
 
 bool
 Core::step()
 {
+    activity_ = false;
+    fx_stall_ = nullptr;
+    fx_cw_ = 0;
+
     for (auto &v : vpus)
         v.tick();
 
-    processWriteback();
-    processEvents();
-    commit();
-    storeWakeup();
-    sched_->step();
-    issueLoads();
-    mguStage();
-    allocate();
+    {
+        SAVE_PROF_SCOPE(prof_, Writeback);
+        processWriteback();
+    }
+    {
+        SAVE_PROF_SCOPE(prof_, Events);
+        processEvents();
+    }
+    {
+        SAVE_PROF_SCOPE(prof_, Commit);
+        commit();
+        storeWakeup();
+    }
+    {
+        SAVE_PROF_SCOPE(prof_, Issue);
+        sched_->step();
+    }
+    {
+        SAVE_PROF_SCOPE(prof_, Mem);
+        issueLoads();
+    }
+    {
+        SAVE_PROF_SCOPE(prof_, Dispatch);
+        mguStage();
+    }
+    {
+        SAVE_PROF_SCOPE(prof_, Rename);
+        allocate();
+    }
 
     ++cycle_;
-    if (!rob.empty() && cycle_ - last_progress_cycle_ >= watchdog_cycles_)
-        fireWatchdog("no uop committed within the watchdog window");
-    if (cycle_ >= forced_watchdog_cycle_)
-        fireWatchdog("fault injection forced the watchdog");
+    checkWatchdogs();
     return !drained();
 }
 
@@ -195,8 +353,12 @@ void
 Core::processWriteback()
 {
     for (auto &v : vpus) {
-        for (const LaneWrite &w : v.drainCompleted(cycle_)) {
-            prf.publishLane(w.dstPhys, w.lane, w.value);
+        wb_scratch_.clear();
+        if (v.drainCompleted(cycle_, wb_scratch_) > 0)
+            activity_ = true;
+        for (const LaneWrite &w : wb_scratch_) {
+            if (prf.publishLane(w.dstPhys, w.lane, w.value))
+                wakeWaiters(w.dstPhys);
             rob.laneDone(w.robIdx);
         }
     }
@@ -205,11 +367,25 @@ Core::processWriteback()
 void
 Core::processEvents()
 {
+    std::vector<PendingPublish> &bucket =
+        pub_ring_[cycle_ % kPubRingSlots];
+    if (!bucket.empty()) {
+        activity_ = true;
+        for (const PendingPublish &p : bucket) {
+            if (prf.publishLane(p.phys, p.lane, p.value))
+                wakeWaiters(p.phys);
+            rob.laneDone(p.robIdx);
+        }
+        pub_count_ -= bucket.size();
+        bucket.clear();
+    }
     while (!events_.empty() && events_.top().cycle <= cycle_) {
         Event ev = events_.top();
         events_.pop();
+        activity_ = true;
         if (ev.kind == Event::Publish) {
-            prf.publishLane(ev.phys, ev.lane, ev.value);
+            if (prf.publishLane(ev.phys, ev.lane, ev.value))
+                wakeWaiters(ev.phys);
             rob.laneDone(ev.robIdx);
             continue;
         }
@@ -226,7 +402,8 @@ Core::processEvents()
                            ? VecReg::broadcastWord(
                                  image_->readU32(req.addr))
                            : image_->readLine(req.addr);
-            prf.publishAll(req.dstPhys, v);
+            if (prf.publishAll(req.dstPhys, v))
+                wakeWaiters(req.dstPhys);
             rob.markDone(req.robIdx);
         }
     }
@@ -255,12 +432,14 @@ Core::commit()
                 cycle_ + static_cast<uint64_t>(
                              mcfg.exceptionServiceCycles);
             stats_.add("exceptions_serviced");
+            activity_ = true;
             return;
         }
         if (!rob.at(rob.head()).done)
             break;
         RobEntry e = rob.pop();
         last_progress_cycle_ = cycle_;
+        activity_ = true;
         if (e.oldPhys != kNoReg) {
             prf.release(e.oldPhys);
             rotated_copies_.erase(e.oldPhys);
@@ -269,7 +448,7 @@ Core::commit()
             image_->writeLine(e.storeAddr, prf.value(e.storeSrcPhys));
             mem_->store(core_id_, e.storeAddr, nowNs(), freq_ghz_);
         }
-        stats_.add("committed");
+        st_committed_.add();
     }
 }
 
@@ -280,17 +459,16 @@ Core::squash()
     //    undoing renaming and collecting the uops for replay.
     int total = rob.size();
     int squash_count = 0;
-    std::vector<Uop> replay_uops;
-    std::vector<bool> squashed_rob(
-        static_cast<size_t>(rob.capacity()), false);
+    squash_uops_.clear();
+    std::fill(squashed_rob_.begin(), squashed_rob_.end(), 0);
     for (int i = total - 1; i >= 0; --i) {
         int idx = rob.indexFromHead(i);
         RobEntry &e = rob.at(idx);
         if (e.seq < fault_seq_)
             break;
         ++squash_count;
-        squashed_rob[static_cast<size_t>(idx)] = true;
-        replay_uops.push_back(e.uop);
+        squashed_rob_[static_cast<size_t>(idx)] = 1;
+        squash_uops_.push_back(e.uop);
         if (e.dstPhys != kNoReg) {
             renamer_.restoreMapping(e.uop.dst, e.oldPhys);
             prf.release(e.dstPhys);
@@ -307,10 +485,11 @@ Core::squash()
     rob.squashYoungest(squash_count);
 
     // 2. Drop squashed reservation-station entries.
-    std::vector<int> order = rs.order();
-    for (int idx : order) {
+    for (int idx = rs.first(); idx != Rs::kEnd;) {
+        int nxt = rs.next(idx);
         if (rs.at(idx).seq >= fault_seq_)
             rs.release(idx);
+        idx = nxt;
     }
 
     // 3. Drop in-flight work belonging to squashed instructions:
@@ -319,25 +498,32 @@ Core::squash()
         return req.seq >= fault_seq_;
     });
     {
-        std::vector<Event> kept;
+        kept_events_.clear();
         while (!events_.empty()) {
             const Event &ev = events_.top();
             bool drop;
             if (ev.kind == Event::Publish) {
-                drop = squashed_rob[static_cast<size_t>(ev.robIdx)];
+                drop = squashed_rob_[static_cast<size_t>(ev.robIdx)] != 0;
             } else {
                 drop = ev.load.seq >= fault_seq_;
             }
             if (!drop)
-                kept.push_back(ev);
+                kept_events_.push_back(ev);
             events_.pop();
         }
-        for (Event &ev : kept)
+        for (Event &ev : kept_events_)
             events_.push(std::move(ev));
+    }
+    for (auto &bucket : pub_ring_) {
+        size_t before = bucket.size();
+        std::erase_if(bucket, [this](const PendingPublish &p) {
+            return squashed_rob_[static_cast<size_t>(p.robIdx)] != 0;
+        });
+        pub_count_ -= before - bucket.size();
     }
     for (auto &vpu : vpus) {
         vpu.discardIf([&](const LaneWrite &w) {
-            return squashed_rob[static_cast<size_t>(w.robIdx)];
+            return squashed_rob_[static_cast<size_t>(w.robIdx)] != 0;
         });
     }
 
@@ -347,7 +533,7 @@ Core::squash()
 
     // 5. Queue the squashed instructions for re-execution, oldest
     //    first, ahead of the not-yet-fetched remainder of the trace.
-    for (auto it = replay_uops.rbegin(); it != replay_uops.rend(); ++it)
+    for (auto it = squash_uops_.rbegin(); it != squash_uops_.rend(); ++it)
         replay_.push_back(*it);
     if (have_peek_) {
         replay_.push_back(peek_);
@@ -363,6 +549,7 @@ Core::storeWakeup()
         const PendingStore &s = pending_stores_[i];
         if (prf.fullyReady(s.srcPhys)) {
             rob.markDone(s.robIdx);
+            activity_ = true;
             pending_stores_[i] = pending_stores_.back();
             pending_stores_.pop_back();
         } else {
@@ -399,11 +586,11 @@ Core::issueLoads()
                     mem_->load(core_id_, req.addr, nowNs(), freq_ghz_);
                 done_cycle = static_cast<uint64_t>(
                     std::ceil(done_ns * freq_ghz_));
-                stats_.add("bcast_l1_reads");
+                st_bcast_l1_reads_.add();
             } else {
                 done_cycle = cycle_ +
                              static_cast<uint64_t>(mcfg.l1LatCycles);
-                stats_.add("bcast_bc_served");
+                st_bcast_bc_served_.add();
             }
         } else {
             if (l1_ports == 0)
@@ -422,7 +609,7 @@ Core::issueLoads()
         ev.kind = Event::LoadDone;
         ev.load = req;
         pushEvent(ev);
-        stats_.add("loads_issued");
+        st_loads_issued_.add();
         load_queue_.pop_front();
     }
 }
@@ -442,15 +629,15 @@ Core::mguStage()
     if (!scfg.enabled || scfg.policy == SchedPolicy::Baseline)
         return;
     int budget = mcfg.issueWidth; // one MGU per allocation slot
-    for (int idx : rs.order()) {
-        if (budget == 0)
-            break;
+    // The pending sublist holds exactly the VFMAs without an ELM yet;
+    // readiness flags are maintained by writeback wakeup.
+    for (int idx = rs.firstPending(); idx != Rs::kEnd && budget != 0;) {
+        int nxt = rs.nextInList(idx);
         RsEntry &e = rs.at(idx);
-        if (!e.uop.isVfma() || e.elmValid)
+        if (!e.aReady || !e.bReady) {
+            idx = nxt;
             continue;
-        refreshReadiness(e);
-        if (!e.aReady || !e.bReady)
-            continue;
+        }
 
         const VecReg &a = operandA(e);
         const VecReg &b = operandB(e);
@@ -474,10 +661,13 @@ Core::mguStage()
         }
         e.passPending = static_cast<uint16_t>(~e.pendingAl);
         e.elmValid = true;
+        rs.promote(idx);
+        activity_ = true;
         if (e.pendingAl == 0)
-            stats_.add("bs_skipped_vfmas");
+            st_bs_skipped_.add();
         --budget;
-        stats_.add("elms_generated");
+        st_elms_generated_.add();
+        idx = nxt;
     }
 }
 
@@ -524,12 +714,13 @@ Core::allocateVfma(const Uop &u)
         uint8_t &seen = rotated_copies_[e.pb];
         if (!(seen & bit)) {
             seen |= static_cast<uint8_t>(bit);
-            stats_.add("rotated_copies");
+            st_rotated_copies_.add();
         }
     }
 
     refreshReadiness(e);
     int rs_idx = rs.push(e);
+    addWaiters(rs_idx, rs.at(rs_idx));
     if (u.op == Opcode::Vdpbf16Ps || u.op == Opcode::Vdpbf16PsBcast)
         vfma_dst_to_rs_[renamed.newPhys] = rs_idx;
 
@@ -544,7 +735,7 @@ Core::allocateVfma(const Uop &u)
     }
 
     sched_->onVfmaAllocated(rs_idx);
-    stats_.add("vfmas");
+    st_vfmas_.add();
 }
 
 bool
@@ -577,7 +768,8 @@ Core::allocate()
         }
         const Uop &u = peek_;
         if (rob.full()) {
-            stats_.add("stall_rob_full");
+            st_stall_rob_.add();
+            fx_stall_ = &st_stall_rob_;
             return;
         }
 
@@ -606,7 +798,8 @@ Core::allocate()
           case Opcode::LoadVec: {
             auto renamed = renamer_.renameDst(u.dst);
             if (renamed.newPhys == kNoReg) {
-                stats_.add("stall_prf");
+                st_stall_prf_.add();
+                fx_stall_ = &st_stall_prf_;
                 return; // PRF pressure: stall allocation
             }
             RobEntry re;
@@ -642,11 +835,13 @@ Core::allocate()
           default: {
             SAVE_ASSERT(u.isVfma(), "unhandled opcode");
             if (rs.full()) {
-                stats_.add("stall_rs_full");
+                st_stall_rs_.add();
+                fx_stall_ = &st_stall_rs_;
                 return;
             }
             if (prf.numFree() == 0) {
-                stats_.add("stall_prf");
+                st_stall_prf_.add();
+                fx_stall_ = &st_stall_prf_;
                 return;
             }
             allocateVfma(u);
@@ -655,7 +850,8 @@ Core::allocate()
         }
         ++seq_;
         have_peek_ = false;
-        stats_.add("uops");
+        st_uops_.add();
+        activity_ = true;
     }
 }
 
@@ -688,7 +884,7 @@ Core::pipelineSnapshot() const
        << ")\n";
 
     os << "  mem: load_queue=" << load_queue_.size()
-       << ", events=" << events_.size()
+       << ", events=" << events_.size() + pub_count_
        << ", pending_stores=" << pending_stores_.size()
        << ", replay=" << replay_.size() << "\n";
 
@@ -700,6 +896,15 @@ Core::pipelineSnapshot() const
     if (bcache_)
         os << "  bcache hit rate: " << bcache_->hitRate() << "\n";
     return os.str();
+}
+
+void
+Core::checkWatchdogs() const
+{
+    if (!rob.empty() && cycle_ - last_progress_cycle_ >= watchdog_cycles_)
+        fireWatchdog("no uop committed within the watchdog window");
+    if (cycle_ >= forced_watchdog_cycle_)
+        fireWatchdog("fault injection forced the watchdog");
 }
 
 void

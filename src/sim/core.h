@@ -11,11 +11,22 @@
  * Stage order within a cycle (writeback before select, select before
  * allocate) models a forwarding network: a result written back in
  * cycle t can feed an operation selected in cycle t.
+ *
+ * The cycle loop is event-assisted: RS readiness is maintained by
+ * register-writeback wakeup (not per-cycle polling), and when a cycle
+ * makes no progress at all the core fast-forwards the clock to the
+ * next cycle anything can happen (the wake horizon: pending events,
+ * VPU completions, chain forwards, the exception-resume cycle, the
+ * watchdogs). Fast-forward is strictly observational — stall-cycle
+ * counters that would have repeated in the skipped cycles are
+ * compensated exactly, so all stats are bit-identical with the
+ * per-cycle loop (SAVE_FASTFORWARD=0).
  */
 
 #ifndef SAVE_SIM_CORE_H
 #define SAVE_SIM_CORE_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -28,6 +39,7 @@
 #include "mem/hierarchy.h"
 #include "mem/memory_image.h"
 #include "sim/config.h"
+#include "sim/profiler.h"
 #include "sim/regfile.h"
 #include "sim/renamer.h"
 #include "sim/rob.h"
@@ -97,6 +109,36 @@ class Core
      *  stat group. Called by run(); Multicore calls it after stepping
      *  cores manually. */
     void finalizeStats();
+
+    /** Stall fast-forward (SAVE_FASTFORWARD, default on) ------------- */
+
+    /** True if the last step() changed any simulator state. A false
+     *  return means the next cycles are state-identical repeats until
+     *  the wake horizon. */
+    bool lastStepActive() const { return activity_; }
+
+    /** SAVE_FASTFORWARD=0 disables stall fast-forward (debug). */
+    bool fastForwardEnabled() const { return fastforward_; }
+
+    /**
+     * Earliest future cycle at which anything can happen, given the
+     * last step was quiescent: pending completion events, VPU
+     * completions, mixed-precision chain forwards, the exception
+     * handler's resume cycle, and the (forced) watchdog fire cycles.
+     * kNeverCycle if nothing is pending.
+     */
+    uint64_t wakeHorizon() const;
+
+    /**
+     * Jump the clock to target (>= current cycle), compensating the
+     * stall/combination-window counters the skipped cycles would have
+     * repeated, then run the same watchdog checks a stepped cycle
+     * runs. Only meaningful right after a quiescent step().
+     */
+    void fastForwardTo(uint64_t target);
+
+    uint64_t ffJumps() const { return ff_jumps_; }
+    uint64_t ffCyclesSkipped() const { return ff_cycles_skipped_; }
 
     /**
      * Precise-exception support: arm a fault on the uop with the
@@ -187,6 +229,29 @@ class Core
         }
     };
 
+    /** RS entry waiting for a multiplicand register to become fully
+     *  ready; validated by seq at wake time (slots are reused). */
+    struct RegWaiter
+    {
+        int rsIdx;
+        uint64_t seq;
+        bool isA;
+    };
+
+    /** A scheduled single-lane register write. Publishes are by far
+     *  the most frequent event and always land within a few cycles
+     *  (FMA latency + crossbar extras), so they live in a calendar
+     *  ring of per-cycle buckets instead of the event heap; only
+     *  far-future events (load completions) pay the heap. */
+    struct PendingPublish
+    {
+        int phys;
+        int16_t lane;
+        float value;
+        int robIdx;
+    };
+    static constexpr uint64_t kPubRingSlots = 64;
+
     void processEvents();
     void processWriteback();
     void commit();
@@ -201,7 +266,16 @@ class Core
     void refreshReadiness(RsEntry &e);
     void allocateVfma(const Uop &u);
 
+    /** Register-writeback wakeup: phys became fully ready. */
+    void wakeWaiters(int phys);
+    /** Enlist a just-allocated RS entry on its not-ready sources. */
+    void addWaiters(int rs_idx, const RsEntry &e);
+
     void pushEvent(Event ev);
+
+    /** Retirement + fault-injection watchdogs (run after every cycle
+     *  advance, stepped or fast-forwarded). */
+    void checkWatchdogs() const;
 
     /** Throw DeadlockError carrying pipelineSnapshot(). */
     [[noreturn]] void fireWatchdog(const char *why) const;
@@ -234,17 +308,59 @@ class Core
     /** Cycle at which fault injection force-fires the watchdog. */
     uint64_t forced_watchdog_cycle_ = ~0ull;
 
+    /** Fast-forward state ------------------------------------------- */
+    bool fastforward_ = true;
+    bool activity_ = false;
+    /** The stall counter allocate() bumped this cycle, if any; it
+     *  would fire again in every skipped state-identical cycle. */
+    StatRef *fx_stall_ = nullptr;
+    /** Combination-window size the scheduler measured this cycle (it
+     *  repeats while the window is blocked on chain forwards). */
+    int fx_cw_ = 0;
+    uint64_t ff_jumps_ = 0;
+    uint64_t ff_cycles_skipped_ = 0;
+
     std::deque<LoadReq> load_queue_;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    /** Calendar ring for near-future lane publishes; bucket for cycle
+     *  c is pub_ring_[c % kPubRingSlots] (drained every cycle, so the
+     *  mapping is unambiguous). Bucket vectors keep their capacity. */
+    std::array<std::vector<PendingPublish>, kPubRingSlots> pub_ring_;
+    size_t pub_count_ = 0;
     struct PendingStore { int robIdx; int srcPhys; };
     std::vector<PendingStore> pending_stores_;
+    /** Per-phys-reg RS wakeup lists (consumed when the reg becomes
+     *  fully ready; stale entries are filtered by seq). */
+    std::vector<std::vector<RegWaiter>> reg_waiters_;
     /** In-flight VFMA dst phys -> RS slot (mixed-precision chains). */
     std::unordered_map<int, int> vfma_dst_to_rs_;
     /** Rotated-copy accounting (SecIV-B): per live non-broadcast
      *  multiplicand physical register, which R-states were used. */
     std::unordered_map<int, uint8_t> rotated_copies_;
 
+    /** Reusable per-cycle scratch (never shrinks). */
+    std::vector<LaneWrite> wb_scratch_;
+    std::vector<Uop> squash_uops_;
+    std::vector<char> squashed_rob_;
+    std::vector<Event> kept_events_;
+
     StatGroup stats_;
+    StatRef st_committed_;
+    StatRef st_uops_;
+    StatRef st_vfmas_;
+    StatRef st_loads_issued_;
+    StatRef st_elms_generated_;
+    StatRef st_bs_skipped_;
+    StatRef st_rotated_copies_;
+    StatRef st_stall_rob_;
+    StatRef st_stall_rs_;
+    StatRef st_stall_prf_;
+    StatRef st_bcast_l1_reads_;
+    StatRef st_bcast_bc_served_;
+    StatRef st_cw_sum_;
+    StatRef st_cw_cycles_;
+
+    StageProfiler prof_;
 
     friend class VectorScheduler;
 };

@@ -7,16 +7,16 @@ namespace save {
 uint16_t
 elmF32(const VecReg &a, const VecReg &b, uint16_t wm)
 {
+    // Branchless so the compiler can vectorize the 16 compares; +-0.0
+    // both count as zero (the product is exactly zero and the
+    // accumulation is ineffectual), which != handles.
     uint16_t elm = 0;
     for (int lane = 0; lane < kVecLanes; ++lane) {
-        if (!((wm >> lane) & 1))
-            continue;
-        // +-0.0 both count as zero: the product is exactly zero and the
-        // accumulation is ineffectual.
-        if (a.f32(lane) != 0.0f && b.f32(lane) != 0.0f)
-            elm |= static_cast<uint16_t>(1u << lane);
+        unsigned eff = static_cast<unsigned>(a.f32(lane) != 0.0f) &
+                       static_cast<unsigned>(b.f32(lane) != 0.0f);
+        elm |= static_cast<uint16_t>(eff << lane);
     }
-    return elm;
+    return elm & wm;
 }
 
 uint32_t

@@ -39,14 +39,34 @@ Multicore::run(uint64_t max_cycles)
     constexpr uint64_t kCheckInterval = 1024;
     static_assert((kCheckInterval & (kCheckInterval - 1)) == 0,
                   "check interval must be a power of two");
+    const bool ff = !cores_.empty() && cores_[0]->fastForwardEnabled();
     uint64_t rounds = 0;
     bool any = true;
     while (any) {
         any = false;
+        bool quiescent = true;
         for (auto &core : cores_) {
             if (!core->drained()) {
                 core->step();
                 any = true;
+                if (core->lastStepActive())
+                    quiescent = false;
+            }
+        }
+        if (ff && any && quiescent) {
+            // Every undrained core just ran a state-identical cycle:
+            // jump all of them to the earliest cycle anything can
+            // happen on any core. Cores never touch shared memory in
+            // a quiescent cycle, so the hierarchy sees the identical
+            // request sequence as the per-cycle loop.
+            uint64_t h = max_cycles;
+            for (auto &core : cores_) {
+                if (!core->drained())
+                    h = std::min(h, core->wakeHorizon());
+            }
+            for (auto &core : cores_) {
+                if (!core->drained() && h > core->cycle())
+                    core->fastForwardTo(h);
             }
         }
         if ((++rounds & (kCheckInterval - 1)) == 0)

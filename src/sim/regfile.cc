@@ -60,31 +60,36 @@ PhysRegFile::fullyReady(int idx) const
     return regs_[static_cast<size_t>(idx)].ready == 0xffffu;
 }
 
-void
+bool
 PhysRegFile::setLaneReady(int idx, int lane)
 {
-    regs_[static_cast<size_t>(idx)].ready |=
-        static_cast<uint16_t>(1u << lane);
+    uint16_t &r = regs_[static_cast<size_t>(idx)].ready;
+    bool was = r == 0xffffu;
+    r |= static_cast<uint16_t>(1u << lane);
+    return !was && r == 0xffffu;
 }
 
-void
+bool
 PhysRegFile::setAllReady(int idx)
 {
-    regs_[static_cast<size_t>(idx)].ready = 0xffffu;
+    uint16_t &r = regs_[static_cast<size_t>(idx)].ready;
+    bool was = r == 0xffffu;
+    r = 0xffffu;
+    return !was;
 }
 
-void
+bool
 PhysRegFile::publishLane(int idx, int lane, float v)
 {
     regs_[static_cast<size_t>(idx)].value.setF32(lane, v);
-    setLaneReady(idx, lane);
+    return setLaneReady(idx, lane);
 }
 
-void
+bool
 PhysRegFile::publishAll(int idx, const VecReg &v)
 {
     regs_[static_cast<size_t>(idx)].value = v;
-    setAllReady(idx);
+    return setAllReady(idx);
 }
 
 } // namespace save

@@ -46,12 +46,14 @@ class PhysRegFile
     bool laneIsReady(int idx, int lane) const;
     bool fullyReady(int idx) const;
 
-    void setLaneReady(int idx, int lane);
-    void setAllReady(int idx);
+    /** Returns true if this call made the register fully ready (the
+     *  0->0xffff transition), i.e. RS waiters should be woken. */
+    bool setLaneReady(int idx, int lane);
+    bool setAllReady(int idx);
     /** Write one FP32 lane and mark it ready. */
-    void publishLane(int idx, int lane, float v);
+    bool publishLane(int idx, int lane, float v);
     /** Write the whole register and mark every lane ready. */
-    void publishAll(int idx, const VecReg &v);
+    bool publishAll(int idx, const VecReg &v);
 
   private:
     struct Entry

@@ -5,7 +5,25 @@
  * rotational state (R-state), and the mixed-precision chain link.
  *
  * Age order is maintained explicitly so the select logic can implement
- * the paper's oldest-first priority (Algorithm 1, lines 3-9).
+ * the paper's oldest-first priority (Algorithm 1, lines 3-9). The
+ * order lives in intrusive doubly-linked lists over the slot array, so
+ * push, release, and iteration are allocation-free and O(1) per entry
+ * (the seed implementation kept a side vector and paid an O(n)
+ * std::find per release).
+ *
+ * Besides the full age list, every entry sits on exactly one of two
+ * age-ordered scheduler sublists:
+ *
+ *   pending  -- no ELM yet; what the MGU stage scans.
+ *   issuable -- ELM generated; what select/pass-through/combination-
+ *               window logic scans. (Under the baseline policy no ELM
+ *               is ever generated, so the baseline select simply scans
+ *               the pending list — which is then the full age order.)
+ *
+ * promote() moves an entry from pending to issuable with an
+ * age-ordered insertion, so both sublists stay oldest-first even when
+ * a late operand makes an old entry's ELM arrive after a younger
+ * one's.
  */
 
 #ifndef SAVE_SIM_RS_H
@@ -34,7 +52,8 @@ struct RsEntry
     int pc = kNoReg;
     int dstPhys = kNoReg;
 
-    /** Vector-wise readiness of the multiplicands. */
+    /** Vector-wise readiness of the multiplicands. Maintained by
+     *  register-writeback wakeup (Core::wakeWaiters), not polling. */
     bool aReady = false;
     bool bReady = false;
     /** Value delivered by an embedded-broadcast memory operand. */
@@ -64,21 +83,30 @@ struct RsEntry
     bool issued = false;
 };
 
-/** Fixed-capacity RS with an age-ordered index list. */
+/** Fixed-capacity RS with intrusive age-ordered lists. */
 class Rs
 {
   public:
+    /** End-of-list sentinel for the first/next iteration methods. */
+    static constexpr int kEnd = -1;
+
     explicit Rs(int entries);
 
-    bool full() const { return free_.empty(); }
-    int size() const { return static_cast<int>(order_.size()); }
+    bool full() const { return size_ == capacity_; }
+    int size() const { return size_; }
     int capacity() const { return capacity_; }
 
-    /** Insert; RS must not be full. Returns the slot index. */
+    /** Insert at the tail of the age order (and of the pending
+     *  sublist). Throws ConfigError if the RS is full — overflow means
+     *  the allocator's rs.full() back-pressure check was bypassed. */
     int push(RsEntry e);
 
-    /** Free a slot and drop it from the age order. */
+    /** Free a slot: O(1) unlink from the age order and its sublist. */
     void release(int idx);
+
+    /** Move an entry from the pending to the issuable sublist (MGU
+     *  handoff), inserting by seq so the sublist stays age-ordered. */
+    void promote(int idx);
 
     RsEntry &at(int idx) { return slots_[static_cast<size_t>(idx)]; }
     const RsEntry &at(int idx) const
@@ -86,14 +114,52 @@ class Rs
         return slots_[static_cast<size_t>(idx)];
     }
 
-    /** Valid slot indices, oldest first. */
-    const std::vector<int> &order() const { return order_; }
+    /** Full age-order iteration (oldest first). Capture next(idx)
+     *  before releasing idx inside a loop. */
+    int first() const { return age_head_; }
+    int next(int idx) const
+    {
+        return nodes_[static_cast<size_t>(idx)].anext;
+    }
+
+    /** Pending (pre-ELM) sublist, oldest first. */
+    int firstPending() const { return head_[0]; }
+    /** Issuable (post-ELM) sublist, oldest first. */
+    int firstIssuable() const { return head_[1]; }
+    int nextInList(int idx) const
+    {
+        return nodes_[static_cast<size_t>(idx)].snext;
+    }
+    int issuableCount() const { return list_size_[1]; }
+
+    /** Valid slot indices, oldest first — materialized copy for cold
+     *  paths (snapshots, squash rebuild) and tests. */
+    std::vector<int> order() const;
 
   private:
+    struct Node
+    {
+        int aprev = kEnd;
+        int anext = kEnd;
+        int sprev = kEnd;
+        int snext = kEnd;
+        /** Which sublist the slot is on: 0 pending, 1 issuable. */
+        uint8_t list = 0;
+    };
+
+    void listUnlink(int idx);
+    void listPushBack(int idx, int list);
+
     int capacity_;
+    int size_ = 0;
     std::vector<RsEntry> slots_;
-    std::vector<int> order_;
+    std::vector<Node> nodes_;
     std::vector<int> free_;
+    int age_head_ = kEnd;
+    int age_tail_ = kEnd;
+    int head_[2] = {kEnd, kEnd};
+    int tail_[2] = {kEnd, kEnd};
+    int list_size_[2] = {0, 0};
 };
 
 } // namespace save

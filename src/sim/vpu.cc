@@ -5,27 +5,45 @@
 namespace save {
 
 void
-VpuPipeline::issue(std::vector<LaneWrite> &&writes, uint64_t done_cycle)
+VpuPipeline::issue(const LaneWrite *writes, size_t n, uint64_t done_cycle)
 {
     SAVE_ASSERT(!busy_, "VPU double issue in one cycle");
-    SAVE_ASSERT(q_.empty() || done_cycle >= q_.back().doneCycle,
+    SAVE_ASSERT(count_ == 0 ||
+                    done_cycle >=
+                        q_[(head_ + count_ - 1) % q_.size()].doneCycle,
                 "VPU completion order violated");
     busy_ = true;
     ++ops_;
-    lanes_ += writes.size();
-    q_.push_back({done_cycle, std::move(writes)});
+    lanes_ += n;
+
+    if (count_ == q_.size()) {
+        // Grow preserving ring order (cold: only with latencies > 15).
+        std::vector<Op> bigger(q_.size() * 2);
+        for (size_t i = 0; i < count_; ++i)
+            bigger[i] = q_[(head_ + i) % q_.size()];
+        q_ = std::move(bigger);
+        head_ = 0;
+    }
+    Op &op = q_[(head_ + count_) % q_.size()];
+    op.doneCycle = done_cycle;
+    op.writes.clear();
+    for (size_t i = 0; i < n; ++i)
+        op.writes.push_back(writes[i]);
+    ++count_;
 }
 
-std::vector<LaneWrite>
-VpuPipeline::drainCompleted(uint64_t now)
+int
+VpuPipeline::drainCompleted(uint64_t now, std::vector<LaneWrite> &out)
 {
-    std::vector<LaneWrite> out;
-    while (!q_.empty() && q_.front().doneCycle <= now) {
-        auto &w = q_.front().writes;
+    int popped = 0;
+    while (count_ > 0 && q_[head_].doneCycle <= now) {
+        const LaneWriteVec &w = q_[head_].writes;
         out.insert(out.end(), w.begin(), w.end());
-        q_.pop_front();
+        head_ = (head_ + 1) % q_.size();
+        --count_;
+        ++popped;
     }
-    return out;
+    return popped;
 }
 
 } // namespace save

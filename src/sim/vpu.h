@@ -5,16 +5,26 @@
  * per-lane bookkeeping (which RS entry each temp lane came from) so
  * each lane result is written back to its own destination — modeled
  * here by carrying precomputed lane writes through the pipeline.
+ *
+ * The in-flight queue is a ring buffer of fixed-capacity ops, so the
+ * steady-state issue/drain path never touches the heap (at most
+ * latency+1 ops are ever in flight per pipeline).
  */
 
 #ifndef SAVE_SIM_VPU_H
 #define SAVE_SIM_VPU_H
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "isa/vec.h"
+#include "util/inline_vec.h"
+
 namespace save {
+
+/** Sentinel cycle for "no pending event" (compares greater than any
+ *  real cycle). */
+inline constexpr uint64_t kNeverCycle = ~0ull;
 
 /** One lane result traveling down a VPU pipeline. */
 struct LaneWrite
@@ -25,6 +35,9 @@ struct LaneWrite
     int robIdx;
 };
 
+/** Lane writes of one compacted op (at most one write per AL). */
+using LaneWriteVec = InlineVec<LaneWrite, kVecLanes>;
+
 /** A single VPU pipeline. */
 class VpuPipeline
 {
@@ -33,27 +46,59 @@ class VpuPipeline
     bool busy() const { return busy_; }
 
     /** Issue one compacted operation completing at done_cycle. */
-    void issue(std::vector<LaneWrite> &&writes, uint64_t done_cycle);
+    void issue(const LaneWrite *writes, size_t n, uint64_t done_cycle);
 
-    /** Pop all ops completing at or before now. */
-    std::vector<LaneWrite> drainCompleted(uint64_t now);
+    void
+    issue(const LaneWriteVec &writes, uint64_t done_cycle)
+    {
+        issue(writes.data(), writes.size(), done_cycle);
+    }
+
+    void
+    issue(std::initializer_list<LaneWrite> writes, uint64_t done_cycle)
+    {
+        issue(writes.begin(), writes.size(), done_cycle);
+    }
+
+    /**
+     * Pop all ops completing at or before now, appending their lane
+     * writes to out. Returns the number of *ops* popped — an op whose
+     * writes were all squashed still counts (it changes idle()).
+     */
+    int drainCompleted(uint64_t now, std::vector<LaneWrite> &out);
+
+    /** Convenience overload (tests / cold paths): fresh vector. */
+    std::vector<LaneWrite>
+    drainCompleted(uint64_t now)
+    {
+        std::vector<LaneWrite> out;
+        drainCompleted(now, out);
+        return out;
+    }
+
+    /** Completion cycle of the oldest in-flight op; kNeverCycle if the
+     *  pipeline is empty. */
+    uint64_t
+    nextCompletion() const
+    {
+        return count_ == 0 ? kNeverCycle : q_[head_].doneCycle;
+    }
 
     /** Drop in-flight lane writes matching the predicate (squash). */
     template <typename Pred>
     void
     discardIf(Pred pred)
     {
-        for (Op &op : q_) {
-            std::erase_if(op.writes, [&](const LaneWrite &w) {
-                return pred(w);
-            });
+        for (size_t i = 0; i < count_; ++i) {
+            q_[(head_ + i) % q_.size()].writes.eraseIf(
+                [&](const LaneWrite &w) { return pred(w); });
         }
     }
 
     /** Per-cycle housekeeping: clears the issue slot. */
     void tick() { busy_ = false; }
 
-    bool idle() const { return q_.empty(); }
+    bool idle() const { return count_ == 0; }
     uint64_t opsIssued() const { return ops_; }
     uint64_t lanesIssued() const { return lanes_; }
 
@@ -61,10 +106,14 @@ class VpuPipeline
     struct Op
     {
         uint64_t doneCycle;
-        std::vector<LaneWrite> writes;
+        LaneWriteVec writes;
     };
 
-    std::deque<Op> q_;
+    /** Ring buffer; sized for latency+issue-slot, grows only if a
+     *  config exceeds that. */
+    std::vector<Op> q_ = std::vector<Op>(16);
+    size_t head_ = 0;
+    size_t count_ = 0;
     bool busy_ = false;
     uint64_t ops_ = 0;
     uint64_t lanes_ = 0;

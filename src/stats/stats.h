@@ -30,7 +30,15 @@ class StatGroup
     /** True if the counter exists. */
     bool has(const std::string &name) const;
 
-    /** Reset all counters to zero. */
+    /**
+     * Stable pointer to the named counter (created at zero if absent),
+     * for hot paths that would otherwise pay a string lookup per add.
+     * std::map nodes never move, so the pointer stays valid until
+     * clear() is called; callers must re-acquire after clear().
+     */
+    double *handle(const std::string &name) { return &values_[name]; }
+
+    /** Reset all counters to zero. Invalidates handle() pointers. */
     void clear();
 
     /** Merge another group into this one by summing matching names. */
@@ -43,6 +51,35 @@ class StatGroup
 
   private:
     std::map<std::string, double> values_;
+};
+
+/**
+ * Cached reference to one StatGroup counter for hot paths. The handle
+ * is resolved lazily on the first add(), so a counter that never fires
+ * is never created — exactly the semantics of StatGroup::add — while
+ * subsequent adds are a pointer bump instead of a string-map lookup.
+ */
+class StatRef
+{
+  public:
+    StatRef() = default;
+    StatRef(StatGroup *group, const char *name)
+        : g_(group), name_(name)
+    {
+    }
+
+    void
+    add(double delta = 1.0)
+    {
+        if (!p_)
+            p_ = g_->handle(name_);
+        *p_ += delta;
+    }
+
+  private:
+    StatGroup *g_ = nullptr;
+    const char *name_ = "";
+    double *p_ = nullptr;
 };
 
 /** Fixed-bucket histogram, used e.g. for the Fig. 16 speedup-cap bins. */

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Stall fast-forward equivalence (SAVE_FASTFORWARD).
+ *
+ * The fast-forward jumps the clock over quiescent stretches instead of
+ * ticking through them, so it must be a pure host-time optimization:
+ * every run here executes the same workload with SAVE_FASTFORWARD=0
+ * and =1 and requires the final cycle count and the *entire* stat map
+ * to be bit-identical (exact double equality, not a tolerance).
+ * Coverage: both scheduler policies, FP32 and BF16, dense and 80%
+ * sparse, GEMM / conv-lowered / LSTM-lowered slices, a sharded
+ * multicore run, and a fault-injected forced-watchdog run (the error
+ * path must fire at the same cycle either way).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/conv.h"
+#include "kernels/gemm.h"
+#include "kernels/lstm.h"
+#include "mem/memory_image.h"
+#include "sim/multicore.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
+
+namespace save {
+namespace {
+
+struct FfRun
+{
+    uint64_t cycles = 0;
+    std::map<std::string, double> stats;
+    uint64_t ffJumps = 0;
+    uint64_t ffSkipped = 0;
+};
+
+/** One run with the given fast-forward setting. SAVE_FASTFORWARD is
+ *  read per Core construction, so toggling the environment between
+ *  machine builds is sufficient. */
+FfRun
+runGemm(bool ff, const SaveConfig &scfg, const GemmConfig &g,
+        int cores = 1)
+{
+    setenv("SAVE_FASTFORWARD", ff ? "1" : "0", 1);
+    MachineConfig m;
+    m.cores = cores;
+    MemoryImage image;
+    auto shards = buildShardedGemm(g, image, cores);
+    Multicore mc(m, scfg, 2, &image);
+    std::vector<std::unique_ptr<VectorTrace>> traces;
+    std::vector<TraceSource *> srcs;
+    for (auto &w : shards) {
+        w.warmup(mc.hierarchy());
+        traces.push_back(std::make_unique<VectorTrace>(w.trace));
+        srcs.push_back(traces.back().get());
+    }
+    mc.bindTraces(srcs);
+
+    FfRun r;
+    r.cycles = mc.run();
+    r.stats = mc.aggregateStats().all();
+    for (int c = 0; c < cores; ++c) {
+        r.ffJumps += mc.core(c).ffJumps();
+        r.ffSkipped += mc.core(c).ffCyclesSkipped();
+    }
+    unsetenv("SAVE_FASTFORWARD");
+    return r;
+}
+
+void
+expectIdentical(const FfRun &off, const FfRun &on)
+{
+    EXPECT_EQ(off.ffJumps, 0u) << "FF=0 run must not jump";
+    EXPECT_EQ(off.cycles, on.cycles);
+    ASSERT_EQ(off.stats.size(), on.stats.size());
+    auto a = off.stats.begin();
+    auto b = on.stats.begin();
+    for (; a != off.stats.end(); ++a, ++b) {
+        ASSERT_EQ(a->first, b->first);
+        // Exact: stats must be bit-identical, not merely close.
+        EXPECT_EQ(a->second, b->second) << a->first;
+    }
+}
+
+GemmConfig
+slice(double bs, double nbs, Precision prec)
+{
+    GemmConfig g;
+    g.mr = 7;
+    g.nrVecs = 3;
+    g.kSteps = 96;
+    g.tiles = 3;
+    g.pattern = BroadcastPattern::Embedded;
+    g.precision = prec;
+    g.bsSparsity = bs;
+    g.nbsSparsity = nbs;
+    g.seed = 11;
+    return g;
+}
+
+TEST(FastForward, GemmPoliciesPrecisionsSparsities)
+{
+    struct Case
+    {
+        const char *name;
+        SaveConfig scfg;
+        GemmConfig g;
+    };
+    const Case cases[] = {
+        {"baseline_fp32_dense", SaveConfig::baseline(),
+         slice(0.0, 0.0, Precision::Fp32)},
+        {"baseline_fp32_sparse80", SaveConfig::baseline(),
+         slice(0.8, 0.8, Precision::Fp32)},
+        {"rvc_fp32_dense", SaveConfig{}, slice(0.0, 0.0, Precision::Fp32)},
+        {"rvc_fp32_sparse50", SaveConfig{},
+         slice(0.5, 0.5, Precision::Fp32)},
+        {"rvc_fp32_sparse80", SaveConfig{},
+         slice(0.8, 0.8, Precision::Fp32)},
+        {"rvc_bf16_sparse80", SaveConfig{},
+         slice(0.8, 0.8, Precision::Bf16)},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.name);
+        FfRun off = runGemm(false, c.scfg, c.g);
+        FfRun on = runGemm(true, c.scfg, c.g);
+        expectIdentical(off, on);
+    }
+}
+
+TEST(FastForward, ActuallyJumps)
+{
+    // The equivalence tests above would pass trivially if fast-forward
+    // never engaged; pin that it does real work on a plain slice.
+    FfRun on = runGemm(true, SaveConfig{}, slice(0.0, 0.0, Precision::Fp32));
+    EXPECT_GT(on.ffJumps, 0u);
+    EXPECT_GT(on.ffSkipped, 0u);
+}
+
+TEST(FastForward, ConvLoweredSlice)
+{
+    ConvLayer layer;
+    layer.name = "conv3x3";
+    layer.inC = 64;
+    layer.outC = 64;
+    layer.ih = 28;
+    layer.iw = 28;
+    KernelSpec spec = makeConvKernel(layer, Phase::Forward, 8);
+    GemmConfig g = spec.slice(Precision::Fp32, 0.4, 0.6, 64, 5);
+
+    FfRun off = runGemm(false, SaveConfig{}, g);
+    FfRun on = runGemm(true, SaveConfig{}, g);
+    expectIdentical(off, on);
+}
+
+TEST(FastForward, LstmLoweredSlice)
+{
+    LstmCell cell;
+    cell.name = "gnmt";
+    cell.inputDim = 512;
+    cell.hiddenDim = 512;
+    cell.batch = 32;
+    cell.timeSteps = 4;
+    KernelSpec spec = makeLstmKernel(cell, Phase::Forward);
+    GemmConfig g = spec.slice(Precision::Bf16, 0.6, 0.3, 64, 5);
+
+    FfRun off = runGemm(false, SaveConfig{}, g);
+    FfRun on = runGemm(true, SaveConfig{}, g);
+    expectIdentical(off, on);
+}
+
+TEST(FastForward, MulticoreSharded)
+{
+    // Lock-step fast-forward: all cores must agree on quiescence, and
+    // the aggregate stats must still match cycle-accurate stepping.
+    GemmConfig g = slice(0.5, 0.5, Precision::Fp32);
+    FfRun off = runGemm(false, SaveConfig{}, g, 4);
+    FfRun on = runGemm(true, SaveConfig{}, g, 4);
+    expectIdentical(off, on);
+}
+
+TEST(FastForward, ForcedWatchdogFiresAtSameCycle)
+{
+    FaultPlan plan;
+    plan.watchdogCore = 0;
+    plan.watchdogAfterCycles = 200;
+    FaultInjector::global().configure(plan);
+
+    auto firing_cycle = [](bool ff) -> uint64_t {
+        setenv("SAVE_FASTFORWARD", ff ? "1" : "0", 1);
+        MachineConfig m;
+        m.cores = 1;
+        MemoryImage image;
+        GemmConfig g = slice(0.3, 0.3, Precision::Fp32);
+        auto shards = buildShardedGemm(g, image, 1);
+        Multicore mc(m, SaveConfig{}, 2, &image);
+        shards[0].warmup(mc.hierarchy());
+        VectorTrace trace(shards[0].trace);
+        mc.bindTraces({&trace});
+        uint64_t at = 0;
+        try {
+            mc.run();
+            ADD_FAILURE() << "expected DeadlockError";
+        } catch (const DeadlockError &e) {
+            at = e.context().cycle;
+        }
+        unsetenv("SAVE_FASTFORWARD");
+        return at;
+    };
+
+    uint64_t off = firing_cycle(false);
+    uint64_t on = firing_cycle(true);
+    FaultInjector::global().reset();
+
+    EXPECT_GE(off, 200u);
+    EXPECT_EQ(off, on);
+}
+
+} // namespace
+} // namespace save
