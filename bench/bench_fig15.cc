@@ -4,9 +4,16 @@
  * mixed-precision forward propagation of ResNet2_2, swept over
  * non-broadcasted (weight) and broadcasted (activation) sparsity at
  * 10% intervals, with (a) 2 VPUs @1.7GHz and (b) 1 VPU @2.1GHz.
+ *
+ * Extra flags:
+ *   --trace-out=F  record the dense baseline slice into trace file F
+ *   --trace-in=F   replay trace F as the baseline instead of
+ *                  regenerating it (see `save-trace --help`)
  */
 
 #include "bench_util.h"
+
+#include "trace/replay.h"
 
 using namespace save;
 
@@ -27,8 +34,25 @@ run(int argc, char **argv)
     Engine base(m, SaveConfig::baseline());
     Engine sv(m, SaveConfig{});
 
+    // The upfront dense baseline doubles as the trace hook: --trace-out
+    // records it, --trace-in replays a recording in its place (so a
+    // captured slice can be swept against without regenerating it).
     GemmConfig dense = sliceFor(spec, Precision::Bf16, 0, 0, flags);
-    auto rb = base.runGemm(dense, 1, 2);
+    std::string trace_out = flags.getStr("trace-out", "");
+    std::string trace_in = flags.getStr("trace-in", "");
+    KernelResult rb;
+    if (!trace_in.empty()) {
+        ReplayOutcome ro = replayTrace(trace_in);
+        rb.cycles = ro.cycles;
+        rb.timeNs = ro.timeNs;
+        rb.coreGhz = ro.coreGhz;
+        rb.stats = ro.stats;
+    } else if (!trace_out.empty()) {
+        rb = base.recordGemm(dense, trace_out, "fig15-dense-baseline",
+                             1, 2);
+    } else {
+        rb = base.runGemm(dense, 1, 2);
+    }
 
     // Enumerate the whole (vpus, NBS, BS) grid up front and fan the
     // independent slice simulations across the host thread pool.

@@ -35,6 +35,7 @@
 #include "kernels/gemm.h"
 #include "mem/memory_image.h"
 #include "sim/multicore.h"
+#include "stats/stats.h"
 
 /* Heap-allocation counter: interpose the global allocation functions
  * (this binary only). Counting news is enough — the metric is churn,
@@ -201,15 +202,19 @@ printJson(const std::vector<BenchRow> &rows)
                 "  \"benchmarks\": [\n");
     for (size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &r = rows[i];
-        std::printf("    {\"name\": \"%s\", \"uops_per_sec\": %.0f, "
-                    "\"sim_cycles_per_sec\": %.0f, \"sim_cycles\": %llu, "
-                    "\"ff_jumps\": %llu, \"ff_cycles_skipped\": %llu, "
-                    "\"allocs_per_cycle\": %.4f}%s\n",
-                    r.name.c_str(), r.uopsPerSec, r.cyclesPerSec,
-                    static_cast<unsigned long long>(r.simCycles),
-                    static_cast<unsigned long long>(r.ffJumps),
-                    static_cast<unsigned long long>(r.ffSkipped),
-                    r.allocsPerCycle, i + 1 < rows.size() ? "," : "");
+        // One StatGroup per row rendered by the shared stable-ordered
+        // JSON writer; "name" is spliced in front (alphabetical order
+        // keeps every metric after it, which readBaseline relies on).
+        save::StatGroup g;
+        g.set("uops_per_sec", r.uopsPerSec);
+        g.set("sim_cycles_per_sec", r.cyclesPerSec);
+        g.set("sim_cycles", static_cast<double>(r.simCycles));
+        g.set("ff_jumps", static_cast<double>(r.ffJumps));
+        g.set("ff_cycles_skipped", static_cast<double>(r.ffSkipped));
+        g.set("allocs_per_cycle", r.allocsPerCycle);
+        std::string json = g.toJson();
+        std::printf("    {\"name\": \"%s\", %s%s\n", r.name.c_str(),
+                    json.c_str() + 1, i + 1 < rows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
 }

@@ -21,6 +21,9 @@
  *   --journal=PATH  crash-safe sweep journal ("none" disables; default
  *                   is the SAVE_JOURNAL environment variable). An
  *                   interrupted run resumes from completed points.
+ *   --trace-events=F write a Perfetto/Chrome pipeline event trace of
+ *                   every machine the bench runs (sets
+ *                   SAVE_TRACE_EVENTS; see src/trace/event_trace.h)
  */
 
 #ifndef SAVE_BENCH_BENCH_UTIL_H
@@ -354,7 +357,10 @@ printBenchUsage(const char *argv0)
         "  --max-failures=N tolerated failures before exit 1\n"
         "  --journal=PATH   crash-safe sweep journal ('none' "
         "disables;\n"
-        "                   default: SAVE_JOURNAL env)\n",
+        "                   default: SAVE_JOURNAL env)\n"
+        "  --trace-events=F write a Perfetto/Chrome pipeline event "
+        "trace\n"
+        "                   (same as SAVE_TRACE_EVENTS=F)\n",
         argv0);
 }
 
@@ -376,6 +382,14 @@ benchMain(int argc, char **argv, Fn body)
             printBenchUsage(argv[0]);
             return 0;
         }
+        // --trace-events=PATH maps onto SAVE_TRACE_EVENTS so every
+        // machine the bench builds auto-attaches a pipeline event
+        // trace (see src/trace/event_trace.h).
+        constexpr const char *kTraceEvents = "--trace-events=";
+        if (std::strncmp(argv[i], kTraceEvents,
+                         std::strlen(kTraceEvents)) == 0)
+            setenv("SAVE_TRACE_EVENTS",
+                   argv[i] + std::strlen(kTraceEvents), 1);
     }
     try {
         return body();

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * save-trace — the uop-trace command-line tool (format: src/trace,
+ * DESIGN.md §9).
+ *
+ *   save-trace record  --out=F [workload flags]   capture a kernel run
+ *   save-trace inspect --in=F [--uops=N]          show what a file holds
+ *   save-trace replay  --in=F [--check]           re-run the pipeline
+ *   save-trace diff    A B                        compare two traces
+ *   save-trace stats   --in=F [--json]            recorded stat map
+ *
+ * `record` simulates one of the built-in kernel generators (a GEMM
+ * slice, a conv layer slice, or an LSTM cell slice) and writes the
+ * trace next to the result; `replay --check` proves the replay
+ * reproduces the recorded cycle count and stat map bit-identically.
+ * `--trace-events=F` (any subcommand that simulates) additionally
+ * writes the Perfetto/Chrome pipeline event trace.
+ */
+
+#include "bench_util.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernels/conv.h"
+#include "kernels/lstm.h"
+#include "trace/replay.h"
+#include "trace/trace_reader.h"
+
+using namespace save;
+
+namespace {
+
+void
+printUsage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [--flag=value ...]\n"
+        "\n"
+        "commands:\n"
+        "  record   capture a kernel run into a trace file\n"
+        "           --out=F         output trace file (required)\n"
+        "           --kernel=K      gemm | conv | lstm (default gemm)\n"
+        "           --policy=P      baseline | vc | rvc | hc (default "
+        "rvc)\n"
+        "           --precision=X   fp32 | bf16 (default fp32)\n"
+        "           --bs=PCT        broadcasted (A) sparsity %% "
+        "(default 0)\n"
+        "           --nbs=PCT       non-broadcasted (B) sparsity %% "
+        "(default 0)\n"
+        "           --mr=N --nr=N   register tile (gemm kernel only)\n"
+        "           --ksteps=N --tiles=N --cores=N --vpus=N --seed=N\n"
+        "  inspect  print header, configuration and stream summary\n"
+        "           --in=F          trace file (required)\n"
+        "           --uops=N        also dump the first N uops per "
+        "core\n"
+        "  replay   run the recorded streams through the pipeline\n"
+        "           --in=F          trace file (required)\n"
+        "           --check         fail unless cycles + stats match "
+        "the\n"
+        "                           recorded result bit-identically\n"
+        "  diff     compare two trace files (exit 1 when they differ)\n"
+        "  stats    print the recorded stat map\n"
+        "           --in=F          trace file (required)\n"
+        "           --json          machine-readable "
+        "(StatGroup::toJson)\n"
+        "\n"
+        "  --trace-events=F  write a Perfetto pipeline event trace of\n"
+        "                    any simulation this command runs\n",
+        argv0);
+}
+
+SaveConfig
+policyFromName(const std::string &name)
+{
+    if (name == "baseline")
+        return SaveConfig::baseline();
+    SaveConfig sc;
+    if (name == "vc")
+        sc.policy = SchedPolicy::VC;
+    else if (name == "rvc")
+        sc.policy = SchedPolicy::RVC;
+    else if (name == "hc")
+        sc.policy = SchedPolicy::HC;
+    else
+        throw ConfigError("--policy must be baseline|vc|rvc|hc (got '" +
+                          name + "')");
+    return sc;
+}
+
+/** Slice configuration for --kernel=K from the record flags. */
+GemmConfig
+sliceFromFlags(const Flags &flags, const std::string &kernel,
+               std::string *label)
+{
+    std::string prec_name = flags.getStr("precision", "fp32");
+    if (prec_name != "fp32" && prec_name != "bf16")
+        throw ConfigError("--precision must be fp32|bf16 (got '" +
+                          prec_name + "')");
+    Precision prec =
+        prec_name == "bf16" ? Precision::Bf16 : Precision::Fp32;
+    double bs = flags.getInt("bs", 0) / 100.0;
+    double nbs = flags.getInt("nbs", 0) / 100.0;
+    int ksteps = flags.getInt("ksteps", 64);
+    uint64_t seed =
+        static_cast<uint64_t>(flags.getInt("seed", 1));
+
+    GemmConfig g;
+    if (kernel == "gemm") {
+        g.mr = flags.getInt("mr", g.mr);
+        g.nrVecs = flags.getInt("nr", g.nrVecs);
+        g.kSteps = ksteps;
+        g.precision = prec;
+        g.bsSparsity = bs;
+        g.nbsSparsity = nbs;
+        g.seed = seed;
+    } else if (kernel == "conv") {
+        // A fixed mid-network 3x3 layer; the slice models its forward
+        // micro-kernel the way the figure benches do.
+        ConvLayer layer;
+        layer.name = "conv3x3_128";
+        layer.inC = 128;
+        layer.outC = 128;
+        layer.ih = 28;
+        layer.iw = 28;
+        KernelSpec spec = makeConvKernel(layer, Phase::Forward, 32);
+        g = spec.slice(prec, bs, nbs, ksteps, seed);
+        *label = spec.name;
+    } else if (kernel == "lstm") {
+        LstmCell cell;
+        cell.name = "lstm1024";
+        KernelSpec spec = makeLstmKernel(cell, Phase::Forward);
+        g = spec.slice(prec, bs, nbs, ksteps, seed);
+        *label = spec.name;
+    } else {
+        throw ConfigError("--kernel must be gemm|conv|lstm (got '" +
+                          kernel + "')");
+    }
+    g.tiles = flags.getInt("tiles", 2);
+    if (label->empty())
+        *label = kernel;
+    return g;
+}
+
+std::string
+requireIn(const Flags &flags)
+{
+    std::string in = flags.getStr("in", "");
+    if (in.empty())
+        throw ConfigError("--in=<trace file> is required");
+    return in;
+}
+
+int
+cmdRecord(const Flags &flags)
+{
+    std::string out = flags.getStr("out", "");
+    if (out.empty())
+        throw ConfigError("record needs --out=<trace file>");
+    std::string kernel = flags.getStr("kernel", "gemm");
+    std::string label;
+    GemmConfig g = sliceFromFlags(flags, kernel, &label);
+    SaveConfig sc = policyFromName(flags.getStr("policy", "rvc"));
+    int cores = flags.getInt("cores", 1);
+    int vpus = flags.getInt("vpus", 2);
+
+    MachineConfig m;
+    Engine engine(m, sc);
+    KernelResult r = engine.recordGemm(g, out, label, cores, vpus);
+    std::printf("recorded %s: %" PRIu64 " cycles (%.1f ns) -> %s\n",
+                label.c_str(), r.cycles, r.timeNs, out.c_str());
+    return 0;
+}
+
+int
+cmdInspect(const Flags &flags)
+{
+    TraceReader r(requireIn(flags));
+    std::printf("trace:       %s\n", r.path().c_str());
+    std::printf("version:     %u\n", r.version());
+    std::printf("config hash: %016" PRIx64 "\n", r.configHash());
+    std::printf("kernel:      %s\n", r.kernelName().c_str());
+    std::printf("cores:       %d  (vpus/core: %d)\n", r.cores(),
+                r.vpus());
+    uint64_t total = 0;
+    for (int c = 0; c < r.cores(); ++c) {
+        uint64_t n = r.uopCount(c);
+        total += n;
+        std::printf("core %-2d      %" PRIu64 " uops", c, n);
+        auto warm = r.warmRanges(c);
+        for (const auto &w : warm)
+            std::printf("  warm [0x%" PRIx64 ", +%" PRIu64 ")", w.first,
+                        w.second);
+        std::printf("\n");
+    }
+    std::printf("total uops:  %" PRIu64 "\n", total);
+    std::printf("elm sidecar: %s\n", r.hasElms() ? "yes" : "no");
+    if (r.hasResult())
+        std::printf("recorded:    %" PRIu64 " cycles @ %.2f GHz, %zu "
+                    "stats\n",
+                    r.recordedCycles(), r.recordedCoreGhz(),
+                    r.recordedStats().size());
+    else
+        std::printf("recorded:    (no RES chunk)\n");
+
+    int dump = flags.getInt("uops", 0);
+    for (int c = 0; dump > 0 && c < r.cores(); ++c) {
+        std::printf("-- core %d --\n", c);
+        TraceFileSource src(r, c);
+        Uop u;
+        for (int i = 0; i < dump && src.next(u); ++i)
+            std::printf("  %6d: %s\n", i, u.toString().c_str());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const Flags &flags)
+{
+    std::string in = requireIn(flags);
+    ReplayOutcome out = replayTrace(in);
+    std::printf("replayed %s: %" PRIu64 " cycles (%.1f ns)\n",
+                out.name.c_str(), out.cycles, out.timeNs);
+    if (!flags.has("check"))
+        return 0;
+    std::string diff = replayCheck(out);
+    if (diff.empty()) {
+        std::printf("check OK: cycles and %zu stats bit-identical to "
+                    "the recording\n",
+                    out.recordedStats.size());
+        return 0;
+    }
+    std::fprintf(stderr, "check FAILED:\n%s\n", diff.c_str());
+    return 1;
+}
+
+/** Structural comparison of two trace files. */
+int
+cmdDiff(const std::string &path_a, const std::string &path_b)
+{
+    TraceReader a(path_a);
+    TraceReader b(path_b);
+    int diffs = 0;
+    auto report = [&](const std::string &line) {
+        ++diffs;
+        std::printf("%s\n", line.c_str());
+    };
+
+    if (a.configHash() != b.configHash())
+        report("config hash differs");
+    if (a.configText() != b.configText())
+        report("configuration text differs");
+    if (a.cores() != b.cores()) {
+        report("core count differs: " + std::to_string(a.cores()) +
+               " vs " + std::to_string(b.cores()));
+    } else {
+        for (int c = 0; c < a.cores(); ++c) {
+            if (a.warmRanges(c) != b.warmRanges(c))
+                report("core " + std::to_string(c) +
+                       ": warm ranges differ");
+            std::vector<Uop> ua = a.uops(c);
+            std::vector<Uop> ub = b.uops(c);
+            if (ua.size() != ub.size()) {
+                report("core " + std::to_string(c) +
+                       ": uop count differs: " +
+                       std::to_string(ua.size()) + " vs " +
+                       std::to_string(ub.size()));
+                continue;
+            }
+            for (size_t i = 0; i < ua.size(); ++i) {
+                if (std::memcmp(&ua[i], &ub[i], sizeof(Uop)) != 0) {
+                    report("core " + std::to_string(c) + ": uop " +
+                           std::to_string(i) + " differs:\n  a: " +
+                           ua[i].toString() + "\n  b: " +
+                           ub[i].toString());
+                    break; // first divergence per core is enough
+                }
+            }
+            if (a.hasElms() && b.hasElms() && a.elms(c) != b.elms(c))
+                report("core " + std::to_string(c) +
+                       ": ELM sidecar differs");
+        }
+    }
+    if (a.hasElms() != b.hasElms())
+        report(std::string("ELM sidecar present only in ") +
+               (a.hasElms() ? "a" : "b"));
+    if (a.hasResult() != b.hasResult()) {
+        report(std::string("recorded result present only in ") +
+               (a.hasResult() ? "a" : "b"));
+    } else if (a.hasResult()) {
+        if (a.recordedCycles() != b.recordedCycles())
+            report("recorded cycles differ: " +
+                   std::to_string(a.recordedCycles()) + " vs " +
+                   std::to_string(b.recordedCycles()));
+        if (a.recordedStats() != b.recordedStats())
+            report("recorded stat maps differ");
+    }
+
+    if (diffs == 0) {
+        std::printf("traces identical: %s == %s\n", path_a.c_str(),
+                    path_b.c_str());
+        return 0;
+    }
+    std::printf("%d difference(s)\n", diffs);
+    return 1;
+}
+
+int
+cmdStats(const Flags &flags)
+{
+    TraceReader r(requireIn(flags));
+    if (!r.hasResult())
+        throw TraceError("trace " + r.path() +
+                         " has no recorded result (RES chunk)");
+    StatGroup g;
+    for (const auto &kv : r.recordedStats())
+        g.set(kv.first, kv.second);
+    g.set("cycles", static_cast<double>(r.recordedCycles()));
+    if (flags.has("json"))
+        std::printf("%s\n", g.toJson("  ").c_str());
+    else
+        std::printf("%s", g.dump().c_str());
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    const std::string cmd = argv[1];
+    Flags flags(argc, argv);
+
+    if (cmd == "record")
+        return cmdRecord(flags);
+    if (cmd == "inspect")
+        return cmdInspect(flags);
+    if (cmd == "replay")
+        return cmdReplay(flags);
+    if (cmd == "stats")
+        return cmdStats(flags);
+    if (cmd == "diff") {
+        std::vector<std::string> files;
+        for (int i = 2; i < argc; ++i)
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                files.push_back(argv[i]);
+        if (files.size() != 2)
+            throw ConfigError("diff needs exactly two trace files");
+        return cmdDiff(files[0], files[1]);
+    }
+    throw ConfigError("unknown command '" + cmd + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            printUsage(argv[0]);
+            return 0;
+        }
+    }
+    if (argc < 2) {
+        printUsage(argv[0]);
+        return 2;
+    }
+    int rc = benchMain(argc, argv, [&] { return run(argc, argv); });
+    if (rc == 2) // ConfigError path printed the generic bench usage
+        printUsage(argv[0]);
+    return rc;
+}

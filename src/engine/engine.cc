@@ -2,8 +2,10 @@
 
 #include <sstream>
 
+#include "dnn/surface_cache.h"
 #include "sim/multicore.h"
 #include "sim/reference.h"
+#include "trace/trace_writer.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -18,6 +20,22 @@ Engine::Engine(MachineConfig mcfg, SaveConfig scfg)
 
 KernelResult
 Engine::runGemm(const GemmConfig &cfg, int cores, int vpus) const
+{
+    return runGemmImpl(cfg, cores, vpus, nullptr, std::string());
+}
+
+KernelResult
+Engine::recordGemm(const GemmConfig &cfg, const std::string &trace_path,
+                   const std::string &kernel_name, int cores,
+                   int vpus) const
+{
+    return runGemmImpl(cfg, cores, vpus, &trace_path, kernel_name);
+}
+
+KernelResult
+Engine::runGemmImpl(const GemmConfig &cfg, int cores, int vpus,
+                    const std::string *trace_path,
+                    const std::string &kernel_name) const
 {
     if (cores < 1 || cores > mcfg_.cores)
         throw ConfigError("core count must be in [1, " +
@@ -38,6 +56,27 @@ Engine::runGemm(const GemmConfig &cfg, int cores, int vpus) const
     MemoryImage image;
     std::vector<GemmWorkload> work = buildShardedGemm(cfg, image, cores);
 
+    // Everything the replay needs to rebuild this run is written
+    // before the simulation mutates the image; the RES chunk follows
+    // after the run. The hash is over the *effective* configuration
+    // (post core/DRAM adjustment), salted with the active VPU count.
+    std::unique_ptr<TraceWriter> writer;
+    if (trace_path) {
+        writer = std::make_unique<TraceWriter>(
+            *trace_path, SurfaceCache::hashConfig(
+                             mc, scfg_, static_cast<uint64_t>(vpus)));
+        writer->writeConfig(
+            traceConfigText(mc, scfg_, vpus, kernel_name));
+        writer->writeImage(image);
+        for (int c = 0; c < cores; ++c) {
+            const GemmWorkload &w = work[static_cast<size_t>(c)];
+            writer->writeWarmRanges(
+                c, {{w.aBase, w.aBytes}, {w.bBase, w.bBytes}});
+            writer->writeUops(c, w.trace);
+            writer->writeElms(c, computeElmSidecar(w.trace, image));
+        }
+    }
+
     Multicore machine(mc, scfg_, vpus, &image);
     std::vector<std::unique_ptr<VectorTrace>> traces;
     std::vector<TraceSource *> srcs;
@@ -54,6 +93,11 @@ Engine::runGemm(const GemmConfig &cfg, int cores, int vpus) const
     r.coreGhz = mc.coreFreqGhz(vpus);
     r.timeNs = static_cast<double>(r.cycles) / r.coreGhz;
     r.stats = machine.aggregateStats();
+
+    if (writer) {
+        writer->writeResult(r.cycles, r.coreGhz, r.stats);
+        writer->finish();
+    }
     return r;
 }
 

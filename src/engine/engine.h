@@ -55,6 +55,18 @@ class Engine
                          int vpus = 2) const;
 
     /**
+     * runGemm, additionally recording the run into a trace file at
+     * `trace_path` (format: src/trace, DESIGN.md §9): effective
+     * configuration, initial memory image, per-core warm ranges and
+     * uop streams, the functional ELM sidecar, and the run's outcome.
+     * `kernel_name` labels the trace (shown by `save-trace inspect`).
+     */
+    KernelResult recordGemm(const GemmConfig &cfg,
+                            const std::string &trace_path,
+                            const std::string &kernel_name = "gemm",
+                            int cores = 1, int vpus = 2) const;
+
+    /**
      * Run the trace through the OoO pipeline and through the in-order
      * reference; true iff final C-matrix memory is bitwise identical.
      */
@@ -65,6 +77,10 @@ class Engine
     const SaveConfig &save() const { return scfg_; }
 
   private:
+    KernelResult runGemmImpl(const GemmConfig &cfg, int cores, int vpus,
+                             const std::string *trace_path,
+                             const std::string &kernel_name) const;
+
     MachineConfig mcfg_;
     SaveConfig scfg_;
 };

@@ -85,6 +85,17 @@ MemoryImage::writeU32(uint64_t addr, uint32_t v)
     std::memcpy(r->data.data() + (addr - r->base), &v, 4);
 }
 
+void
+MemoryImage::writeBytes(uint64_t addr, const uint8_t *src, uint64_t n)
+{
+    if (n == 0)
+        return;
+    Region *r = find(addr);
+    SAVE_ASSERT(r && addr + n <= r->base + r->data.size(),
+                "write outside registered memory at 0x", std::hex, addr);
+    std::memcpy(r->data.data() + (addr - r->base), src, n);
+}
+
 Bf16
 MemoryImage::readBf16(uint64_t addr) const
 {

@@ -48,6 +48,9 @@ class MemoryImage
     Bf16 readBf16(uint64_t addr) const;
     void writeBf16(uint64_t addr, Bf16 v);
 
+    /** Raw byte store into a registered region (trace replay). */
+    void writeBytes(uint64_t addr, const uint8_t *src, uint64_t n);
+
     /** Read the 64B line containing addr as a vector register value. */
     VecReg readLine(uint64_t addr) const;
     void writeLine(uint64_t addr, const VecReg &v);
@@ -56,6 +59,14 @@ class MemoryImage
     uint16_t lineZeroMaskF32(uint64_t addr) const;
 
     bool contains(uint64_t addr) const;
+
+    /** Region enumeration, in registration order (trace capture). */
+    size_t numRegions() const { return regions_.size(); }
+    uint64_t regionBase(size_t i) const { return regions_[i].base; }
+    const std::vector<uint8_t> &regionData(size_t i) const
+    {
+        return regions_[i].data;
+    }
 
   private:
     struct Region

@@ -16,6 +16,7 @@
 #include "sim/mgu.h"
 #include "save/scheduler.h"
 #include "sim/core.h"
+#include "trace/event_trace.h"
 #include "util/logging.h"
 
 #include <algorithm>
@@ -257,6 +258,8 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al)
         c_.now() +
         static_cast<uint64_t>(std::max(1, c_.fmaLatency(true) / 2));
     st_mp_mls_issued_.add(taken);
+    if (c_.etrace_)
+        c_.etrace_->chainMl(c_.now(), front.seq, al, vpu, taken);
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include "isa/bf16.h"
 #include "sim/core.h"
+#include "trace/event_trace.h"
 #include "util/bitutil.h"
 #include "util/logging.h"
 
@@ -94,6 +95,8 @@ VectorScheduler::passThrough()
                                c_.now() + 1);
         }
         st_passthrough_lanes_.add(popcount(avail));
+        if (c_.etrace_)
+            c_.etrace_->passLanes(c_.now(), e.seq, avail);
         e.passPending &= static_cast<uint16_t>(~avail);
         maybeRelease(idx);
         idx = nxt;
@@ -147,6 +150,8 @@ VectorScheduler::scheduleBaseline()
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
         }
         e.issued = true;
+        if (c_.etrace_)
+            c_.etrace_->baselineIssue(c_.now(), e.seq, vpu);
         c_.releaseEntry(idx);
         st_baseline_issues_.add();
         idx = nxt;
@@ -226,6 +231,8 @@ VectorScheduler::scheduleCoalesced()
                     e.pendingMl = 0;
                 e.pendingAl = 0;
                 st_coalesced_lanes_.add(kVecLanes);
+                if (c_.etrace_)
+                    c_.etrace_->coalesceDense(c_.now(), e.seq, vpu);
                 maybeRelease(idx);
                 idx = nxt;
                 continue;
@@ -264,6 +271,9 @@ VectorScheduler::scheduleCoalesced()
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
             e.pendingAl &= static_cast<uint16_t>(~(1u << lane));
             ++claimed;
+            if (c_.etrace_)
+                c_.etrace_->coalesceLane(c_.now(), e.seq, lane,
+                                         temp_lane, vpu, false);
         }
         if (claimed)
             st_coalesced_lanes_.add(claimed);
@@ -324,6 +334,11 @@ VectorScheduler::scheduleHc()
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
             e.pendingAl &= static_cast<uint16_t>(~(1u << lane));
             ++claimed;
+            if (c_.etrace_)
+                c_.etrace_->coalesceLane(
+                    c_.now(), e.seq, lane,
+                    temps_[static_cast<size_t>(vpu)].count - 1, vpu,
+                    true);
         }
         if (claimed)
             st_hc_lanes_.add(claimed);
@@ -347,6 +362,9 @@ VectorScheduler::issueTemps()
         c_.activity_ = true;
         st_temps_issued_.add();
         st_temp_fill_.add(t.count);
+        if (c_.etrace_)
+            c_.etrace_->tempIssue(c_.now(), static_cast<int>(v),
+                                  t.count, t.type == 1, lat, t.hc);
     }
 }
 

@@ -8,6 +8,7 @@
 
 #include "save/scheduler.h"
 #include "sim/mgu.h"
+#include "trace/event_trace.h"
 #include "util/error.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
@@ -359,7 +360,9 @@ Core::processWriteback()
         for (const LaneWrite &w : wb_scratch_) {
             if (prf.publishLane(w.dstPhys, w.lane, w.value))
                 wakeWaiters(w.dstPhys);
-            rob.laneDone(w.robIdx);
+            if (rob.laneDone(w.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(w.robIdx).seq,
+                                   w.robIdx);
         }
     }
 }
@@ -374,7 +377,9 @@ Core::processEvents()
         for (const PendingPublish &p : bucket) {
             if (prf.publishLane(p.phys, p.lane, p.value))
                 wakeWaiters(p.phys);
-            rob.laneDone(p.robIdx);
+            if (rob.laneDone(p.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(p.robIdx).seq,
+                                   p.robIdx);
         }
         pub_count_ -= bucket.size();
         bucket.clear();
@@ -386,7 +391,9 @@ Core::processEvents()
         if (ev.kind == Event::Publish) {
             if (prf.publishLane(ev.phys, ev.lane, ev.value))
                 wakeWaiters(ev.phys);
-            rob.laneDone(ev.robIdx);
+            if (rob.laneDone(ev.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(ev.robIdx).seq,
+                                   ev.robIdx);
             continue;
         }
         // LoadDone
@@ -404,7 +411,9 @@ Core::processEvents()
                            : image_->readLine(req.addr);
             if (prf.publishAll(req.dstPhys, v))
                 wakeWaiters(req.dstPhys);
-            rob.markDone(req.robIdx);
+            if (rob.markDone(req.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(req.robIdx).seq,
+                                   req.robIdx);
         }
     }
 }
@@ -437,6 +446,7 @@ Core::commit()
         }
         if (!rob.at(rob.head()).done)
             break;
+        int head_idx = rob.head();
         RobEntry e = rob.pop();
         last_progress_cycle_ = cycle_;
         activity_ = true;
@@ -449,6 +459,8 @@ Core::commit()
             mem_->store(core_id_, e.storeAddr, nowNs(), freq_ghz_);
         }
         st_committed_.add();
+        if (etrace_)
+            etrace_->retire(cycle_, e.seq, e.uop, head_idx);
     }
 }
 
@@ -540,6 +552,8 @@ Core::squash()
         have_peek_ = false;
     }
     stats_.add("uops_squashed", squash_count);
+    if (etrace_)
+        etrace_->squash(cycle_, fault_seq_, squash_count);
 }
 
 void
@@ -548,7 +562,9 @@ Core::storeWakeup()
     for (size_t i = 0; i < pending_stores_.size();) {
         const PendingStore &s = pending_stores_[i];
         if (prf.fullyReady(s.srcPhys)) {
-            rob.markDone(s.robIdx);
+            if (rob.markDone(s.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(s.robIdx).seq,
+                                   s.robIdx);
             activity_ = true;
             pending_stores_[i] = pending_stores_.back();
             pending_stores_.pop_back();
@@ -663,6 +679,8 @@ Core::mguStage()
         e.elmValid = true;
         rs.promote(idx);
         activity_ = true;
+        if (etrace_)
+            etrace_->elm(cycle_, e.seq, e.elm, e.pendingAl);
         if (e.pendingAl == 0)
             st_bs_skipped_.add();
         --budget;
@@ -848,6 +866,9 @@ Core::allocate()
             break;
           }
         }
+        if (etrace_)
+            etrace_->alloc(cycle_, seq_, u,
+                           rob.indexFromHead(rob.size() - 1));
         ++seq_;
         have_peek_ = false;
         st_uops_.add();

@@ -50,6 +50,7 @@
 namespace save {
 
 class VectorScheduler;
+class CoreEventTracer;
 
 /** Abstract uop stream. */
 class TraceSource
@@ -166,6 +167,11 @@ class Core
         return static_cast<double>(cycle_) / freq_ghz_;
     }
     int coreId() const { return core_id_; }
+
+    /** Attach a pipeline event tracer (src/trace/event_trace.h);
+     *  nullptr detaches. Timing is unaffected either way — every hook
+     *  is a null test when no tracer is attached. */
+    void setEventTracer(CoreEventTracer *t) { etrace_ = t; }
 
     Renamer &renamer() { return renamer_; }
     StatGroup &stats() { return stats_; }
@@ -287,6 +293,8 @@ class Core
     std::unique_ptr<BroadcastCache> bcache_;
     Renamer renamer_;
     std::unique_ptr<VectorScheduler> sched_;
+
+    CoreEventTracer *etrace_ = nullptr;
 
     TraceSource *trace_ = nullptr;
     bool trace_done_ = false;

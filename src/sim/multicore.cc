@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "trace/event_trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -16,6 +17,23 @@ Multicore::Multicore(const MachineConfig &mcfg, const SaveConfig &scfg,
         cores_.push_back(std::make_unique<Core>(
             mcfg, scfg, c, active_vpus, mem_.get(), image));
     }
+    if (auto session = EventTraceSession::fromEnv()) {
+        env_etrace_ = std::move(session);
+        attachEventTrace(env_etrace_.get());
+    }
+}
+
+// Out of line: EventTraceSession is incomplete in the header.
+Multicore::~Multicore() = default;
+
+void
+Multicore::attachEventTrace(EventTraceSession *session)
+{
+    if (session != env_etrace_.get())
+        env_etrace_.reset();
+    for (size_t c = 0; c < cores_.size(); ++c)
+        cores_[c]->setEventTracer(
+            session ? session->tracer(static_cast<int>(c)) : nullptr);
 }
 
 void

@@ -19,16 +19,26 @@
 
 namespace save {
 
+class EventTraceSession;
+
 /** A whole simulated machine. */
 class Multicore
 {
   public:
+    /** If SAVE_TRACE_EVENTS=<path.json> is set, a pipeline event trace
+     *  covering this machine's run is written there automatically. */
     Multicore(const MachineConfig &mcfg, const SaveConfig &scfg,
               int active_vpus, MemoryImage *image);
+    ~Multicore();
 
     Core &core(int i) { return *cores_[static_cast<size_t>(i)]; }
     int numCores() const { return static_cast<int>(cores_.size()); }
     MemHierarchy &hierarchy() { return *mem_; }
+
+    /** Route every core's pipeline events into `session` (non-owning;
+     *  must outlive the machine). nullptr detaches. Replaces any
+     *  SAVE_TRACE_EVENTS session. */
+    void attachEventTrace(EventTraceSession *session);
 
     /** Bind one trace per core (vector length must equal core count;
      *  nullptr entries leave a core idle). */
@@ -47,6 +57,9 @@ class Multicore
     MachineConfig mcfg_;
     std::unique_ptr<MemHierarchy> mem_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** SAVE_TRACE_EVENTS auto-attached session (finalized on
+     *  destruction; declared last so it flushes before the cores go). */
+    std::unique_ptr<EventTraceSession> env_etrace_;
 };
 
 } // namespace save

@@ -28,6 +28,9 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <string>
+
+#include "util/logging.h"
 #endif
 
 namespace save {
@@ -87,23 +90,33 @@ class StageProfiler
             total += b.ns;
         if (total == 0)
             return;
-        std::fprintf(stderr,
-                     "-- SAVE_PROFILE core %d (%llu cycles) --\n"
-                     "%-10s %12s %12s %10s %7s\n",
-                     core_id, static_cast<unsigned long long>(cycles),
-                     "stage", "visits", "ns/visit", "total ms", "share");
+        // Emit through util/logging as one message so the table is not
+        // interleaved with trace/CLI output from other threads.
+        std::string table;
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "-- SAVE_PROFILE core %d (%llu cycles) --\n"
+                      "%-10s %12s %12s %10s %7s\n",
+                      core_id, static_cast<unsigned long long>(cycles),
+                      "stage", "visits", "ns/visit", "total ms",
+                      "share");
+        table += line;
         for (size_t i = 0; i < buckets_.size(); ++i) {
             const Bucket &b = buckets_[i];
             if (b.visits == 0)
                 continue;
-            std::fprintf(
-                stderr, "%-10s %12llu %12.1f %10.2f %6.1f%%\n", names[i],
-                static_cast<unsigned long long>(b.visits),
+            std::snprintf(
+                line, sizeof(line), "%-10s %12llu %12.1f %10.2f %6.1f%%\n",
+                names[i], static_cast<unsigned long long>(b.visits),
                 static_cast<double>(b.ns) / static_cast<double>(b.visits),
                 static_cast<double>(b.ns) / 1e6,
                 100.0 * static_cast<double>(b.ns) /
                     static_cast<double>(total));
+            table += line;
         }
+        if (!table.empty() && table.back() == '\n')
+            table.pop_back();
+        SAVE_INFORM(table);
     }
 
   private:

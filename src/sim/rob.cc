@@ -33,14 +33,17 @@ Rob::pop()
     return e;
 }
 
-void
+bool
 Rob::laneDone(int idx)
 {
     RobEntry &e = buf_[static_cast<size_t>(idx)];
     SAVE_ASSERT(e.valid && e.lanesPending > 0,
                 "lane writeback on a finished entry");
-    if (--e.lanesPending == 0)
+    if (--e.lanesPending == 0) {
         e.done = true;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -55,12 +58,14 @@ Rob::squashYoungest(int n)
     }
 }
 
-void
+bool
 Rob::markDone(int idx)
 {
     RobEntry &e = buf_[static_cast<size_t>(idx)];
     SAVE_ASSERT(e.valid, "completing an invalid entry");
+    bool was_done = e.done;
     e.done = true;
+    return !was_done;
 }
 
 } // namespace save

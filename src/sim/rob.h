@@ -66,11 +66,12 @@ class Rob
     /** Pop the head; it must be done. */
     RobEntry pop();
 
-    /** Mark one lane of a VFMA entry written back. */
-    void laneDone(int idx);
+    /** Mark one lane of a VFMA entry written back; true when this was
+     *  the last pending lane (the entry just completed). */
+    bool laneDone(int idx);
 
-    /** Mark a non-lane entry complete. */
-    void markDone(int idx);
+    /** Mark a non-lane entry complete; true when it was not already. */
+    bool markDone(int idx);
 
     /** Physical slot index of the i-th oldest entry (0 == head). */
     int

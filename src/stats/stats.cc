@@ -55,6 +55,32 @@ StatGroup::dump(const std::string &prefix) const
     return os.str();
 }
 
+std::string
+StatGroup::toJson(const std::string &indent) const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : values_) {
+        out += first ? "" : ",";
+        first = false;
+        if (!indent.empty()) {
+            out += "\n";
+            out += indent;
+        }
+        char buf[64];
+        bool integral = value == static_cast<double>(
+                                     static_cast<int64_t>(value)) &&
+                        value >= -9.0e15 && value <= 9.0e15;
+        std::snprintf(buf, sizeof(buf), integral ? "%.0f" : "%.17g",
+                      value);
+        out += "\"" + name + "\": " + buf;
+    }
+    if (!indent.empty() && !first)
+        out += "\n";
+    out += "}";
+    return out;
+}
+
 Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges))
 {
     SAVE_ASSERT(edges_.size() >= 2, "histogram needs at least one bucket");

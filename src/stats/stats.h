@@ -49,6 +49,14 @@ class StatGroup
     /** Render "name value" lines, sorted by name. */
     std::string dump(const std::string &prefix = "") const;
 
+    /**
+     * Render a stable-ordered (alphabetical) JSON object. Integral
+     * values print without a fraction; everything else uses %.17g so
+     * the text round-trips bit-exactly. Names are emitted verbatim
+     * (stat names are identifier-like; nothing needs escaping).
+     */
+    std::string toJson(const std::string &indent = "") const;
+
   private:
     std::map<std::string, double> values_;
 };

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cycle-level pipeline event tracer (Chrome-trace/Perfetto JSON).
+ *
+ * Always compiled in, ~zero cost when off: every hook in the core and
+ * scheduler is guarded by a single null-pointer test on the core's
+ * tracer, and no tracer exists unless one was attached — either
+ * programmatically (Multicore::attachEventTrace) or via the
+ * SAVE_TRACE_EVENTS=<path.json> environment variable (the bench
+ * binaries map --trace-events= onto it).
+ *
+ * Each core buffers fixed-size records in a ring and converts them to
+ * JSON text only when the ring fills (and at finalize), so the hot
+ * path is a struct store. The output loads directly in Perfetto /
+ * chrome://tracing: one process per core; tracks for allocation, the
+ * MGU, lane coalescing per VPU, VPU issue (duration = op latency),
+ * writeback, squashes; and per-ROB-slot "X" spans covering each uop
+ * from allocation to retirement. Timestamps are core cycles (1 cycle
+ * rendered as 1 us).
+ *
+ * finalize() appends a per-kernel coalescing-efficiency summary
+ * (effectual lanes issued / VPU-op lane slots) to the JSON footer and
+ * logs it through util/logging.
+ */
+
+#ifndef SAVE_TRACE_EVENT_TRACE_H
+#define SAVE_TRACE_EVENT_TRACE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "isa/uop.h"
+#include "stats/stats.h"
+
+namespace save {
+
+class EventTraceSession;
+
+/** Per-core ring-buffered event recorder. Single-threaded (a core is
+ *  stepped by one thread); flushes serialize on the session. */
+class CoreEventTracer
+{
+  public:
+    CoreEventTracer(EventTraceSession *session, int core_id);
+
+    /** Pipeline hooks (call sites in src/sim and src/save) ---------- */
+
+    void alloc(uint64_t cycle, uint64_t seq, const Uop &u, int rob_idx);
+    void elm(uint64_t cycle, uint64_t seq, uint32_t elm, int pending_al);
+    void coalesceLane(uint64_t cycle, uint64_t seq, int src_lane,
+                      int temp_lane, int vpu, bool hc);
+    void coalesceDense(uint64_t cycle, uint64_t seq, int vpu);
+    void chainMl(uint64_t cycle, uint64_t seq, int al, int vpu, int mls);
+    void passLanes(uint64_t cycle, uint64_t seq, uint16_t lanes);
+    void baselineIssue(uint64_t cycle, uint64_t seq, int vpu);
+    void tempIssue(uint64_t cycle, int vpu, int lanes, bool mp, int lat,
+                   bool hc);
+    void writeback(uint64_t cycle, uint64_t seq, int rob_idx);
+    void retire(uint64_t cycle, uint64_t seq, const Uop &u, int rob_idx);
+    void squash(uint64_t cycle, uint64_t fault_seq, int count);
+
+    /** Convert buffered records to JSON and hand them to the session.
+     *  Called automatically when the ring fills and at finalize. */
+    void flush();
+
+    int coreId() const { return core_id_; }
+
+  private:
+    friend class EventTraceSession;
+
+    enum class Kind : uint8_t {
+        Alloc,
+        Elm,
+        Coalesce,
+        Dense,
+        ChainMl,
+        Pass,
+        Baseline,
+        TempIssue,
+        Writeback,
+        Retire,
+        Squash,
+    };
+
+    /** One buffered event; meaning of a/b/c depends on kind. */
+    struct Rec
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        uint32_t a;
+        uint32_t b;
+        int16_t c;
+        Kind kind;
+        uint8_t op;
+    };
+
+    void push(const Rec &r);
+    void recordJson(const Rec &r, std::string &out) const;
+
+    EventTraceSession *session_;
+    int core_id_;
+    std::vector<Rec> ring_;
+    /** Allocation cycle per ROB slot (read back at retire to emit the
+     *  uop's alloc→retire span; grows on demand). */
+    std::vector<uint64_t> alloc_cycle_;
+
+    /** Summary counters (exact, independent of ring flushes). */
+    uint64_t n_uops_ = 0;
+    uint64_t n_vfmas_ = 0;
+    uint64_t n_vpu_ops_ = 0;
+    uint64_t fill_sum_ = 0;
+    uint64_t slot_sum_ = 0;
+    uint64_t n_dense_ = 0;
+    uint64_t n_lane_moves_ = 0;
+    uint64_t n_pass_lanes_ = 0;
+    uint64_t n_baseline_ = 0;
+    uint64_t n_chain_mls_ = 0;
+    uint64_t n_squashed_ = 0;
+};
+
+/**
+ * One event-trace output file shared by every core of a machine.
+ * Owns the per-core tracers; thread-safe appends.
+ */
+class EventTraceSession
+{
+  public:
+    explicit EventTraceSession(const std::string &path);
+    ~EventTraceSession();
+
+    EventTraceSession(const EventTraceSession &) = delete;
+    EventTraceSession &operator=(const EventTraceSession &) = delete;
+
+    /**
+     * Session for SAVE_TRACE_EVENTS, or nullptr when the variable is
+     * unset/empty. Each call returns a fresh session; after the first,
+     * the path gains a ".2", ".3", ... suffix so one process running
+     * several machines does not overwrite its own output.
+     */
+    static std::unique_ptr<EventTraceSession> fromEnv();
+
+    /** Tracer for a core (created on first use; owned by the session). */
+    CoreEventTracer *tracer(int core_id);
+
+    /** Flush every tracer, write the JSON footer (with the summary),
+     *  close the file, and log the coalescing efficiency. Idempotent;
+     *  the destructor calls it. */
+    void finalize();
+
+    /** Summary across all cores; complete only after finalize(). */
+    const StatGroup &summary() const { return summary_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    friend class CoreEventTracer;
+
+    /** Append one JSON event object (comma handling internal). */
+    void emit(const std::string &json);
+
+    std::string path_;
+    std::FILE *f_ = nullptr;
+    std::mutex mu_;
+    bool first_event_ = true;
+    bool finalized_ = false;
+    std::vector<std::unique_ptr<CoreEventTracer>> tracers_;
+    StatGroup summary_;
+};
+
+} // namespace save
+
+#endif // SAVE_TRACE_EVENT_TRACE_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace replay: rebuild the recorded machine and run the recorded uop
+ * streams through the OoO pipeline.
+ *
+ * A replay is bit-identical to the live run that produced the trace:
+ * the CFG chunk restores the effective machine/SAVE configuration, the
+ * MEMR chunks restore the initial memory image, the WARM chunks repeat
+ * the kernel's cache warm-up line-for-line, and each core's UOPS chunk
+ * feeds the pipeline through TraceFileSource. replayCheck() then
+ * compares cycles and the full stat map against the RES chunk.
+ */
+
+#ifndef SAVE_TRACE_REPLAY_H
+#define SAVE_TRACE_REPLAY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stats/stats.h"
+
+namespace save {
+
+class EventTraceSession;
+class MemoryImage;
+class TraceReader;
+
+/** Result of replaying one trace file. */
+struct ReplayOutcome
+{
+    /** Kernel name recorded in the CFG chunk. */
+    std::string name;
+    uint64_t cycles = 0;
+    double timeNs = 0.0;
+    double coreGhz = 0.0;
+    StatGroup stats;
+
+    /** RES chunk of the trace, when present. */
+    bool hasRecorded = false;
+    uint64_t recordedCycles = 0;
+    std::map<std::string, double> recordedStats;
+};
+
+/**
+ * Replay an open trace through a freshly built machine.
+ * @param etrace     Optional pipeline event-trace session to attach.
+ * @param finalImage Optional out-param receiving the post-run memory
+ *                   image (for functional checks against reference).
+ */
+ReplayOutcome replayTrace(const TraceReader &reader,
+                          EventTraceSession *etrace = nullptr,
+                          MemoryImage *finalImage = nullptr);
+
+/** Convenience overload opening `path` first. */
+ReplayOutcome replayTrace(const std::string &path,
+                          EventTraceSession *etrace = nullptr,
+                          MemoryImage *finalImage = nullptr);
+
+/**
+ * Compare the replay against the trace's recorded outcome. Returns ""
+ * when cycles and the full stat map match bit-identically, else a
+ * human-readable description of the first few mismatches. A trace
+ * without a RES chunk reports one mismatch ("no recorded result").
+ */
+std::string replayCheck(const ReplayOutcome &out);
+
+} // namespace save
+
+#endif // SAVE_TRACE_REPLAY_H

@@ -1,0 +1,236 @@
+#include "trace/trace_format.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace save {
+
+namespace {
+
+struct Crc32Table
+{
+    uint32_t t[256];
+
+    constexpr Crc32Table() : t()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+constexpr Crc32Table kCrcTable;
+
+} // namespace
+
+uint32_t
+traceCrc32(const uint8_t *p, size_t n, uint32_t seed)
+{
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < n; ++i)
+        c = kCrcTable.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+void
+tracePutVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80u);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t
+traceGetVarint(const uint8_t *&p, const uint8_t *end)
+{
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (p >= end)
+            throw TraceError("varint runs past the end of its section");
+        uint8_t b = *p++;
+        v |= static_cast<uint64_t>(b & 0x7fu) << shift;
+        if (!(b & 0x80u))
+            return v;
+    }
+    throw TraceError("varint longer than 64 bits");
+}
+
+void
+tracePutU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+tracePutU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+tracePutF64(std::vector<uint8_t> &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    tracePutU64(out, bits);
+}
+
+uint32_t
+traceGetU32(const uint8_t *&p, const uint8_t *end)
+{
+    if (end - p < 4)
+        throw TraceError("u32 runs past the end of its section");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    return v;
+}
+
+uint64_t
+traceGetU64(const uint8_t *&p, const uint8_t *end)
+{
+    if (end - p < 8)
+        throw TraceError("u64 runs past the end of its section");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    return v;
+}
+
+double
+traceGetF64(const uint8_t *&p, const uint8_t *end)
+{
+    uint64_t bits = traceGetU64(p, end);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+bool
+traceUopHasAddr(Opcode op)
+{
+    switch (op) {
+      case Opcode::VfmaPsBcast:
+      case Opcode::Vdpbf16PsBcast:
+      case Opcode::BroadcastLoad:
+      case Opcode::LoadVec:
+      case Opcode::StoreVec:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+/** Operand-presence bitmap bits (byte 2 of an encoded uop). */
+enum : uint8_t {
+    kHasDst = 1u << 0,
+    kHasSrcA = 1u << 1,
+    kHasSrcB = 1u << 2,
+    kHasSrcC = 1u << 3,
+    kHasWmask = 1u << 4,
+};
+
+int8_t
+decodeReg(const uint8_t *&p, const uint8_t *end, int limit,
+          const char *what)
+{
+    if (p >= end)
+        throw TraceError("uop stream truncated");
+    uint8_t v = *p++;
+    if (v >= static_cast<uint8_t>(limit))
+        throw TraceError(std::string("uop ") + what + " register " +
+                         std::to_string(v) + " out of range [0, " +
+                         std::to_string(limit) + ")");
+    return static_cast<int8_t>(v);
+}
+
+} // namespace
+
+void
+traceEncodeUop(const Uop &u, uint64_t &prev_addr,
+               std::vector<uint8_t> &out)
+{
+    out.push_back(static_cast<uint8_t>(u.op));
+    uint8_t present = 0;
+    if (u.dst >= 0)
+        present |= kHasDst;
+    if (u.srcA >= 0)
+        present |= kHasSrcA;
+    if (u.srcB >= 0)
+        present |= kHasSrcB;
+    if (u.srcC >= 0)
+        present |= kHasSrcC;
+    if (u.wmask >= 0)
+        present |= kHasWmask;
+    out.push_back(present);
+    if (u.dst >= 0)
+        out.push_back(static_cast<uint8_t>(u.dst));
+    if (u.srcA >= 0)
+        out.push_back(static_cast<uint8_t>(u.srcA));
+    if (u.srcB >= 0)
+        out.push_back(static_cast<uint8_t>(u.srcB));
+    if (u.srcC >= 0)
+        out.push_back(static_cast<uint8_t>(u.srcC));
+    if (u.wmask >= 0)
+        out.push_back(static_cast<uint8_t>(u.wmask));
+    if (traceUopHasAddr(u.op)) {
+        int64_t delta = static_cast<int64_t>(u.addr) -
+                        static_cast<int64_t>(prev_addr);
+        tracePutVarint(out, traceZigzag(delta));
+        prev_addr = u.addr;
+    }
+    if (u.op == Opcode::SetMask)
+        tracePutVarint(out, u.maskImm);
+}
+
+Uop
+traceDecodeUop(const uint8_t *&p, const uint8_t *end,
+               uint64_t &prev_addr)
+{
+    if (end - p < 2)
+        throw TraceError("uop stream truncated");
+    uint8_t op_byte = *p++;
+    if (op_byte > static_cast<uint8_t>(Opcode::SetMask))
+        throw TraceError("unknown opcode " + std::to_string(op_byte) +
+                         " in uop stream");
+    Uop u;
+    u.op = static_cast<Opcode>(op_byte);
+    uint8_t present = *p++;
+    if (present & kHasDst)
+        u.dst = decodeReg(p, end, kLogicalVecRegs, "dst");
+    if (present & kHasSrcA)
+        u.srcA = decodeReg(p, end, kLogicalVecRegs, "srcA");
+    if (present & kHasSrcB)
+        u.srcB = decodeReg(p, end, kLogicalVecRegs, "srcB");
+    if (present & kHasSrcC)
+        u.srcC = decodeReg(p, end, kLogicalVecRegs, "srcC");
+    if (present & kHasWmask)
+        u.wmask = decodeReg(p, end, kLogicalMaskRegs, "wmask");
+    if (traceUopHasAddr(u.op)) {
+        int64_t delta = traceUnzigzag(traceGetVarint(p, end));
+        u.addr = static_cast<uint64_t>(static_cast<int64_t>(prev_addr) +
+                                       delta);
+        prev_addr = u.addr;
+    }
+    if (u.op == Opcode::SetMask) {
+        uint64_t imm = traceGetVarint(p, end);
+        if (imm > 0xffffu)
+            throw TraceError("SetMask immediate out of range");
+        u.maskImm = static_cast<uint16_t>(imm);
+    }
+    return u;
+}
+
+} // namespace save
