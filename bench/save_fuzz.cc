@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Differential uop-stream fuzzer CLI (src/sim/fuzz.h).
+ *
+ * Generates seeded random programs and runs each through every
+ * scheduler policy × precision mix × fast-forward mode against the
+ * in-order ArchExecutor oracle, with leak and fast-forward-equivalence
+ * checks. Build with -DSAVE_AUDIT=ON (default in Debug) to also run
+ * the cycle-granular pipeline invariant auditor underneath every case.
+ *
+ * usage: save-fuzz [--seed N] [--count N] [--time-budget SECS]
+ *                  [--out DIR] [--no-shrink]
+ *        save-fuzz --run FILE      (re-check one corpus entry)
+ *        save-fuzz --seed N --emit FILE   (dump a generated program)
+ *
+ *   --seed N         first seed (default 0); seeds run N..N+count-1
+ *   --count N        programs to generate and check (default 500)
+ *   --time-budget S  stop early after S seconds (0 = none; for CI)
+ *   --out DIR        where failure artifacts go (default ".")
+ *   --no-shrink      keep the original failing program as the repro
+ *
+ * Both `--flag=value` and `--flag value` spellings are accepted.
+ * On the first failure the program is delta-debug shrunk, written as
+ * a text corpus entry (fuzz-<seed>.txt, replayable by
+ * tests/test_fuzz_corpus) and as a .savtrc trace (fuzz-<seed>.savtrc,
+ * inspectable with save-trace), and the process exits 1.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/fuzz.h"
+#include "util/error.h"
+
+namespace {
+
+/** --flag=value or --flag value (the acceptance harness uses the
+ *  space-separated form, bench_util::Flags only the '=' one). */
+const char *
+argValue(int argc, char **argv, const char *name)
+{
+    std::string eq = std::string("--") + name + "=";
+    std::string bare = std::string("--") + name;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0)
+            return argv[i] + eq.size();
+        if (bare == argv[i] && i + 1 < argc)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
+int64_t
+argInt(int argc, char **argv, const char *name, int64_t def)
+{
+    const char *v = argValue(argc, argv, name);
+    return v ? std::strtoll(v, nullptr, 10) : def;
+}
+
+bool
+argFlag(int argc, char **argv, const char *name)
+{
+    std::string bare = std::string("--") + name;
+    for (int i = 1; i < argc; ++i)
+        if (bare == argv[i])
+            return true;
+    return false;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--count N] "
+                 "[--time-budget SECS] [--out DIR] [--no-shrink]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argFlag(argc, argv, "help") || argFlag(argc, argv, "h")) {
+        usage(argv[0]);
+        return 0;
+    }
+    // --run FILE: re-check one serialized corpus entry (repro loop).
+    if (const char *path = argValue(argc, argv, "run")) {
+        std::ifstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", path);
+            return 2;
+        }
+        std::ostringstream text;
+        std::string line;
+        while (std::getline(f, line))
+            if (line.empty() || line[0] != '#')
+                text << line << "\n";
+        save::FuzzProgram p = save::fuzzParse(text.str());
+        std::string failure = save::fuzzCheck(p);
+        if (failure.empty()) {
+            std::fprintf(stderr, "%s: clean\n", path);
+            return 0;
+        }
+        std::fprintf(stderr, "%s: FAILED: %s\n", path,
+                     failure.c_str());
+        return 1;
+    }
+
+    // --emit FILE: write the generated program for --seed and exit
+    // (corpus curation; no checking or shrinking).
+    if (const char *path = argValue(argc, argv, "emit")) {
+        uint64_t seed =
+            static_cast<uint64_t>(argInt(argc, argv, "seed", 0));
+        save::FuzzProgram p = save::fuzzGenerate(seed);
+        std::ofstream f(path);
+        f << "# save-fuzz --emit, seed " << seed << " ("
+          << p.uops.size() << " uops, fault " << p.faultIndex
+          << ")\n";
+        f << save::fuzzSerialize(p);
+        std::fprintf(stderr, "emitted seed %llu to %s\n",
+                     static_cast<unsigned long long>(seed), path);
+        return 0;
+    }
+
+    const uint64_t seed0 =
+        static_cast<uint64_t>(argInt(argc, argv, "seed", 0));
+    const int64_t count = argInt(argc, argv, "count", 500);
+    const int64_t budgetSecs =
+        argInt(argc, argv, "time-budget", 0);
+    const char *outArg = argValue(argc, argv, "out");
+    const std::string outDir = outArg ? outArg : ".";
+    const bool shrink = !argFlag(argc, argv, "no-shrink");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration_cast<std::chrono::seconds>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    int64_t checked = 0;
+    for (int64_t i = 0; i < count; ++i) {
+        if (budgetSecs > 0 && elapsed() >= budgetSecs) {
+            std::fprintf(stderr,
+                         "time budget (%llds) reached after %lld "
+                         "programs; stopping early\n",
+                         static_cast<long long>(budgetSecs),
+                         static_cast<long long>(checked));
+            break;
+        }
+        uint64_t seed = seed0 + static_cast<uint64_t>(i);
+        save::FuzzProgram p = save::fuzzGenerate(seed);
+        std::string failure;
+        try {
+            failure = save::fuzzCheck(p);
+        } catch (const std::exception &e) {
+            // fuzzCheck turns simulation errors into failure strings;
+            // anything escaping is a checker bug, still worth a repro.
+            failure = std::string("checker: ") + e.what();
+        }
+        ++checked;
+        if (failure.empty()) {
+            if (checked % 50 == 0)
+                std::fprintf(stderr, "  %lld/%lld clean (%llds)\n",
+                             static_cast<long long>(checked),
+                             static_cast<long long>(count),
+                             static_cast<long long>(elapsed()));
+            continue;
+        }
+
+        std::fprintf(stderr, "seed %llu FAILED: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     failure.c_str());
+        save::FuzzProgram repro = p;
+        if (shrink) {
+            std::fprintf(stderr, "shrinking (%zu uops)...\n",
+                         p.uops.size());
+            repro = save::fuzzShrink(p);
+            std::fprintf(stderr, "shrunk to %zu uops: %s\n",
+                         repro.uops.size(),
+                         save::fuzzCheck(repro).c_str());
+        }
+        std::string stem =
+            outDir + "/fuzz-" + std::to_string(seed);
+        {
+            std::ofstream f(stem + ".txt");
+            f << "# save-fuzz seed " << seed << ": " << failure
+              << "\n";
+            f << save::fuzzSerialize(repro);
+        }
+        try {
+            save::fuzzWriteTrace(repro, stem + ".savtrc",
+                                 "fuzz-seed-" + std::to_string(seed));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "trace emission failed: %s\n",
+                         e.what());
+        }
+        std::fprintf(stderr, "repro written: %s.txt, %s.savtrc\n",
+                     stem.c_str(), stem.c_str());
+        return 1;
+    }
+
+    std::fprintf(stderr,
+                 "%lld program(s) clean across all policies x "
+                 "precisions x ff modes (%llds)\n",
+                 static_cast<long long>(checked),
+                 static_cast<long long>(elapsed()));
+    return 0;
+}

@@ -57,6 +57,58 @@ bf16Mac(float acc, Bf16 a, Bf16 b)
     return acc + bf16ToF32(a) * bf16ToF32(b);
 }
 
+/**
+ * Collapse a computed NaN to the canonical quiet NaN (0x7fc00000).
+ * Which input NaN payload an FMA propagates depends on the emitted
+ * instruction sequence (mulss+addss keeps the destination operand's
+ * payload; the fused vfmadd forms pick by their own operand order), so
+ * the same inline helper compiled into two translation units can
+ * legally produce different NaN bit patterns from identical inputs.
+ * The simulator instead defines every *computed* NaN result to be
+ * canonical; a NaN that merely passes through untouched (skipped MAC,
+ * masked lane, load/store) keeps its payload bit-exactly.
+ */
+inline float
+canonicalizeNan(float v)
+{
+    uint32_t bits = std::bit_cast<uint32_t>(v);
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu))
+        return std::bit_cast<float>(0x7fc00000u);
+    return v;
+}
+
+/**
+ * Zero-skip MAC semantics (paper SecIII software transparency): a MAC
+ * whose either multiplicand is a (signed) zero leaves the accumulator
+ * bit-identical, as if the lane had been skipped. This is what SAVE's
+ * hardware guarantees, and what the in-order ArchExecutor oracle
+ * computes — so *every* pipeline value-compute site must use these
+ * helpers rather than a raw FMA. A raw `acc + a*b` diverges on
+ * NaN/Inf operands paired with a zero (0*NaN = NaN, not 0) and on
+ * signed zeros (-0 + 0 = +0), which matters whenever a scheduling path
+ * executes a lane the effectual-lane mask would have skipped (the
+ * baseline policy, and the bsSkip=false ablation). The product and sum
+ * are written as separate statements (and the library builds with
+ * -ffp-contract=off) so every call site rounds identically.
+ */
+inline float
+macSkipF32(float acc, float a, float b)
+{
+    if (a == 0.0f || b == 0.0f)
+        return acc;
+    float prod = a * b;
+    return canonicalizeNan(acc + prod);
+}
+
+/** Zero-skip variant of bf16Mac; see macSkipF32. */
+inline float
+bf16MacSkip(float acc, Bf16 a, Bf16 b)
+{
+    if (bf16IsZero(a) || bf16IsZero(b))
+        return acc;
+    return canonicalizeNan(bf16Mac(acc, a, b));
+}
+
 } // namespace save
 
 #endif // SAVE_ISA_BF16_H

@@ -15,6 +15,7 @@
 #include "isa/bf16.h"
 #include "sim/mgu.h"
 #include "save/scheduler.h"
+
 #include "sim/core.h"
 #include "trace/event_trace.h"
 #include "util/logging.h"
@@ -157,7 +158,12 @@ VectorScheduler::nextTimeWake(uint64_t now) const
     for (const auto &[id, ch] : chains_) {
         (void)id;
         for (const ChainAl &ca : ch.al) {
-            if (ca.init && ca.readyCycle > now && ca.readyCycle < best)
+            // >= not >: wakeHorizon probes with cycle_ already advanced
+            // to the next un-executed cycle, so a forwarded result that
+            // becomes ready exactly at `now` must pin the horizon here
+            // (run() then steps normally instead of jumping past the
+            // cycle where this AL schedules).
+            if (ca.init && ca.readyCycle >= now && ca.readyCycle < best)
                 best = ca.readyCycle;
         }
     }
@@ -231,7 +237,7 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al)
             int ml = kMlPerAl * al + s;
             if (!((e2.pendingMl >> ml) & 1))
                 continue;
-            v = bf16Mac(v, a.bf16(ml), b.bf16(ml));
+            v = bf16MacSkip(v, a.bf16(ml), b.bf16(ml));
             e2.pendingMl &= ~(1u << ml);
             ++taken;
         }

@@ -138,12 +138,15 @@ VectorScheduler::scheduleBaseline()
         for (int lane = 0; lane < kVecLanes; ++lane) {
             float r = cv.f32(lane);
             if ((e.wm >> lane) & 1) {
+                // Zero-skip value semantics even though the baseline
+                // policy executes every masked lane (bf16.h).
                 if (mp) {
-                    r = bf16Mac(r, a.bf16(2 * lane), b.bf16(2 * lane));
-                    r = bf16Mac(r, a.bf16(2 * lane + 1),
-                                b.bf16(2 * lane + 1));
+                    r = bf16MacSkip(r, a.bf16(2 * lane),
+                                    b.bf16(2 * lane));
+                    r = bf16MacSkip(r, a.bf16(2 * lane + 1),
+                                    b.bf16(2 * lane + 1));
                 } else {
-                    r = r + a.f32(lane) * b.f32(lane);
+                    r = macSkipF32(r, a.f32(lane), b.f32(lane));
                 }
             }
             t.writes.push_back(
@@ -218,10 +221,10 @@ VectorScheduler::scheduleCoalesced()
                         for (int s = 0; s < kMlPerAl; ++s) {
                             int ml = kMlPerAl * lane + s;
                             if ((e.elm >> ml) & 1)
-                                r = bf16Mac(r, a.bf16(ml), b.bf16(ml));
+                                r = bf16MacSkip(r, a.bf16(ml), b.bf16(ml));
                         }
                     } else {
-                        r = r + a.f32(lane) * b.f32(lane);
+                        r = macSkipF32(r, a.f32(lane), b.f32(lane));
                     }
                     t.writes.push_back({e.dstPhys,
                                         static_cast<int8_t>(lane), r,
@@ -261,11 +264,11 @@ VectorScheduler::scheduleCoalesced()
                 for (int s = 0; s < kMlPerAl; ++s) {
                     int ml = kMlPerAl * lane + s;
                     if ((e.elm >> ml) & 1)
-                        r = bf16Mac(r, a.bf16(ml), b.bf16(ml));
+                        r = bf16MacSkip(r, a.bf16(ml), b.bf16(ml));
                 }
                 e.pendingMl &= ~(0x3u << (kMlPerAl * lane));
             } else {
-                r = r + a.f32(lane) * b.f32(lane);
+                r = macSkipF32(r, a.f32(lane), b.f32(lane));
             }
             temps_[static_cast<size_t>(vpu)].writes.push_back(
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
@@ -324,11 +327,11 @@ VectorScheduler::scheduleHc()
                 for (int s = 0; s < kMlPerAl; ++s) {
                     int ml = kMlPerAl * lane + s;
                     if ((e.elm >> ml) & 1)
-                        r = bf16Mac(r, a.bf16(ml), b.bf16(ml));
+                        r = bf16MacSkip(r, a.bf16(ml), b.bf16(ml));
                 }
                 e.pendingMl &= ~(0x3u << (kMlPerAl * lane));
             } else {
-                r = r + a.f32(lane) * b.f32(lane);
+                r = macSkipF32(r, a.f32(lane), b.f32(lane));
             }
             temps_[static_cast<size_t>(vpu)].writes.push_back(
                 {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});

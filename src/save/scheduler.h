@@ -44,6 +44,7 @@
 
 namespace save {
 
+class Auditor;
 class Core;
 struct RsEntry;
 
@@ -141,6 +142,8 @@ class VectorScheduler
     /** Drop fully-passed front nodes; erase exhausted chains. */
     void trimChain(int chain_id);
     bool nodeConsumed(const ChainNode &n, int al) const;
+
+    friend class Auditor;
 
     Core &c_;
     std::unordered_map<int, Chain> chains_;

@@ -1,0 +1,701 @@
+#include "sim/auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "save/scheduler.h"
+#include "sim/core.h"
+#include "sim/mgu.h"
+#include "util/error.h"
+
+namespace save {
+
+namespace {
+
+uint64_t
+envAuditStride()
+{
+    const char *env = std::getenv("SAVE_AUDIT_STRIDE");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+        return 1;
+    return static_cast<uint64_t>(v);
+}
+
+std::string
+hex(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", v);
+    return buf;
+}
+
+} // namespace
+
+Auditor::Auditor(Core &core) : c_(core), stride_(envAuditStride())
+{
+    free_bm_.resize(static_cast<size_t>(core.prf.numRegs()));
+    map_bm_.resize(static_cast<size_t>(core.prf.numRegs()));
+    rs_mark_.resize(static_cast<size_t>(core.rs.capacity()));
+    lane_bm_.resize(static_cast<size_t>(core.rob.capacity()) *
+                    kVecLanes);
+    lane_count_.resize(static_cast<size_t>(core.rob.capacity()));
+}
+
+void
+Auditor::fail(const std::string &what) const
+{
+    SimContext ctx;
+    ctx.coreId = c_.core_id_;
+    ctx.cycle = static_cast<int64_t>(c_.cycle_);
+    throw AuditError(std::string(when_) + ": " + what,
+                     c_.pipelineSnapshot(), ctx);
+}
+
+void
+Auditor::check(const char *when) const
+{
+    when_ = when;
+    checkRob();
+    checkRsLists();
+    checkRobRsLink();
+    checkPrf();
+    checkWaiters();
+    checkEventTargets();
+    checkSaveState();
+    checkLaneOrder();
+    checkChains();
+}
+
+void
+Auditor::checkRob() const
+{
+    const Rob &rob = c_.rob;
+    int valid_slots = 0;
+    for (int i = 0; i < rob.capacity(); ++i)
+        if (rob.at(i).valid)
+            ++valid_slots;
+    if (valid_slots != rob.size())
+        fail("ROB valid-slot count " + std::to_string(valid_slots) +
+             " != size " + std::to_string(rob.size()));
+    uint64_t prev_seq = 0;
+    for (int i = 0; i < rob.size(); ++i) {
+        const RobEntry &e = rob.at(rob.indexFromHead(i));
+        if (!e.valid)
+            fail("ROB entry " + std::to_string(i) +
+                 " from head is invalid");
+        if (i > 0 && e.seq <= prev_seq)
+            fail("ROB seq order broken at entry " + std::to_string(i) +
+                 " from head (seq " + std::to_string(e.seq) + ")");
+        prev_seq = e.seq;
+        if (e.uop.isVfma() && e.done != (e.lanesPending == 0))
+            fail("VFMA ROB entry seq " + std::to_string(e.seq) +
+                 ": done=" + std::to_string(e.done) +
+                 " but lanesPending=" + std::to_string(e.lanesPending));
+        if (e.lanesPending < 0 || e.lanesPending > kVecLanes)
+            fail("ROB entry seq " + std::to_string(e.seq) +
+                 ": lanesPending out of range");
+    }
+}
+
+void
+Auditor::checkRsLists() const
+{
+    const Rs &rs = c_.rs;
+    // Age list: every node valid, seq strictly increasing, exact size.
+    std::fill(rs_mark_.begin(), rs_mark_.end(), 0);
+    int n = 0;
+    uint64_t prev_seq = 0;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        if (!e.valid)
+            fail("RS age list holds invalid slot " +
+                 std::to_string(idx));
+        if (rs_mark_[static_cast<size_t>(idx)])
+            fail("RS age list visits slot " + std::to_string(idx) +
+                 " twice");
+        rs_mark_[static_cast<size_t>(idx)] = 1;
+        if (n > 0 && e.seq <= prev_seq)
+            fail("RS age order broken at slot " + std::to_string(idx));
+        prev_seq = e.seq;
+        ++n;
+    }
+    if (n != rs.size())
+        fail("RS age list length " + std::to_string(n) + " != size " +
+             std::to_string(rs.size()));
+    // No valid slot outside the age list.
+    for (int idx = 0; idx < rs.capacity(); ++idx) {
+        if (rs.at(idx).valid && !rs_mark_[static_cast<size_t>(idx)])
+            fail("valid RS slot " + std::to_string(idx) +
+                 " missing from the age list");
+    }
+    // The pending/issuable sublists partition the age list, each
+    // age-ordered, with membership decided exactly by elmValid.
+    for (int list = 0; list < 2; ++list) {
+        int count = 0;
+        prev_seq = 0;
+        int head = list == 0 ? rs.firstPending() : rs.firstIssuable();
+        for (int idx = head; idx != Rs::kEnd; idx = rs.nextInList(idx)) {
+            const RsEntry &e = rs.at(idx);
+            if (!e.valid)
+                fail("RS sublist holds invalid slot " +
+                     std::to_string(idx));
+            if (rs_mark_[static_cast<size_t>(idx)] != 1)
+                fail("RS slot " + std::to_string(idx) +
+                     " on two scheduler sublists");
+            rs_mark_[static_cast<size_t>(idx)] = 2;
+            if (e.elmValid != (list == 1))
+                fail("RS slot " + std::to_string(idx) + " on the " +
+                     (list == 0 ? "pending" : "issuable") +
+                     " sublist with elmValid=" +
+                     std::to_string(e.elmValid));
+            if (count > 0 && e.seq <= prev_seq)
+                fail("RS sublist age order broken at slot " +
+                     std::to_string(idx));
+            prev_seq = e.seq;
+            ++count;
+        }
+        int expect = list == 0 ? rs.pendingCount() : rs.issuableCount();
+        if (count != expect)
+            fail("RS sublist length " + std::to_string(count) +
+                 " != recorded count " + std::to_string(expect));
+    }
+    for (int idx = 0; idx < rs.capacity(); ++idx) {
+        if (rs.at(idx).valid && rs_mark_[static_cast<size_t>(idx)] != 2)
+            fail("valid RS slot " + std::to_string(idx) +
+                 " on no scheduler sublist");
+    }
+    if (rs.pendingCount() + rs.issuableCount() != rs.size())
+        fail("RS sublist sizes do not sum to the RS size");
+}
+
+void
+Auditor::checkRobRsLink() const
+{
+    const Rs &rs = c_.rs;
+    const Rob &rob = c_.rob;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        if (e.robIdx < 0 || e.robIdx >= rob.capacity())
+            fail("RS slot " + std::to_string(idx) +
+                 ": robIdx out of range");
+        const RobEntry &re = rob.at(e.robIdx);
+        if (!re.valid || re.seq != e.seq)
+            fail("RS slot " + std::to_string(idx) + " (seq " +
+                 std::to_string(e.seq) +
+                 ") references a dead/reused ROB slot");
+        if (re.dstPhys != e.dstPhys)
+            fail("RS/ROB dstPhys mismatch at seq " +
+                 std::to_string(e.seq));
+        if (re.done || re.lanesPending <= 0)
+            fail("ROB entry seq " + std::to_string(e.seq) +
+                 " complete while its RS entry is still live");
+        if (!e.uop.isVfma())
+            fail("non-VFMA uop in the RS at seq " +
+                 std::to_string(e.seq));
+        if (e.issued)
+            fail("RS slot " + std::to_string(idx) +
+                 " still live after whole-op issue");
+    }
+}
+
+void
+Auditor::checkPrf() const
+{
+    const PhysRegFile &prf = c_.prf;
+    int nregs = prf.numRegs();
+    std::fill(free_bm_.begin(), free_bm_.end(), 0);
+    for (int r : prf.freeList()) {
+        if (r < 0 || r >= nregs)
+            fail("free list holds out-of-range register " +
+                 std::to_string(r));
+        if (free_bm_[static_cast<size_t>(r)])
+            fail("register " + std::to_string(r) +
+                 " on the free list twice");
+        free_bm_[static_cast<size_t>(r)] = 1;
+    }
+
+    auto live = [&](int r, const char *what) {
+        if (r < 0 || r >= nregs)
+            fail(std::string(what) + " references out-of-range "
+                 "register " + std::to_string(r));
+        if (free_bm_[static_cast<size_t>(r)])
+            fail(std::string(what) + " references register " +
+                 std::to_string(r) + " which is on the free list");
+    };
+
+    // Rename map: in range, not free, injective.
+    std::fill(map_bm_.begin(), map_bm_.end(), 0);
+    std::vector<uint8_t> &mapped = map_bm_;
+    for (int l = 0; l < kLogicalVecRegs; ++l) {
+        int p = c_.renamer_.mapOf(l);
+        live(p, "rename map");
+        if (mapped[static_cast<size_t>(p)])
+            fail("two logical registers map to physical register " +
+                 std::to_string(p));
+        mapped[static_cast<size_t>(p)] = 1;
+    }
+
+    const Rs &rs = c_.rs;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        if (e.pa != kNoReg)
+            live(e.pa, "RS operand A");
+        live(e.pb, "RS operand B");
+        live(e.pc, "RS accumulator");
+        live(e.dstPhys, "RS destination");
+    }
+    const Rob &rob = c_.rob;
+    for (int i = 0; i < rob.size(); ++i) {
+        const RobEntry &e = rob.at(rob.indexFromHead(i));
+        if (e.dstPhys != kNoReg) {
+            live(e.dstPhys, "ROB destination");
+            mapped[static_cast<size_t>(e.dstPhys)] = 1;
+        }
+        if (e.oldPhys != kNoReg) {
+            live(e.oldPhys, "ROB old mapping");
+            mapped[static_cast<size_t>(e.oldPhys)] = 1;
+        }
+        if (e.storeSrcPhys != kNoReg)
+            live(e.storeSrcPhys, "ROB store source");
+    }
+    // Leak check: every non-free register must be reachable as a
+    // current mapping, an in-flight destination, or an in-flight
+    // entry's to-be-freed old mapping — anything else can never be
+    // released again.
+    for (int r = 0; r < nregs; ++r) {
+        if (!free_bm_[static_cast<size_t>(r)] &&
+            !mapped[static_cast<size_t>(r)])
+            fail("physical register " + std::to_string(r) +
+                 " is neither free nor reachable (leaked)");
+    }
+
+    for (const auto &[phys, rs_idx] : c_.vfma_dst_to_rs_) {
+        live(phys, "vfma dst->RS map");
+        if (rs_idx < 0 || rs_idx >= rs.capacity() ||
+            !rs.at(rs_idx).valid || rs.at(rs_idx).dstPhys != phys)
+            fail("vfma dst->RS map entry for register " +
+                 std::to_string(phys) + " references a dead RS slot");
+        if (!rs.at(rs_idx).uop.isMixedPrecision())
+            fail("vfma dst->RS map entry for register " +
+                 std::to_string(phys) + " is not mixed-precision");
+    }
+    for (const auto &[phys, seen] : c_.rotated_copies_) {
+        (void)seen;
+        live(phys, "rotated-copy table");
+    }
+}
+
+void
+Auditor::checkWaiters() const
+{
+    const Rs &rs = c_.rs;
+    for (size_t phys = 0; phys < c_.reg_waiters_.size(); ++phys) {
+        const auto &ws = c_.reg_waiters_[phys];
+        if (ws.empty())
+            continue;
+        if (c_.prf.fullyReady(static_cast<int>(phys)))
+            fail("register " + std::to_string(phys) +
+                 " fully ready with unconsumed waiters (missed "
+                 "wakeup)");
+        for (const Core::RegWaiter &w : ws) {
+            if (w.rsIdx < 0 || w.rsIdx >= rs.capacity())
+                fail("waiter on register " + std::to_string(phys) +
+                     ": RS index out of range");
+            const RsEntry &e = rs.at(w.rsIdx);
+            if (!e.valid || e.seq != w.seq)
+                fail("stale waiter on register " +
+                     std::to_string(phys) + " (seq " +
+                     std::to_string(w.seq) + ")");
+            int src = w.isA ? e.pa : e.pb;
+            if (src != static_cast<int>(phys))
+                fail("waiter on register " + std::to_string(phys) +
+                     " enlisted for a different source of seq " +
+                     std::to_string(e.seq));
+            if (w.isA ? e.aReady : e.bReady)
+                fail("waiter outlived readiness of register " +
+                     std::to_string(phys) + " at seq " +
+                     std::to_string(e.seq));
+        }
+    }
+}
+
+void
+Auditor::checkEventTargets() const
+{
+    const Rob &rob = c_.rob;
+    const Rs &rs = c_.rs;
+    std::fill(lane_bm_.begin(), lane_bm_.end(), 0);
+    std::fill(lane_count_.begin(), lane_count_.end(), 0);
+
+    auto checkLaneTarget = [&](int phys, int lane, int rob_idx,
+                               const char *what) {
+        if (rob_idx < 0 || rob_idx >= rob.capacity())
+            fail(std::string(what) + ": robIdx out of range");
+        const RobEntry &re = rob.at(rob_idx);
+        if (!re.valid)
+            fail(std::string(what) +
+                 " targets a squashed/retired ROB slot " +
+                 std::to_string(rob_idx));
+        if (re.done || re.lanesPending <= 0)
+            fail(std::string(what) + " targets completed ROB seq " +
+                 std::to_string(re.seq));
+        if (re.dstPhys != phys)
+            fail(std::string(what) + " register " +
+                 std::to_string(phys) +
+                 " != ROB destination at seq " +
+                 std::to_string(re.seq));
+        if (lane < 0 || lane >= kVecLanes)
+            fail(std::string(what) + ": lane out of range");
+        if (phys < 0 || phys >= c_.prf.numRegs() ||
+            free_bm_[static_cast<size_t>(phys)])
+            fail(std::string(what) + " targets freed register " +
+                 std::to_string(phys));
+        size_t key = static_cast<size_t>(rob_idx) * kVecLanes +
+                     static_cast<size_t>(lane);
+        if (lane_bm_[key])
+            fail(std::string(what) + ": duplicate in-flight write to "
+                 "lane " + std::to_string(lane) + " of ROB seq " +
+                 std::to_string(re.seq));
+        lane_bm_[key] = 1;
+        ++lane_count_[static_cast<size_t>(rob_idx)];
+    };
+
+    size_t ring_total = 0;
+    for (const auto &bucket : c_.pub_ring_) {
+        ring_total += bucket.size();
+        for (const Core::PendingPublish &p : bucket)
+            checkLaneTarget(p.phys, p.lane, p.robIdx, "publish ring");
+    }
+    if (ring_total != c_.pub_count_)
+        fail("publish-ring count " + std::to_string(c_.pub_count_) +
+             " != bucket total " + std::to_string(ring_total));
+
+    auto checkLoadReq = [&](const Core::LoadReq &req, const char *what) {
+        if (req.toRs) {
+            if (req.rsIdx < 0 || req.rsIdx >= rs.capacity())
+                fail(std::string(what) + ": RS index out of range");
+            const RsEntry &e = rs.at(req.rsIdx);
+            if (!e.valid || e.seq != req.seq)
+                fail(std::string(what) + " (broadcast operand, seq " +
+                     std::to_string(req.seq) +
+                     ") targets a dead RS slot");
+            if (e.pa != kNoReg || e.aReady)
+                fail(std::string(what) + ": RS entry seq " +
+                     std::to_string(e.seq) +
+                     " not awaiting a broadcast operand");
+        } else {
+            if (req.robIdx < 0 || req.robIdx >= rob.capacity())
+                fail(std::string(what) + ": robIdx out of range");
+            const RobEntry &re = rob.at(req.robIdx);
+            if (!re.valid || re.seq != req.seq)
+                fail(std::string(what) + " (seq " +
+                     std::to_string(req.seq) +
+                     ") targets a dead ROB slot");
+            if (re.done)
+                fail(std::string(what) + " targets completed ROB seq " +
+                     std::to_string(re.seq));
+            if (re.dstPhys != req.dstPhys)
+                fail(std::string(what) + " dstPhys mismatch at seq " +
+                     std::to_string(re.seq));
+        }
+    };
+
+    for (const Core::Event &ev : c_.events_.container()) {
+        if (ev.kind == Core::Event::Publish)
+            checkLaneTarget(ev.phys, ev.lane, ev.robIdx, "event heap");
+        else
+            checkLoadReq(ev.load, "in-flight load");
+    }
+
+    uint64_t prev_seq = 0;
+    bool first = true;
+    for (const Core::LoadReq &req : c_.load_queue_) {
+        if (!first && req.seq <= prev_seq)
+            fail("load queue out of program order at seq " +
+                 std::to_string(req.seq));
+        prev_seq = req.seq;
+        first = false;
+        checkLoadReq(req, "queued load");
+    }
+
+    for (const auto &v : c_.vpus) {
+        v.forEachInFlight([&](const LaneWrite &w, uint64_t done) {
+            (void)done;
+            checkLaneTarget(w.dstPhys, w.lane, w.robIdx,
+                            "VPU pipeline");
+        });
+    }
+    // In-flight writes per entry can never exceed its unwritten lanes.
+    for (int i = 0; i < rob.capacity(); ++i) {
+        if (lane_count_[static_cast<size_t>(i)] >
+            rob.at(i).lanesPending)
+            fail("ROB seq " + std::to_string(rob.at(i).seq) + ": " +
+                 std::to_string(lane_count_[static_cast<size_t>(i)]) +
+                 " in-flight lane writes but only " +
+                 std::to_string(rob.at(i).lanesPending) +
+                 " lanes pending");
+    }
+
+    for (const Core::PendingStore &s : c_.pending_stores_) {
+        if (s.robIdx < 0 || s.robIdx >= rob.capacity())
+            fail("pending store: robIdx out of range");
+        const RobEntry &re = rob.at(s.robIdx);
+        if (!re.valid || !re.isStore)
+            fail("pending store targets a non-store ROB slot " +
+                 std::to_string(s.robIdx));
+        if (re.done)
+            fail("pending store at seq " + std::to_string(re.seq) +
+                 " already marked done");
+        if (re.storeSrcPhys != s.srcPhys)
+            fail("pending store source mismatch at seq " +
+                 std::to_string(re.seq));
+    }
+
+    // The in-flight store-line list is exactly the live ROB stores.
+    int rob_stores = 0;
+    for (int i = 0; i < rob.size(); ++i) {
+        const RobEntry &re = rob.at(rob.indexFromHead(i));
+        if (!re.isStore)
+            continue;
+        ++rob_stores;
+        bool found = false;
+        for (const Core::InflightStore &s : c_.inflight_store_lines_) {
+            if (s.seq == re.seq) {
+                if (s.line != lineOf(re.storeAddr))
+                    fail("in-flight store line mismatch at seq " +
+                         std::to_string(re.seq));
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fail("ROB store seq " + std::to_string(re.seq) +
+                 " missing from the in-flight store-line list");
+    }
+    if (rob_stores !=
+        static_cast<int>(c_.inflight_store_lines_.size()))
+        fail("in-flight store-line list has " +
+             std::to_string(c_.inflight_store_lines_.size()) +
+             " entries but the ROB holds " +
+             std::to_string(rob_stores) + " live stores");
+    prev_seq = 0;
+    first = true;
+    for (const Core::InflightStore &s : c_.inflight_store_lines_) {
+        if (!first && s.seq <= prev_seq)
+            fail("in-flight store-line list out of program order");
+        prev_seq = s.seq;
+        first = false;
+    }
+}
+
+void
+Auditor::checkSaveState() const
+{
+    const Rs &rs = c_.rs;
+    bool save_on = c_.scfg.enabled &&
+                   c_.scfg.policy != SchedPolicy::Baseline;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        std::string at = " at seq " + std::to_string(e.seq);
+        if (!e.elmValid) {
+            if (e.pendingMl || e.pendingAl || e.passPending ||
+                e.alScheduled)
+                fail("lane state set before ELM generation" + at);
+            continue;
+        }
+        if (!save_on)
+            fail("ELM generated under the baseline policy" + at);
+        if (!e.aReady || !e.bReady)
+            fail("ELM valid before multiplicands ready" + at);
+        if (e.pendingAl & e.passPending)
+            fail("lane both pending and pass-through (" +
+                 hex(e.pendingAl & e.passPending) + ")" + at);
+        if (e.uop.isMixedPrecision()) {
+            uint32_t expect = elmMp(c_.operandA(e), c_.operandB(e),
+                                    e.wm);
+            if (expect == 0 && !c_.scfg.bsSkip) {
+                for (int lane = 0; lane < kVecLanes; ++lane)
+                    if ((e.wm >> lane) & 1)
+                        expect |= 0x3u << (kMlPerAl * lane);
+            }
+            if (e.elm != expect)
+                fail("mixed-precision ELM " + hex(e.elm) +
+                     " disagrees with operand values (expected " +
+                     hex(expect) + ")" + at);
+            uint16_t elm_als = mpAlMask(e.elm);
+            if (e.pendingMl & ~e.elm)
+                fail("pending MLs outside the ELM" + at);
+            if (e.pendingAl != mpAlMask(e.pendingMl))
+                fail("pendingAl " + hex(e.pendingAl) +
+                     " != AL projection of pendingMl " +
+                     hex(mpAlMask(e.pendingMl)) + at);
+            if (e.alScheduled & ~elm_als)
+                fail("AL scheduled outside the effectual set" + at);
+            if (e.alScheduled & e.pendingAl)
+                fail("AL both scheduled and pending" + at);
+            if (e.passPending & elm_als)
+                fail("effectual AL marked pass-through" + at);
+        } else {
+            uint16_t expect = elmF32(c_.operandA(e), c_.operandB(e),
+                                     e.wm);
+            if (expect == 0 && !c_.scfg.bsSkip)
+                expect = e.wm;
+            if (e.elm >> 16)
+                fail("FP32 ELM wider than 16 lanes" + at);
+            if (e.elm != expect)
+                fail("FP32 ELM " + hex(e.elm) +
+                     " disagrees with operand values (expected " +
+                     hex(expect) + ")" + at);
+            if (e.elm & ~static_cast<uint32_t>(e.wm))
+                fail("effectual lane outside the write mask" + at);
+            if (e.pendingAl & ~e.elm)
+                fail("pending AL outside the ELM" + at);
+            if (e.passPending & e.elm)
+                fail("effectual lane marked pass-through" + at);
+            if (e.pendingMl || e.alScheduled)
+                fail("mixed-precision state on an FP32 VFMA" + at);
+        }
+    }
+}
+
+void
+Auditor::checkLaneOrder() const
+{
+    // Lane-wise dependence order (paper SecIV-C / Algorithm 1): a lane
+    // may only have been scheduled — for computation or pass-through —
+    // once its accumulator input lane was published. Ready bits are
+    // monotonic while the source register is live, so the condition
+    // must still hold now. Chain-linked mixed-precision entries take
+    // the accumulator from the forwarded partial result instead
+    // (SecV-B) and are checked through checkChains.
+    const Rs &rs = c_.rs;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        if (!e.elmValid || e.chainId >= 0)
+            continue;
+        uint16_t started =
+            static_cast<uint16_t>(~(e.pendingAl | e.passPending));
+        uint16_t not_ready =
+            static_cast<uint16_t>(~c_.prf.laneReady(e.pc));
+        if (started & not_ready)
+            fail("lanes " + hex(started & not_ready) + " of seq " +
+                 std::to_string(e.seq) +
+                 " scheduled before their accumulator lanes were "
+                 "published (lane-wise dependence order)");
+    }
+}
+
+void
+Auditor::checkChains() const
+{
+    const VectorScheduler &s = *c_.sched_;
+    const Rs &rs = c_.rs;
+    bool chain_mode = c_.scfg.enabled && c_.scfg.mpCompress &&
+                      c_.scfg.policy != SchedPolicy::Baseline;
+    if (!chain_mode) {
+        if (!s.chains_.empty())
+            fail("accumulator chains exist without mixed-precision "
+                 "compression");
+        return;
+    }
+    // Live RS entry -> owning chain, for the at-most-one-node check.
+    std::fill(rs_mark_.begin(), rs_mark_.end(), 0);
+    for (const auto &[id, ch] : s.chains_) {
+        if (ch.nodes.empty())
+            fail("chain " + std::to_string(id) + " has no nodes");
+        if (ch.frontSeq != ch.nodes.front().seq)
+            fail("chain " + std::to_string(id) +
+                 " frontSeq out of date");
+        {
+            const auto &n = ch.nodes.front();
+            if (n.rsIdx < 0 || n.rsIdx >= rs.capacity() ||
+                !rs.at(n.rsIdx).valid || rs.at(n.rsIdx).seq != n.seq)
+                fail("chain " + std::to_string(id) +
+                     " front node is stale (untrimmed)");
+        }
+        uint64_t prev_seq = 0;
+        bool first = true;
+        for (const auto &n : ch.nodes) {
+            if (!first && n.seq <= prev_seq)
+                fail("chain " + std::to_string(id) +
+                     " nodes out of program order (cyclic forward)");
+            prev_seq = n.seq;
+            first = false;
+            if (n.rsIdx < 0 || n.rsIdx >= rs.capacity())
+                continue;
+            const RsEntry &e = rs.at(n.rsIdx);
+            if (!e.valid || e.seq != n.seq)
+                continue; // released node, skipped by the cursors
+            if (rs_mark_[static_cast<size_t>(n.rsIdx)])
+                fail("RS slot " + std::to_string(n.rsIdx) +
+                     " appears in two chain nodes");
+            rs_mark_[static_cast<size_t>(n.rsIdx)] = 1;
+            if (e.chainId != id)
+                fail("chain " + std::to_string(id) + " node seq " +
+                     std::to_string(n.seq) +
+                     " carries chainId " + std::to_string(e.chainId));
+            if (!e.uop.isMixedPrecision())
+                fail("FP32 VFMA linked into accumulator chain " +
+                     std::to_string(id));
+        }
+        for (int cur : ch.cursor) {
+            if (cur < 0 || cur > static_cast<int>(ch.nodes.size()))
+                fail("chain " + std::to_string(id) +
+                     " cursor out of range");
+        }
+    }
+    // Every live mixed-precision entry must be linked into exactly the
+    // chain it names.
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        if (!e.uop.isMixedPrecision())
+            continue;
+        if (e.chainId < 0)
+            fail("mixed-precision entry seq " + std::to_string(e.seq) +
+                 " has no accumulator chain");
+        if (!s.chains_.count(e.chainId))
+            fail("entry seq " + std::to_string(e.seq) +
+                 " names erased chain " + std::to_string(e.chainId));
+        if (!rs_mark_[static_cast<size_t>(idx)])
+            fail("entry seq " + std::to_string(e.seq) +
+                 " missing from its chain's node list");
+    }
+}
+
+void
+Auditor::checkAfterSquash(uint64_t fault_seq) const
+{
+    when_ = "post-squash";
+    auto young = [&](uint64_t seq, const char *what) {
+        if (seq >= fault_seq)
+            fail(std::string(what) + " still references squashed seq " +
+                 std::to_string(seq) + " (fault seq " +
+                 std::to_string(fault_seq) + ")");
+    };
+    const Rs &rs = c_.rs;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx))
+        young(rs.at(idx).seq, "RS");
+    const Rob &rob = c_.rob;
+    for (int i = 0; i < rob.size(); ++i)
+        young(rob.at(rob.indexFromHead(i)).seq, "ROB");
+    for (const Core::LoadReq &req : c_.load_queue_)
+        young(req.seq, "load queue");
+    for (const Core::Event &ev : c_.events_.container()) {
+        if (ev.kind == Core::Event::LoadDone)
+            young(ev.load.seq, "in-flight load");
+    }
+    for (const auto &ws : c_.reg_waiters_)
+        for (const Core::RegWaiter &w : ws)
+            young(w.seq, "register waiter list");
+    for (const Core::InflightStore &s : c_.inflight_store_lines_)
+        young(s.seq, "in-flight store-line list");
+    check("post-squash");
+}
+
+} // namespace save

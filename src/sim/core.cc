@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "save/scheduler.h"
+#include "sim/auditor.h"
 #include "sim/mgu.h"
 #include "trace/event_trace.h"
 #include "util/error.h"
@@ -52,6 +53,21 @@ envFastForward()
              std::strcmp(env, "false") == 0);
 }
 
+#ifdef SAVE_AUDIT_ENABLED
+/** SAVE_AUDIT: default on when compiled in; "0"/"off"/"false"
+ *  disables at run time. Read per core construction so tests can
+ *  exercise both modes in one process. */
+bool
+envAuditEnabled()
+{
+    const char *env = std::getenv("SAVE_AUDIT");
+    if (!env || !*env)
+        return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+             std::strcmp(env, "false") == 0);
+}
+#endif
+
 } // namespace
 
 Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
@@ -95,6 +111,10 @@ Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
         });
     }
     sched_ = std::make_unique<VectorScheduler>(*this);
+#ifdef SAVE_AUDIT_ENABLED
+    if (envAuditEnabled())
+        auditor_ = std::make_unique<Auditor>(*this);
+#endif
 
     reg_waiters_.resize(static_cast<size_t>(prf.numRegs()));
     wb_scratch_.reserve(4 * kVecLanes);
@@ -246,9 +266,15 @@ Core::wakeHorizon() const
     if (!events_.empty())
         h = std::min(h, events_.top().cycle);
     if (pub_count_ != 0) {
-        // The bucket for cycle_ was drained this cycle, so the first
-        // non-empty bucket ahead identifies the next publish cycle.
-        for (uint64_t d = 1; d < kPubRingSlots; ++d) {
+        // cycle_ was advanced at the end of the probe step, so the
+        // bucket for the *current* cycle_ has not been drained yet: a
+        // publish scheduled for exactly this cycle must keep the
+        // horizon here (the d=0 probe; run() then steps normally
+        // instead of jumping). Starting the scan at d=1 skipped such a
+        // publish and let fast-forward jump past it — the bucket then
+        // drained at the wrong cycle (or, if nothing else woke the
+        // core, never), diverging from the per-cycle loop.
+        for (uint64_t d = 0; d < kPubRingSlots; ++d) {
             if (!pub_ring_[(cycle_ + d) % kPubRingSlots].empty()) {
                 h = std::min(h, cycle_ + d);
                 break;
@@ -257,7 +283,10 @@ Core::wakeHorizon() const
     }
     for (const auto &v : vpus)
         h = std::min(h, v.nextCompletion());
-    if (cycle_ < resume_alloc_cycle_)
+    // <= not <: a throttle that expires exactly at the current (not yet
+    // executed) cycle_ must keep the horizon here so allocation resumes
+    // on schedule instead of being jumped past.
+    if (cycle_ <= resume_alloc_cycle_)
         h = std::min(h, resume_alloc_cycle_);
     h = std::min(h, sched_->nextTimeWake(cycle_));
     if (!rob.empty())
@@ -347,6 +376,10 @@ Core::step()
 
     ++cycle_;
     checkWatchdogs();
+#ifdef SAVE_AUDIT_ENABLED
+    if (auditor_ && auditor_->due(cycle_))
+        auditor_->check("cycle");
+#endif
     return !drained();
 }
 
@@ -457,6 +490,10 @@ Core::commit()
         if (e.isStore) {
             image_->writeLine(e.storeAddr, prf.value(e.storeSrcPhys));
             mem_->store(core_id_, e.storeAddr, nowNs(), freq_ghz_);
+            std::erase_if(inflight_store_lines_,
+                          [&](const InflightStore &s) {
+                              return s.seq == e.seq;
+                          });
         }
         st_committed_.add();
         if (etrace_)
@@ -485,6 +522,12 @@ Core::squash()
             renamer_.restoreMapping(e.uop.dst, e.oldPhys);
             prf.release(e.dstPhys);
             vfma_dst_to_rs_.erase(e.dstPhys);
+            // The released register may be re-allocated immediately by
+            // the replay; stale rotated-copy seen-bits keyed on it
+            // would then suppress the copies the re-executed VFMAs
+            // must make (SecIV-B undercount). Commit erases oldPhys
+            // for the same reason.
+            rotated_copies_.erase(e.dstPhys);
         }
         if (e.op == Opcode::SetMask)
             renamer_.setMask(e.uop.wmask, e.prevMask);
@@ -509,6 +552,19 @@ Core::squash()
     std::erase_if(load_queue_, [this](const LoadReq &req) {
         return req.seq >= fault_seq_;
     });
+    std::erase_if(inflight_store_lines_, [this](const InflightStore &s) {
+        return s.seq >= fault_seq_;
+    });
+    // Squashed RS entries leave register-wakeup waiters behind; the
+    // seq check in wakeWaiters would skip them, but the replay reuses
+    // the freed RS slots, so the lists would accumulate one stale
+    // record per squashed source operand. Purge them so the strong
+    // invariant holds: every waiter references a live entry.
+    for (auto &ws : reg_waiters_) {
+        std::erase_if(ws, [this](const RegWaiter &w) {
+            return w.seq >= fault_seq_;
+        });
+    }
     {
         kept_events_.clear();
         while (!events_.empty()) {
@@ -554,6 +610,10 @@ Core::squash()
     stats_.add("uops_squashed", squash_count);
     if (etrace_)
         etrace_->squash(cycle_, fault_seq_, squash_count);
+#ifdef SAVE_AUDIT_ENABLED
+    if (auditor_)
+        auditor_->checkAfterSquash(fault_seq_);
+#endif
 }
 
 void
@@ -582,6 +642,25 @@ Core::issueLoads()
 
     while (!load_queue_.empty() && (l1_ports > 0 || bc_ports > 0)) {
         const LoadReq &req = load_queue_.front();
+        // Loads sample the memory image when their event completes,
+        // but stores only update it at commit. Hold a load at the
+        // queue head until every older store to the same line has
+        // committed, or the load reads stale data the architectural
+        // order already overwrote. The queue is seq-ascending and the
+        // store's operand producers are older than the load, so their
+        // own loads are already past this point: no deadlock.
+        if (!inflight_store_lines_.empty()) {
+            uint64_t line = lineOf(req.addr);
+            bool blocked = false;
+            for (const InflightStore &s : inflight_store_lines_) {
+                if (s.seq < req.seq && s.line == line) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (blocked)
+                break;
+        }
         bool is_bcast = req.op == Opcode::BroadcastLoad ||
                         req.op == Opcode::VfmaPsBcast ||
                         req.op == Opcode::Vdpbf16PsBcast;
@@ -848,6 +927,7 @@ Core::allocate()
             re.storeSrcPhys = renamer_.mapOf(u.srcC);
             int rob_idx = rob.push(re);
             pending_stores_.push_back({rob_idx, re.storeSrcPhys});
+            inflight_store_lines_.push_back({seq_, lineOf(u.addr)});
             break;
           }
           default: {

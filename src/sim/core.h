@@ -51,6 +51,7 @@ namespace save {
 
 class VectorScheduler;
 class CoreEventTracer;
+class Auditor;
 
 /** Abstract uop stream. */
 class TraceSource
@@ -235,6 +236,16 @@ class Core
         }
     };
 
+    /** Event heap with a read-only view of its backing store (the
+     *  auditor must enumerate pending events; std::priority_queue
+     *  itself hides them). */
+    struct EventHeap
+        : std::priority_queue<Event, std::vector<Event>, std::greater<>>
+    {
+        using priority_queue::priority_queue;
+        const std::vector<Event> &container() const { return c; }
+    };
+
     /** RS entry waiting for a multiplicand register to become fully
      *  ready; validated by seq at wake time (slots are reused). */
     struct RegWaiter
@@ -329,7 +340,7 @@ class Core
     uint64_t ff_cycles_skipped_ = 0;
 
     std::deque<LoadReq> load_queue_;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    EventHeap events_;
     /** Calendar ring for near-future lane publishes; bucket for cycle
      *  c is pub_ring_[c % kPubRingSlots] (drained every cycle, so the
      *  mapping is unambiguous). Bucket vectors keep their capacity. */
@@ -337,6 +348,14 @@ class Core
     size_t pub_count_ = 0;
     struct PendingStore { int robIdx; int srcPhys; };
     std::vector<PendingStore> pending_stores_;
+    /** Cache lines with an in-flight (allocated, not yet committed)
+     *  store, in program order. A younger load to one of these lines
+     *  must not issue until the older store commits — loads read the
+     *  functional image at completion, stores write it at commit, so
+     *  issuing past an older same-line store would return data the
+     *  architectural order has not produced yet. */
+    struct InflightStore { uint64_t seq; uint64_t line; };
+    std::vector<InflightStore> inflight_store_lines_;
     /** Per-phys-reg RS wakeup lists (consumed when the reg becomes
      *  fully ready; stale entries are filtered by seq). */
     std::vector<std::vector<RegWaiter>> reg_waiters_;
@@ -370,7 +389,15 @@ class Core
 
     StageProfiler prof_;
 
+#ifdef SAVE_AUDIT_ENABLED
+    /** Cycle-granular invariant checker (src/sim/auditor.h). Present
+     *  only when compiled with -DSAVE_AUDIT=ON and not disabled via
+     *  SAVE_AUDIT=0; every hook below is compiled out otherwise. */
+    std::unique_ptr<Auditor> auditor_;
+#endif
+
     friend class VectorScheduler;
+    friend class Auditor;
 };
 
 } // namespace save

@@ -1,0 +1,528 @@
+#include "sim/fuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "isa/bf16.h"
+#include "mem/memory_image.h"
+#include "sim/multicore.h"
+#include "sim/reference.h"
+#include "trace/trace_writer.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace save {
+
+namespace {
+
+/* ------------------------------------------------------------------ */
+/* Generation                                                          */
+/* ------------------------------------------------------------------ */
+
+/** One 32-bit memory word under the profile's sparsity. FP32 view:
+ *  the word is a float; BF16 view: each half is a multiplicand lane.
+ *  Drawing both shapes keeps the same region interesting for every
+ *  precision the stream mixes. */
+uint32_t
+drawWord(Rng &rng, double sparsity, bool bf16Shape)
+{
+    if (!bf16Shape) {
+        if (rng.chance(sparsity))
+            return 0;
+        float v = rng.nonZeroValue();
+        uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        return bits;
+    }
+    uint32_t lo = rng.chance(sparsity)
+                      ? 0
+                      : f32ToBf16(rng.nonZeroValue());
+    uint32_t hi = rng.chance(sparsity)
+                      ? 0
+                      : f32ToBf16(rng.nonZeroValue());
+    return (hi << 16) | lo;
+}
+
+} // namespace
+
+FuzzProgram
+fuzzGenerate(uint64_t seed)
+{
+    // Decorrelate consecutive seeds (mt19937_64 seeded with n and n+1
+    // starts out similar); splitmix64 finalizer.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    Rng rng(z ^ (z >> 31));
+
+    FuzzProgram p;
+    p.base = 0x10000;
+    p.bytes = 4096;
+
+    // --- profile draws -------------------------------------------------
+    const double sparsities[] = {0.0, 0.5, 0.9, 0.97};
+    double sparsity = sparsities[rng.range(0, 3)];
+    // 0 = fp32 only, 1 = bf16 only, 2 = per-uop mix.
+    int precMode = static_cast<int>(rng.range(0, 2));
+    // 0 = unmasked, 1 = random sparse masks, 2 = degenerate
+    // (0x0000/0xffff/one-hot), 3 = masks re-written mid-stream.
+    int maskMode = static_cast<int>(rng.range(0, 3));
+    int len = static_cast<int>(rng.range(16, 160));
+    bool squashy = rng.chance(0.6);
+
+    // --- initial memory ------------------------------------------------
+    p.words.resize(p.bytes / 4);
+    for (uint32_t &w : p.words)
+        w = drawWord(rng, sparsity, precMode == 1 || rng.chance(0.5));
+
+    // --- register roles ------------------------------------------------
+    int nAcc = 1 + static_cast<int>(rng.range(0, 5)); // regs 0..nAcc-1
+    int nMul = 2 + static_cast<int>(rng.range(0, 5)); // regs 8..8+nMul-1
+
+    auto anyAddr = [&](uint64_t align) {
+        uint64_t off = rng.range(0, p.bytes / align - 1) * align;
+        return p.base + off;
+    };
+    // A small pool of lines shared by stores and loads so in-flight
+    // store→load ordering gets exercised constantly.
+    std::vector<uint64_t> hotLines;
+    for (int i = 0; i < 8; ++i)
+        hotLines.push_back(anyAddr(64));
+    auto hotLine = [&] { return hotLines[rng.range(0, 7)]; };
+
+    auto maskFor = [&]() -> int {
+        switch (maskMode) {
+          case 0:
+            return -1;
+          default:
+            return rng.chance(0.5) ? -1
+                                   : static_cast<int>(rng.range(1, 3));
+        }
+    };
+    auto setMaskUop = [&](int kreg) {
+        uint16_t imm;
+        if (maskMode == 2) {
+            const uint16_t degenerate[] = {
+                0x0000, 0xffff, 0x0001, 0x8000,
+                static_cast<uint16_t>(1u << rng.range(0, 15))};
+            imm = degenerate[rng.range(0, 4)];
+        } else {
+            imm = static_cast<uint16_t>(rng.range(0, 0xffff));
+        }
+        return Uop::setMask(kreg, imm);
+    };
+
+    // --- prologue: seed the mask registers and multiplicands ----------
+    if (maskMode != 0)
+        for (int k = 1; k <= 3; ++k)
+            p.uops.push_back(setMaskUop(k));
+    for (int i = 0; i < nMul; ++i)
+        p.uops.push_back(Uop::loadVec(8 + i, anyAddr(64)));
+
+    // --- body ----------------------------------------------------------
+    for (int i = 0; i < len; ++i) {
+        double r = rng.uniform();
+        bool mp = precMode == 1 || (precMode == 2 && rng.chance(0.5));
+        int dst = static_cast<int>(rng.range(0, nAcc - 1));
+        int b = 8 + static_cast<int>(rng.range(0, nMul - 1));
+        if (r < 0.55) {
+            // The FMA workhorse; register-sourced or embedded bcast.
+            if (rng.chance(0.5)) {
+                int a = rng.chance(0.85)
+                            ? 8 + static_cast<int>(rng.range(0, nMul - 1))
+                            : static_cast<int>(rng.range(0, nAcc - 1));
+                p.uops.push_back(mp ? Uop::vdp(dst, a, b, maskFor())
+                                    : Uop::vfma(dst, a, b, maskFor()));
+            } else {
+                uint64_t addr = anyAddr(4);
+                p.uops.push_back(
+                    mp ? Uop::vdpBcast(dst, addr, b, maskFor())
+                       : Uop::vfmaBcast(dst, addr, b, maskFor()));
+            }
+        } else if (r < 0.70) {
+            // Reload a multiplicand — half the time from a hot line a
+            // store may still have in flight.
+            uint64_t addr = rng.chance(0.5) ? hotLine() : anyAddr(64);
+            p.uops.push_back(Uop::loadVec(b, addr));
+        } else if (r < 0.78) {
+            p.uops.push_back(Uop::broadcastLoad(b, anyAddr(4)));
+        } else if (r < 0.88) {
+            p.uops.push_back(Uop::storeVec(
+                static_cast<int>(rng.range(0, nAcc - 1)), hotLine()));
+        } else if (r < 0.93 && maskMode == 3) {
+            p.uops.push_back(
+                setMaskUop(static_cast<int>(rng.range(1, 3))));
+        } else {
+            p.uops.push_back(Uop::alu());
+        }
+    }
+
+    // --- epilogue: make every accumulator architecturally visible -----
+    for (int i = 0; i < nAcc; ++i)
+        p.uops.push_back(
+            Uop::storeVec(i, p.base + p.bytes - 64 * (i + 1)));
+
+    if (squashy)
+        p.faultIndex = static_cast<int64_t>(
+            rng.range(0, p.uops.size() - 1));
+    return p;
+}
+
+/* ------------------------------------------------------------------ */
+/* Differential check                                                  */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+MemoryImage
+buildImage(const FuzzProgram &p)
+{
+    MemoryImage image;
+    image.addRegion(p.base, p.bytes);
+    for (size_t i = 0; i < p.words.size(); ++i)
+        if (p.words[i])
+            image.writeU32(p.base + 4 * i, p.words[i]);
+    return image;
+}
+
+struct DiffCase
+{
+    const char *name;
+    SaveConfig scfg;
+};
+
+std::vector<DiffCase>
+diffCases()
+{
+    std::vector<DiffCase> cases;
+    cases.push_back({"baseline", SaveConfig::baseline()});
+    SaveConfig vc;
+    vc.policy = SchedPolicy::VC;
+    cases.push_back({"vc", vc});
+    cases.push_back({"rvc", SaveConfig{}});
+    SaveConfig hc;
+    hc.policy = SchedPolicy::HC;
+    cases.push_back({"hc", hc});
+    SaveConfig nompc;
+    nompc.mpCompress = false;
+    cases.push_back({"rvc_nompc", nompc});
+    return cases;
+}
+
+std::string
+hex32(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+/** RAII save/restore of SAVE_FASTFORWARD so the checker composes with
+ *  ambient environment configuration (tests toggle it too). */
+class FfEnvGuard
+{
+  public:
+    FfEnvGuard()
+    {
+        const char *v = std::getenv("SAVE_FASTFORWARD");
+        had_ = v != nullptr;
+        if (v)
+            saved_ = v;
+    }
+    ~FfEnvGuard()
+    {
+        if (had_)
+            setenv("SAVE_FASTFORWARD", saved_.c_str(), 1);
+        else
+            unsetenv("SAVE_FASTFORWARD");
+    }
+
+  private:
+    bool had_ = false;
+    std::string saved_;
+};
+
+struct CaseRun
+{
+    uint64_t cycles = 0;
+    std::map<std::string, double> stats;
+    std::string failure; // non-empty = this case already failed
+};
+
+CaseRun
+runCase(const FuzzProgram &p, const DiffCase &dc, bool ff,
+        const MemoryImage &ref_image, const ArchExecutor &ref)
+{
+    std::string tag = std::string(dc.name) + (ff ? "/ff=1" : "/ff=0");
+    CaseRun r;
+    setenv("SAVE_FASTFORWARD", ff ? "1" : "0", 1);
+    try {
+        MemoryImage image = buildImage(p);
+        MachineConfig m;
+        m.cores = 1;
+        Multicore mc(m, dc.scfg, 2, &image);
+        if (p.faultIndex >= 0)
+            mc.core(0).injectFaultAtSeq(
+                static_cast<uint64_t>(p.faultIndex));
+        VectorTrace t(p.uops);
+        mc.bindTraces({&t});
+        r.cycles = mc.run(5'000'000);
+        r.stats = mc.aggregateStats().all();
+
+        Core &c = mc.core(0);
+        // 1. Architectural registers vs the in-order oracle.
+        for (int l = 0; l < kLogicalVecRegs; ++l) {
+            const VecReg &got = c.renamer().archValue(l);
+            const VecReg &want = ref.reg(l);
+            for (int w = 0; w < kVecLanes; ++w)
+                if (got.word(w) != want.word(w)) {
+                    r.failure = tag + ": zmm" + std::to_string(l) +
+                                " word " + std::to_string(w) + " = " +
+                                hex32(got.word(w)) + ", oracle " +
+                                hex32(want.word(w));
+                    return r;
+                }
+        }
+        // 2. Memory vs the oracle's image.
+        for (uint64_t off = 0; off < p.bytes; off += 4)
+            if (image.readU32(p.base + off) !=
+                ref_image.readU32(p.base + off)) {
+                r.failure =
+                    tag + ": mem[0x" + std::to_string(p.base + off) +
+                    "] = " + hex32(image.readU32(p.base + off)) +
+                    ", oracle " +
+                    hex32(ref_image.readU32(p.base + off));
+                return r;
+            }
+        // 3. Leaked pipeline resources after drain.
+        if (c.prf.numFree() != c.prf.numRegs() - kLogicalVecRegs)
+            r.failure = tag + ": leaked physical registers (" +
+                        std::to_string(c.prf.numFree()) + " free of " +
+                        std::to_string(c.prf.numRegs()) + ")";
+        else if (!c.rob.empty())
+            r.failure = tag + ": ROB not empty after drain";
+        else if (c.rs.size() != 0)
+            r.failure = tag + ": RS not empty after drain";
+    } catch (const std::exception &e) {
+        r.failure = tag + ": " + e.what();
+    }
+    return r;
+}
+
+} // namespace
+
+std::string
+fuzzCheck(const FuzzProgram &p)
+{
+    // In-order oracle, once per program.
+    MemoryImage ref_image = buildImage(p);
+    ArchExecutor ref(&ref_image);
+    ref.run(p.uops);
+
+    FfEnvGuard guard;
+    for (const DiffCase &dc : diffCases()) {
+        CaseRun off = runCase(p, dc, false, ref_image, ref);
+        if (!off.failure.empty())
+            return off.failure;
+        CaseRun on = runCase(p, dc, true, ref_image, ref);
+        if (!on.failure.empty())
+            return on.failure;
+        // Fast-forward must be a pure host-time optimization.
+        if (off.cycles != on.cycles)
+            return std::string(dc.name) + ": ff=0 ran " +
+                   std::to_string(off.cycles) + " cycles, ff=1 ran " +
+                   std::to_string(on.cycles);
+        if (off.stats != on.stats) {
+            for (const auto &[k, v] : off.stats) {
+                auto it = on.stats.find(k);
+                if (it == on.stats.end() || it->second != v)
+                    return std::string(dc.name) + ": stat '" + k +
+                           "' diverges between ff modes";
+            }
+            return std::string(dc.name) +
+                   ": ff=1 stat map has extra keys";
+        }
+    }
+    return "";
+}
+
+/* ------------------------------------------------------------------ */
+/* Shrinking                                                           */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+/** Remove uops [start, start+n) and remap the fault index; returns
+ *  false when the candidate would be empty. */
+bool
+removeRange(const FuzzProgram &p, size_t start, size_t n,
+            FuzzProgram &out)
+{
+    if (n >= p.uops.size())
+        return false;
+    out = p;
+    out.uops.erase(out.uops.begin() + static_cast<int64_t>(start),
+                   out.uops.begin() + static_cast<int64_t>(start + n));
+    if (p.faultIndex >= 0) {
+        auto f = static_cast<size_t>(p.faultIndex);
+        if (f >= start + n)
+            out.faultIndex -= static_cast<int64_t>(n);
+        else if (f >= start)
+            out.faultIndex = -1; // fault uop removed; try faultless
+    }
+    return true;
+}
+
+} // namespace
+
+FuzzProgram
+fuzzShrink(const FuzzProgram &p, int budget)
+{
+    FuzzProgram best = p;
+    // Drop the fault first — a repro that fails without a squash is
+    // strictly simpler to debug.
+    if (best.faultIndex >= 0 && budget > 0) {
+        FuzzProgram cand = best;
+        cand.faultIndex = -1;
+        --budget;
+        if (!fuzzCheck(cand).empty())
+            best = cand;
+    }
+    for (size_t chunk = std::max<size_t>(1, best.uops.size() / 2);
+         chunk >= 1; chunk = chunk / 2) {
+        bool progress = true;
+        while (progress && budget > 0) {
+            progress = false;
+            for (size_t start = 0;
+                 start < best.uops.size() && budget > 0;
+                 start += chunk) {
+                size_t n =
+                    std::min(chunk, best.uops.size() - start);
+                FuzzProgram cand;
+                if (!removeRange(best, start, n, cand))
+                    continue;
+                --budget;
+                if (!fuzzCheck(cand).empty()) {
+                    best = cand;
+                    progress = true;
+                }
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    return best;
+}
+
+/* ------------------------------------------------------------------ */
+/* Corpus serialization                                                */
+/* ------------------------------------------------------------------ */
+
+std::string
+fuzzSerialize(const FuzzProgram &p)
+{
+    std::ostringstream os;
+    os << "savefuzz v1\n";
+    os << "base " << p.base << "\n";
+    os << "bytes " << p.bytes << "\n";
+    os << "fault " << p.faultIndex << "\n";
+    for (size_t i = 0; i < p.words.size(); ++i)
+        if (p.words[i])
+            os << "word " << i << " " << hex32(p.words[i]) << "\n";
+    for (const Uop &u : p.uops)
+        os << "uop " << static_cast<int>(u.op) << " "
+           << static_cast<int>(u.dst) << " "
+           << static_cast<int>(u.srcA) << " "
+           << static_cast<int>(u.srcB) << " "
+           << static_cast<int>(u.srcC) << " "
+           << static_cast<int>(u.wmask) << " " << u.addr << " "
+           << u.maskImm << "\n";
+    os << "end\n";
+    return os.str();
+}
+
+FuzzProgram
+fuzzParse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string magic, version;
+    is >> magic >> version;
+    if (magic != "savefuzz" || version != "v1")
+        throw TraceError("fuzz corpus entry: bad magic '" + magic +
+                         " " + version + "'");
+    FuzzProgram p;
+    p.words.clear();
+    bool ended = false;
+    std::string key;
+    while (is >> key) {
+        if (key == "base") {
+            is >> p.base;
+        } else if (key == "bytes") {
+            is >> p.bytes;
+            p.words.assign(p.bytes / 4, 0);
+        } else if (key == "fault") {
+            is >> p.faultIndex;
+        } else if (key == "word") {
+            size_t idx;
+            std::string hex;
+            is >> idx >> hex;
+            if (idx >= p.words.size())
+                throw TraceError(
+                    "fuzz corpus entry: word index " +
+                    std::to_string(idx) + " out of range");
+            p.words[idx] = static_cast<uint32_t>(
+                std::stoul(hex, nullptr, 16));
+        } else if (key == "uop") {
+            int op, dst, a, b, c, wmask;
+            uint64_t addr;
+            int imm;
+            is >> op >> dst >> a >> b >> c >> wmask >> addr >> imm;
+            if (op < 0 || op > static_cast<int>(Opcode::SetMask))
+                throw TraceError("fuzz corpus entry: bad opcode " +
+                                 std::to_string(op));
+            Uop u;
+            u.op = static_cast<Opcode>(op);
+            u.dst = static_cast<int8_t>(dst);
+            u.srcA = static_cast<int8_t>(a);
+            u.srcB = static_cast<int8_t>(b);
+            u.srcC = static_cast<int8_t>(c);
+            u.wmask = static_cast<int8_t>(wmask);
+            u.addr = addr;
+            u.maskImm = static_cast<uint16_t>(imm);
+            p.uops.push_back(u);
+        } else if (key == "end") {
+            ended = true;
+            break;
+        } else {
+            throw TraceError("fuzz corpus entry: unknown key '" + key +
+                             "'");
+        }
+        if (!is)
+            throw TraceError("fuzz corpus entry: truncated after '" +
+                             key + "'");
+    }
+    if (!ended)
+        throw TraceError("fuzz corpus entry: missing 'end'");
+    return p;
+}
+
+void
+fuzzWriteTrace(const FuzzProgram &p, const std::string &path,
+               const std::string &name)
+{
+    MemoryImage image = buildImage(p);
+    TraceWriter w(path, 0);
+    MachineConfig m;
+    m.cores = 1;
+    w.writeConfig(traceConfigText(m, SaveConfig{}, 2, name));
+    w.writeImage(image);
+    w.writeUops(0, p.uops);
+    w.finish();
+}
+
+} // namespace save

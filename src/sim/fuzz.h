@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Differential uop-stream fuzzer (paper SecIII software transparency).
+ *
+ * Seeded random programs — biased toward the hard corners: squash-heavy
+ * fault placement, high broadcast sparsity, mixed precision, degenerate
+ * write masks, store→load line reuse — are run through every scheduler
+ * policy × fast-forward mode and checked three ways:
+ *
+ *   1. architectural state (all 32 logical registers + the memory
+ *      region) must match the in-order ArchExecutor oracle bitwise,
+ *   2. SAVE_FASTFORWARD=1 must reproduce the =0 cycle count and the
+ *      entire stat map exactly, per policy,
+ *   3. the drained machine must hold no leaked resources (free list
+ *      full, ROB and RS empty).
+ *
+ * A failing program is shrunk by greedy delta-debugging to a minimal
+ * repro, which serializes to a one-file text corpus entry
+ * (tests/corpus/) and to a .savtrc trace via TraceWriter. When built
+ * with -DSAVE_AUDIT=ON the cycle-granular invariant auditor
+ * (sim/auditor.h) runs underneath every case, so structural violations
+ * surface even when the architectural state happens to come out right.
+ */
+
+#ifndef SAVE_SIM_FUZZ_H
+#define SAVE_SIM_FUZZ_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/uop.h"
+
+namespace save {
+
+/** One self-contained fuzz case: a memory region, its initial
+ *  contents, a uop stream, and an optional injected fault. */
+struct FuzzProgram
+{
+    uint64_t base = 0x10000;
+    uint64_t bytes = 4096;
+    /** Initial region contents, one 32-bit word per 4 bytes. */
+    std::vector<uint32_t> words;
+    std::vector<Uop> uops;
+    /** Uop sequence number to fault at (squash + replay), -1 = none. */
+    int64_t faultIndex = -1;
+};
+
+/** Deterministic program from a seed. Distinct seeds draw distinct
+ *  generation profiles (sparsity, precision mix, mask style, fault
+ *  placement); the same seed always yields the same program. */
+FuzzProgram fuzzGenerate(uint64_t seed);
+
+/** Run the full differential matrix over `p`. Returns "" when every
+ *  case is clean, else a description of the first failure (case name,
+ *  first mismatching location, expected vs actual). Never throws for
+ *  simulation failures — exceptions become failure strings. */
+std::string fuzzCheck(const FuzzProgram &p);
+
+/** Greedy delta-debug shrink: remove uop chunks (and the fault) while
+ *  fuzzCheck still fails, spending at most `budget` check calls.
+ *  Returns the smallest failing program found (== p if nothing can be
+ *  removed). Precondition: fuzzCheck(p) is non-empty. */
+FuzzProgram fuzzShrink(const FuzzProgram &p, int budget = 400);
+
+/** Text corpus round-trip (the .txt entries under tests/corpus). */
+std::string fuzzSerialize(const FuzzProgram &p);
+/** Throws TraceError on malformed input. */
+FuzzProgram fuzzParse(const std::string &text);
+
+/** Emit `p` as a .savtrc trace file (kernel name `name`), replayable
+ *  with `save-trace inspect/replay`. The injected fault, if any, is
+ *  not representable in the trace format and is dropped. */
+void fuzzWriteTrace(const FuzzProgram &p, const std::string &path,
+                    const std::string &name);
+
+} // namespace save
+
+#endif // SAVE_SIM_FUZZ_H

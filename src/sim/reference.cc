@@ -50,20 +50,14 @@ ArchExecutor::exec(const Uop &u)
             continue; // masked lanes keep the accumulator value
         float r = c.f32(lane);
         if (u.isMixedPrecision()) {
+            // Zero-skip semantics identical to the MGU: a zero
+            // multiplicand contributes nothing (bf16.h).
             for (int s = 0; s < kMlPerAl; ++s) {
                 int ml = kMlPerAl * lane + s;
-                Bf16 av = a.bf16(ml);
-                Bf16 bv = b.bf16(ml);
-                // Zero-skip semantics identical to the MGU: a zero
-                // multiplicand contributes nothing.
-                if (!bf16IsZero(av) && !bf16IsZero(bv))
-                    r = bf16Mac(r, av, bv);
+                r = bf16MacSkip(r, a.bf16(ml), b.bf16(ml));
             }
         } else {
-            float av = a.f32(lane);
-            float bv = b.f32(lane);
-            if (av != 0.0f && bv != 0.0f)
-                r = r + av * bv;
+            r = macSkipF32(r, a.f32(lane), b.f32(lane));
         }
         c.setF32(lane, r);
     }

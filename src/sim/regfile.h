@@ -38,6 +38,10 @@ class PhysRegFile
     int numFree() const { return static_cast<int>(free_.size()); }
     int numRegs() const { return num_regs_; }
 
+    /** The free list itself (invariant auditing: a register must never
+     *  be simultaneously free and referenced by live pipeline state). */
+    const std::vector<int> &freeList() const { return free_; }
+
     const VecReg &value(int idx) const;
     VecReg &value(int idx);
 

@@ -131,6 +131,7 @@ class Rs
         return nodes_[static_cast<size_t>(idx)].snext;
     }
     int issuableCount() const { return list_size_[1]; }
+    int pendingCount() const { return list_size_[0]; }
 
     /** Valid slot indices, oldest first — materialized copy for cold
      *  paths (snapshots, squash rebuild) and tests. */

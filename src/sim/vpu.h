@@ -95,6 +95,19 @@ class VpuPipeline
         }
     }
 
+    /** Visit every in-flight lane write, oldest op first, as
+     *  fn(write, done_cycle). Read-only (invariant auditing). */
+    template <typename Fn>
+    void
+    forEachInFlight(Fn fn) const
+    {
+        for (size_t i = 0; i < count_; ++i) {
+            const Op &op = q_[(head_ + i) % q_.size()];
+            for (const LaneWrite &w : op.writes)
+                fn(w, op.doneCycle);
+        }
+    }
+
     /** Per-cycle housekeeping: clears the issue slot. */
     void tick() { busy_ = false; }
 

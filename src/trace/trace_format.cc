@@ -186,9 +186,13 @@ traceEncodeUop(const Uop &u, uint64_t &prev_addr,
     if (u.wmask >= 0)
         out.push_back(static_cast<uint8_t>(u.wmask));
     if (traceUopHasAddr(u.op)) {
-        int64_t delta = static_cast<int64_t>(u.addr) -
-                        static_cast<int64_t>(prev_addr);
-        tracePutVarint(out, traceZigzag(delta));
+        // Wrapping unsigned difference, reinterpreted as signed for
+        // zigzag. Signed subtraction would be UB for address jumps
+        // wider than 63 bits (e.g. a squash-replayed stream revisiting
+        // a low address after a high sentinel); two's-complement
+        // wrap-around round-trips every (prev, addr) pair exactly.
+        uint64_t diff = u.addr - prev_addr;
+        tracePutVarint(out, traceZigzag(static_cast<int64_t>(diff)));
         prev_addr = u.addr;
     }
     if (u.op == Opcode::SetMask)
@@ -219,9 +223,10 @@ traceDecodeUop(const uint8_t *&p, const uint8_t *end,
     if (present & kHasWmask)
         u.wmask = decodeReg(p, end, kLogicalMaskRegs, "wmask");
     if (traceUopHasAddr(u.op)) {
+        // Mirror of the encoder: wrapping unsigned addition (signed
+        // addition would be UB on the same wide deltas).
         int64_t delta = traceUnzigzag(traceGetVarint(p, end));
-        u.addr = static_cast<uint64_t>(static_cast<int64_t>(prev_addr) +
-                                       delta);
+        u.addr = prev_addr + static_cast<uint64_t>(delta);
         prev_addr = u.addr;
     }
     if (u.op == Opcode::SetMask) {

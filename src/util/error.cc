@@ -48,6 +48,13 @@ DeadlockError::DeadlockError(const std::string &what,
 {
 }
 
+AuditError::AuditError(const std::string &what, std::string snapshot,
+                       Context ctx)
+    : SimError("pipeline invariant violated: " + what, ctx),
+      snapshot_(std::move(snapshot))
+{
+}
+
 CacheError::CacheError(const std::string &what, std::string path,
                        Context ctx)
     : SimError(what + " (" + path + ")", ctx), path_(std::move(path))

@@ -24,6 +24,10 @@
  *   CacheError    -- a persistent artifact (surface cache, sweep
  *                    journal) cannot be read or written; carries the
  *                    path.
+ *   AuditError    -- the cycle-granular invariant auditor (built with
+ *                    -DSAVE_AUDIT=ON; src/sim/auditor.h) found the
+ *                    pipeline in an inconsistent state; carries the
+ *                    same pipeline snapshot as the watchdog.
  */
 
 #ifndef SAVE_UTIL_ERROR_H
@@ -90,6 +94,20 @@ class DeadlockError : public SimError
   public:
     DeadlockError(const std::string &what, std::string snapshot,
                   Context ctx = Context());
+
+    const std::string &snapshot() const { return snapshot_; }
+
+  private:
+    std::string snapshot_;
+};
+
+/** The invariant auditor caught a microarchitectural inconsistency;
+ *  snapshot() holds the pipeline dump taken at the violation. */
+class AuditError : public SimError
+{
+  public:
+    AuditError(const std::string &what, std::string snapshot,
+               Context ctx = Context());
 
     const std::string &snapshot() const { return snapshot_; }
 

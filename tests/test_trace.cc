@@ -156,7 +156,93 @@ TEST(TraceCodec, UopStreamRoundTrip)
     }
 }
 
+TEST(TraceCodec, UopAddrDeltaBackwardAndExtremeRoundTrip)
+{
+    // Squash-replayed streams revisit lower addresses after higher
+    // ones, and synthetic streams can jump across most of the address
+    // space; the delta codec must wrap (unsigned two's complement) in
+    // both directions, never overflow signed arithmetic.
+    const std::vector<uint64_t> addrs = {
+        0x1000,
+        0x40, // backward
+        0xffffffffffffffffull,
+        0x0, // maximal backward jump
+        0x8000000000000000ull,
+        0x7fffffffffffffffull,
+        0x40,
+        0xfffffffffffffff0ull,
+        0x1000,
+    };
+    std::vector<Uop> uops;
+    for (uint64_t a : addrs)
+        uops.push_back(Uop::loadVec(3, a));
+    uops.push_back(Uop::storeVec(4, 0x123456789abcdef0ull));
+    uops.push_back(Uop::broadcastLoad(5, 0x8ull));
+
+    std::vector<uint8_t> buf;
+    uint64_t prev = 0;
+    for (const Uop &u : uops)
+        traceEncodeUop(u, prev, buf);
+    const uint8_t *p = buf.data();
+    const uint8_t *end = p + buf.size();
+    prev = 0;
+    for (const Uop &want : uops) {
+        Uop got = traceDecodeUop(p, end, prev);
+        EXPECT_EQ(got.addr, want.addr);
+        EXPECT_EQ(static_cast<int>(got.op), static_cast<int>(want.op));
+    }
+    EXPECT_EQ(p, end);
+}
+
 // ------------------------------------------------- file round trips
+
+TEST_F(TraceTest, MemRegionZeroRleBoundaries)
+{
+    // The MEMR zero-run RLE must round-trip regions whose zero runs
+    // end exactly at the region (= chunk payload) boundary, in every
+    // alignment relative to the writer's minimum-run threshold of 16.
+    MemoryImage image;
+    auto fill = [&](uint64_t base, const std::vector<uint8_t> &bytes) {
+        image.addRegion(base, bytes.size());
+        if (!bytes.empty())
+            image.writeBytes(base, bytes.data(), bytes.size());
+    };
+    auto pattern = [](std::initializer_list<std::pair<int, uint8_t>>
+                          runs) {
+        std::vector<uint8_t> v;
+        for (auto [n, b] : runs)
+            v.insert(v.end(), static_cast<size_t>(n), b);
+        return v;
+    };
+    fill(0x0000, std::vector<uint8_t>(64, 0)); // all zero
+    fill(0x1000, pattern({{1, 7}, {15, 0}}));  // short trailing run
+    fill(0x2000, pattern({{1, 7}, {16, 0}}));  // run == threshold
+    fill(0x3000, pattern({{1, 7}, {17, 0}}));  // run == threshold + 1
+    fill(0x4000, pattern({{1, 7}, {40, 0}}));  // long trailing run
+    fill(0x5000, pattern({{16, 0}, {1, 7}}));  // leading run only
+    fill(0x6000, pattern({{1, 7}, {15, 0}, {1, 9}, {16, 0}, {1, 3}}));
+    fill(0x7000, pattern({{16, 0}, {1, 7}, {16, 0}, {1, 9}, {16, 0}}));
+    fill(0x8000, std::vector<uint8_t>(48, 0xab)); // no zeros at all
+
+    std::string f = path("rle.savtrc");
+    {
+        TraceWriter w(f, 1);
+        MachineConfig mcfg;
+        mcfg.cores = 1;
+        w.writeConfig(traceConfigText(mcfg, SaveConfig{}, 2, "rle"));
+        w.writeImage(image);
+        w.writeUops(0, {Uop::loadVec(0, 0x0)}); // reader needs a stream
+        w.finish();
+    }
+    TraceReader r(f);
+    MemoryImage rebuilt = r.buildImage();
+    ASSERT_EQ(rebuilt.numRegions(), image.numRegions());
+    for (size_t i = 0; i < image.numRegions(); ++i) {
+        EXPECT_EQ(rebuilt.regionBase(i), image.regionBase(i));
+        EXPECT_EQ(rebuilt.regionData(i), image.regionData(i)) <<
+            "region " << i;
+    }
+}
 
 TEST_F(TraceTest, RecordedFileRoundTrips)
 {
