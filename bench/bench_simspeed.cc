@@ -36,6 +36,7 @@
 #include "mem/memory_image.h"
 #include "sim/multicore.h"
 #include "stats/stats.h"
+#include "util/simd.h"
 
 /* Heap-allocation counter: interpose the global allocation functions
  * (this binary only). Counting news is enough — the metric is churn,
@@ -176,17 +177,41 @@ runAll()
                          slice(0.8, 0.8, Precision::Bf16), true));
     rows.push_back(bench("rvc_fp32_sparse80_noff", SaveConfig{},
                          slice(0.8, 0.8, Precision::Fp32), false));
+
+    // The four main slices again, pinned to the generic scalar SIMD
+    // backend. The baseline tracks both sets, so a regression in a
+    // vector backend and one in the surrounding simulator show up
+    // separately; on hosts without AVX the two sets coincide.
+    simd::Backend active = simd::activeBackend();
+    if (active != simd::Backend::Generic &&
+        simd::forceBackend(simd::Backend::Generic)) {
+        rows.push_back(
+            bench("baseline_fp32_dense_simd_generic",
+                  SaveConfig::baseline(),
+                  slice(0.0, 0.0, Precision::Fp32), true));
+        rows.push_back(bench("rvc_fp32_dense_simd_generic", SaveConfig{},
+                             slice(0.0, 0.0, Precision::Fp32), true));
+        rows.push_back(bench("rvc_fp32_sparse80_simd_generic",
+                             SaveConfig{},
+                             slice(0.8, 0.8, Precision::Fp32), true));
+        rows.push_back(bench("rvc_bf16_sparse80_simd_generic",
+                             SaveConfig{},
+                             slice(0.8, 0.8, Precision::Bf16), true));
+        simd::forceBackend(active);
+    }
     return rows;
 }
 
 void
 printTable(const std::vector<BenchRow> &rows)
 {
-    std::printf("%-26s %14s %14s %10s %10s %12s %14s\n", "benchmark",
+    std::printf("simd backend: %s (host: %s)\n", simd::backendName(),
+                simd::hostFeatures().c_str());
+    std::printf("%-36s %14s %14s %10s %10s %12s %14s\n", "benchmark",
                 "uops/s", "sim_cycles/s", "cycles", "ff_jumps",
                 "ff_skipped", "allocs/cycle");
     for (const BenchRow &r : rows) {
-        std::printf("%-26s %14.0f %14.0f %10llu %10llu %12llu %14.4f\n",
+        std::printf("%-36s %14.0f %14.0f %10llu %10llu %12llu %14.4f\n",
                     r.name.c_str(), r.uopsPerSec, r.cyclesPerSec,
                     static_cast<unsigned long long>(r.simCycles),
                     static_cast<unsigned long long>(r.ffJumps),
@@ -199,7 +224,10 @@ void
 printJson(const std::vector<BenchRow> &rows)
 {
     std::printf("{\n  \"schema\": \"save-bench-simspeed-v1\",\n"
-                "  \"benchmarks\": [\n");
+                "  \"simd_backend\": \"%s\",\n"
+                "  \"host_simd_features\": \"%s\",\n"
+                "  \"benchmarks\": [\n",
+                simd::backendName(), simd::hostFeatures().c_str());
     for (size_t i = 0; i < rows.size(); ++i) {
         const BenchRow &r = rows[i];
         // One StatGroup per row rendered by the shared stable-ordered
@@ -275,7 +303,7 @@ check(const std::vector<BenchRow> &rows, const std::string &baseline_path)
         }
         double ratio = cur->uopsPerSec / base_rate;
         bool ok = ratio >= 1.0 - kTolerance;
-        std::printf("%-5s %-26s %.0f uops/s vs baseline %.0f (%+.1f%%)\n",
+        std::printf("%-5s %-36s %.0f uops/s vs baseline %.0f (%+.1f%%)\n",
                     ok ? "ok" : "FAIL", name.c_str(), cur->uopsPerSec,
                     base_rate, (ratio - 1.0) * 100.0);
         if (!ok)

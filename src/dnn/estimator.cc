@@ -475,25 +475,61 @@ TrainingEstimator::prefetch(const NetworkModel &net, Precision precision,
     for (int64_t e = first_step; e < net.steps(); ++e)
         forEachKernel(net, e, inference_only, add_kernel);
 
-    // Drop points already simulated (or persisted) so the fan-out only
-    // covers genuinely new work.
+    // Claim every un-cached point up front: inserting the shared
+    // future under the lock takes single-flight ownership, exactly as
+    // sliceTime's owner path would, so a concurrent kernelTime that
+    // races the prefetch waits on our batch instead of duplicating the
+    // simulation. promises[] stays parallel to todo[].
     std::vector<Key> todo;
+    std::vector<std::promise<double>> promises;
     {
         std::lock_guard<std::mutex> lk(cache_mu_);
-        for (const Key &k : order)
-            if (!cache_.count(k))
-                todo.push_back(k);
+        for (const Key &k : order) {
+            if (cache_.count(k))
+                continue;
+            std::promise<double> p;
+            cache_.emplace(k, p.get_future().share());
+            todo.push_back(k);
+            promises.push_back(std::move(p));
+        }
     }
     if (todo.empty())
         return;
 
-    if (pool_ && todo.size() > 1) {
+    // Batch the claimed points by micro-kernel shape (SoA layout) and
+    // fan out one pool task per batch. Each point still simulates with
+    // its own seeded Engine, so the grouping only changes scheduling,
+    // never values.
+    std::vector<SliceBatch> batches = batchSlices(todo);
+    auto run_batch = [&](SliceBatch &b) {
+        for (size_t i = 0; i < b.size(); ++i) {
+            double t;
+            try {
+                t = simulateWithRetry(b.keyAt(i));
+            } catch (...) {
+                // failFast: fail this point's waiters and everything
+                // left in the batch, then let parallelFor rethrow.
+                auto e = std::current_exception();
+                for (size_t j = i; j < b.size(); ++j)
+                    promises[b.srcIdx[j]].set_exception(e);
+                throw;
+            }
+            if (std::isfinite(t)) {
+                sims_.fetch_add(1, std::memory_order_relaxed);
+                dirty_.store(true, std::memory_order_relaxed);
+            }
+            b.times[i] = t;
+            promises[b.srcIdx[i]].set_value(t);
+        }
+    };
+
+    if (pool_ && batches.size() > 1) {
         pool_->parallelFor(
-            static_cast<int64_t>(todo.size()),
-            [&](int64_t i) { sliceTime(todo[static_cast<size_t>(i)]); });
+            static_cast<int64_t>(batches.size()),
+            [&](int64_t i) { run_batch(batches[static_cast<size_t>(i)]); });
     } else {
-        for (const Key &k : todo)
-            sliceTime(k);
+        for (SliceBatch &b : batches)
+            run_batch(b);
     }
 }
 

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "dnn/networks.h"
+#include "dnn/slice_batch.h"
 #include "dnn/surface_cache.h"
 #include "engine/engine.h"
 #include "util/thread_pool.h"
@@ -181,12 +182,9 @@ class TrainingEstimator
     std::string failureReport() const;
 
   private:
-    struct Key
-    {
-        int mr, nr, kSteps;
-        uint8_t pattern, precision, saveOn, vpus, wBin, aBin;
-        auto operator<=>(const Key &) const = default;
-    };
+    /** Surface-point cache key (shape + sparsity bins); shared with
+     *  the SoA prefetch batching in dnn/slice_batch.h. */
+    using Key = SliceKey;
 
     /** Sparsity-bin corners + interpolation weights for one lookup. */
     struct BinWeights

@@ -47,6 +47,20 @@ bf16IsZero(Bf16 v)
     return (v & 0x7fffu) == 0;
 }
 
+/** True if the FP32 bit pattern is a (positive or negative) zero. */
+inline bool
+f32BitsAreZero(uint32_t word)
+{
+    return (word & 0x7fffffffu) == 0;
+}
+
+/** True if both BF16 halves of a 32-bit word are (signed) zeros. */
+inline bool
+bf16PairIsZero(uint32_t word)
+{
+    return (word & 0x7fff7fffu) == 0;
+}
+
 /**
  * One multiply-accumulate step of VDPBF16PS: acc + a*b with the BF16
  * inputs widened exactly and the product/sum computed in FP32.

@@ -4,32 +4,6 @@
 
 namespace save {
 
-bool
-Uop::isVfma() const
-{
-    return op == Opcode::VfmaPs || op == Opcode::VfmaPsBcast ||
-           op == Opcode::Vdpbf16Ps || op == Opcode::Vdpbf16PsBcast;
-}
-
-bool
-Uop::isMixedPrecision() const
-{
-    return op == Opcode::Vdpbf16Ps || op == Opcode::Vdpbf16PsBcast;
-}
-
-bool
-Uop::isLoad() const
-{
-    return op == Opcode::BroadcastLoad || op == Opcode::LoadVec ||
-           hasEmbeddedBroadcast();
-}
-
-bool
-Uop::hasEmbeddedBroadcast() const
-{
-    return op == Opcode::VfmaPsBcast || op == Opcode::Vdpbf16PsBcast;
-}
-
 std::string
 Uop::toString() const
 {

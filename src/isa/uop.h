@@ -65,13 +65,31 @@ struct Uop
     /** Immediate for SetMask. */
     uint16_t maskImm = 0;
 
-    bool isVfma() const;
+    bool
+    isVfma() const
+    {
+        return op == Opcode::VfmaPs || op == Opcode::VfmaPsBcast ||
+               op == Opcode::Vdpbf16Ps || op == Opcode::Vdpbf16PsBcast;
+    }
     /** True for the mixed-precision (BF16) VFMA forms. */
-    bool isMixedPrecision() const;
+    bool
+    isMixedPrecision() const
+    {
+        return op == Opcode::Vdpbf16Ps || op == Opcode::Vdpbf16PsBcast;
+    }
     /** True when the uop reads memory. */
-    bool isLoad() const;
+    bool
+    isLoad() const
+    {
+        return op == Opcode::BroadcastLoad || op == Opcode::LoadVec ||
+               hasEmbeddedBroadcast();
+    }
     /** True when srcA comes from memory via an embedded broadcast. */
-    bool hasEmbeddedBroadcast() const;
+    bool
+    hasEmbeddedBroadcast() const
+    {
+        return op == Opcode::VfmaPsBcast || op == Opcode::Vdpbf16PsBcast;
+    }
 
     std::string toString() const;
 

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "isa/bf16.h"
 #include "util/logging.h"
 
 namespace save {
@@ -9,13 +10,15 @@ namespace save {
 namespace {
 
 /** True if the 32-bit broadcast word is (signed-)zero in every
- *  element it carries: one FP32 scalar, or a BF16 pair. */
+ *  element it carries: one FP32 scalar, or a BF16 pair (shared
+ *  zero-test helpers from isa/bf16.h, same tests the SIMD backends
+ *  implement). */
 bool
 broadcastIsZero(uint32_t word, Precision prec)
 {
     if (prec == Precision::Bf16)
-        return (word & 0x7fff7fffu) == 0;
-    return (word & 0x7fffffffu) == 0;
+        return bf16PairIsZero(word);
+    return f32BitsAreZero(word);
 }
 
 } // namespace

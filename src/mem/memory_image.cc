@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace save {
 
@@ -137,14 +138,7 @@ MemoryImage::writeLine(uint64_t addr, const VecReg &v)
 uint16_t
 MemoryImage::lineZeroMaskF32(uint64_t addr) const
 {
-    uint64_t base = lineOf(addr);
-    uint16_t mask = 0;
-    for (int i = 0; i < kVecLanes; ++i) {
-        float f = readF32(base + 4 * static_cast<uint64_t>(i));
-        if (f == 0.0f)
-            mask |= static_cast<uint16_t>(1u << i);
-    }
-    return mask;
+    return simd::ops().zeroMaskF32(readLine(addr));
 }
 
 } // namespace save

@@ -18,6 +18,7 @@
 
 #include "sim/core.h"
 #include "trace/event_trace.h"
+#include "util/bitutil.h"
 #include "util/logging.h"
 
 #include <algorithm>
@@ -34,9 +35,11 @@ VectorScheduler::onVfmaAllocated(int rs_idx)
     }
 
     int chain_id = -1;
-    auto it = c_.vfma_dst_to_rs_.find(e.pc);
-    if (it != c_.vfma_dst_to_rs_.end() && it->second != rs_idx) {
-        const RsEntry &prod = c_.rs.at(it->second);
+    int prod_idx = e.pc == kNoReg
+        ? -1
+        : c_.vfma_dst_to_rs_[static_cast<size_t>(e.pc)];
+    if (prod_idx >= 0 && prod_idx != rs_idx) {
+        const RsEntry &prod = c_.rs.at(prod_idx);
         if (prod.valid && prod.uop.dst == e.uop.dst &&
             prod.chainId >= 0 && chains_.count(prod.chainId)) {
             chain_id = prod.chainId;
@@ -178,6 +181,19 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al)
         return; // waiting on the forwarded partial result (fast path:
                 // skips the cursor walk; advanceCursor is idempotent)
 
+    // Claim-availability precheck: in a saturated cycle most calls die
+    // at claimSlot below, after paying for the cursor walk and the
+    // readiness probes. The target temp position is known without the
+    // cursor, so test it first. Everything the skipped prefix would
+    // have updated (cursor advance, chain-base capture) is a pure
+    // cache whose deferral is invisible: the accumulator lane value is
+    // stable once published, and a cycle with every temp claimed
+    // always issues them (activity), so the fast-forward horizon never
+    // sees the deferred init.
+    int temp_lane = (al + chain.rot + kVecLanes) % kVecLanes;
+    if (!slotAvailable(temp_lane, 1))
+        return;
+
     advanceCursor(chain, al);
     int &cursor = chain.cursor[static_cast<size_t>(al)];
     if (cursor >= static_cast<int>(chain.nodes.size()))
@@ -201,7 +217,6 @@ VectorScheduler::scheduleChainAl(Chain &chain, int al)
         ca.init = true;
     }
 
-    int temp_lane = (al + chain.rot + kVecLanes) % kVecLanes;
     int vpu = claimSlot(temp_lane, 1, false);
     if (vpu < 0)
         return;
@@ -282,9 +297,29 @@ VectorScheduler::scheduleChains()
 
     for (auto &[seq, id] : chain_order_) {
         (void)seq;
+        // Once every temp is claimed and type-1 positions are all
+        // taken, no remaining chain AL can schedule this cycle; every
+        // skipped call would have failed its claim precheck.
+        if (!mpCapacityLeft())
+            break;
         Chain &ch = chains_.at(id);
-        for (int al = 0; al < kVecLanes; ++al)
+        // Union of pending effectual MLs over the chain's live nodes:
+        // an AL with no bit anywhere can schedule nothing this cycle
+        // (its cursor either runs to the end or parks on a node whose
+        // ELM is still unknown — both no-ops), so only ALs in the
+        // union pay the per-AL cursor walk. One sequential O(nodes)
+        // scan replaces sixteen of them.
+        uint32_t pending_union = 0;
+        for (const ChainNode &n : ch.nodes) {
+            const RsEntry &e = c_.rs.at(n.rsIdx);
+            if (e.valid && e.seq == n.seq)
+                pending_union |= e.pendingMl;
+        }
+        for (uint16_t m = mpAlMask(pending_union); m;) {
+            int al = lowestSetBit(m);
+            m &= static_cast<uint16_t>(m - 1);
             scheduleChainAl(ch, al);
+        }
     }
     for (auto &[seq, id] : chain_order_) {
         (void)seq;

@@ -5,6 +5,7 @@
 #include "trace/event_trace.h"
 #include "util/bitutil.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace save {
 
@@ -64,6 +65,44 @@ VectorScheduler::claimSlot(int lane, int type, bool hc)
     return -1;
 }
 
+bool
+VectorScheduler::slotAvailable(int lane, int type) const
+{
+    for (const Temp &t : temps_) {
+        if (t.type == -1)
+            return true;
+        if (t.type != type || t.hc)
+            continue;
+        if (!((t.lanesUsed >> lane) & 1))
+            return true;
+    }
+    return false;
+}
+
+bool
+VectorScheduler::mpCapacityLeft() const
+{
+    for (const Temp &t : temps_) {
+        if (t.type == -1)
+            return true;
+        if (t.type == 1 && !t.hc && t.lanesUsed != 0xffffu)
+            return true;
+    }
+    return false;
+}
+
+bool
+VectorScheduler::positionalCapacityLeft() const
+{
+    for (const Temp &t : temps_) {
+        if (t.type == -1)
+            return true;
+        if (!t.hc && t.lanesUsed != 0xffffu)
+            return true;
+    }
+    return false;
+}
+
 void
 VectorScheduler::passThrough()
 {
@@ -106,16 +145,16 @@ VectorScheduler::passThrough()
 void
 VectorScheduler::scheduleBaseline()
 {
-    // Under the baseline policy no entry is ever promoted, so the
-    // pending sublist is the full age order.
-    for (int idx = c_.rs.firstPending(); idx != Rs::kEnd;) {
-        int nxt = c_.rs.nextInList(idx);
+    // Event-driven select: the core maintains baseline_ready_ as the
+    // age-ordered queue of fully-ready unissued VFMAs (readiness flags
+    // transition exactly once per entry), so selecting the oldest
+    // ready instructions never rescans the RS.
+    size_t taken = 0;
+    while (taken < c_.baseline_ready_.size()) {
+        int idx = c_.baseline_ready_[taken].second;
         RsEntry &e = c_.rs.at(idx);
-        if (e.issued || !e.aReady || !e.bReady ||
-            !c_.prf.fullyReady(e.pc)) {
-            idx = nxt;
-            continue;
-        }
+        SAVE_ASSERT(e.valid && e.seq == c_.baseline_ready_[taken].first,
+                    "stale baseline ready-queue entry");
 
         bool mp = e.uop.isMixedPrecision();
         int vpu = -1;
@@ -135,30 +174,27 @@ VectorScheduler::scheduleBaseline()
         const VecReg &a = c_.operandA(e);
         const VecReg &b = c_.operandB(e);
         const VecReg &cv = c_.prf.value(e.pc);
-        for (int lane = 0; lane < kVecLanes; ++lane) {
-            float r = cv.f32(lane);
-            if ((e.wm >> lane) & 1) {
-                // Zero-skip value semantics even though the baseline
-                // policy executes every masked lane (bf16.h).
-                if (mp) {
-                    r = bf16MacSkip(r, a.bf16(2 * lane),
-                                    b.bf16(2 * lane));
-                    r = bf16MacSkip(r, a.bf16(2 * lane + 1),
-                                    b.bf16(2 * lane + 1));
-                } else {
-                    r = macSkipF32(r, a.f32(lane), b.f32(lane));
-                }
-            }
-            t.writes.push_back(
-                {e.dstPhys, static_cast<int8_t>(lane), r, e.robIdx});
-        }
+        // Zero-skip value semantics even though the baseline policy
+        // executes every masked lane (bf16.h); whole-register compute
+        // through the host-SIMD backend, whole-register writeback.
+        t.vec.dstPhys = e.dstPhys;
+        t.vec.robIdx = e.robIdx;
+        t.vec.value = mp
+            ? simd::ops().bf16MacSkipVec(
+                  a, b, cv, simd::expandMask16to32(e.wm))
+            : simd::ops().macSkipF32Vec(a, b, cv, e.wm);
+        t.vecValid = true;
         e.issued = true;
         if (c_.etrace_)
             c_.etrace_->baselineIssue(c_.now(), e.seq, vpu);
         c_.releaseEntry(idx);
         st_baseline_issues_.add();
-        idx = nxt;
+        ++taken;
     }
+    if (taken > 0)
+        c_.baseline_ready_.erase(c_.baseline_ready_.begin(),
+                                 c_.baseline_ready_.begin() +
+                                     static_cast<long>(taken));
 }
 
 void
@@ -170,6 +206,11 @@ VectorScheduler::scheduleCoalesced()
     // instruction wanting it. Only the post-ELM issuable sublist can
     // have schedulable lanes.
     for (int idx = c_.rs.firstIssuable(); idx != Rs::kEnd;) {
+        // Once every temp position is claimed no remaining entry can
+        // place a lane; the rest of the walk would only recompute
+        // failed claims (entries without claims are never mutated).
+        if (!positionalCapacityLeft())
+            break;
         int nxt = c_.rs.nextInList(idx);
         RsEntry &e = c_.rs.at(idx);
         if (e.uop.isMixedPrecision() && c_.scfg.mpCompress) {
@@ -215,21 +256,12 @@ VectorScheduler::scheduleCoalesced()
                 t.hc = false;
                 t.lanesUsed = 0xffffu;
                 t.count = kVecLanes;
-                for (int lane = 0; lane < kVecLanes; ++lane) {
-                    float r = cv.f32(lane);
-                    if (mp) {
-                        for (int s = 0; s < kMlPerAl; ++s) {
-                            int ml = kMlPerAl * lane + s;
-                            if ((e.elm >> ml) & 1)
-                                r = bf16MacSkip(r, a.bf16(ml), b.bf16(ml));
-                        }
-                    } else {
-                        r = macSkipF32(r, a.f32(lane), b.f32(lane));
-                    }
-                    t.writes.push_back({e.dstPhys,
-                                        static_cast<int8_t>(lane), r,
-                                        e.robIdx});
-                }
+                t.vec.dstPhys = e.dstPhys;
+                t.vec.robIdx = e.robIdx;
+                t.vec.value = mp
+                    ? simd::ops().bf16MacSkipVec(a, b, cv, e.elm)
+                    : simd::ops().macSkipF32Vec(a, b, cv, 0xffffu);
+                t.vecValid = true;
                 if (mp)
                     e.pendingMl = 0;
                 e.pendingAl = 0;
@@ -360,8 +392,12 @@ VectorScheduler::issueTemps()
         int lat = c_.fmaLatency(t.type == 1);
         if (t.hc)
             lat += c_.scfg.hcExtraLatency;
-        c_.vpus[v].issue(t.writes,
-                         c_.now() + static_cast<uint64_t>(lat));
+        if (t.vecValid)
+            c_.vpus[v].issueVec(t.vec,
+                                c_.now() + static_cast<uint64_t>(lat));
+        else
+            c_.vpus[v].issue(t.writes,
+                             c_.now() + static_cast<uint64_t>(lat));
         c_.activity_ = true;
         st_temps_issued_.add();
         st_temp_fill_.add(t.count);
@@ -380,6 +416,7 @@ VectorScheduler::step()
         t.type = -1;
         t.hc = false;
         t.writes.clear();
+        t.vecValid = false;
     }
 
     if (!c_.scfg.enabled || c_.scfg.policy == SchedPolicy::Baseline) {

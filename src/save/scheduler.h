@@ -93,6 +93,12 @@ class VectorScheduler
         int type = -1; // -1 free, 0 fp32, 1 mixed-precision
         bool hc = false;
         LaneWriteVec writes;
+        /** Whole-register result (baseline select / dense fast path):
+         *  all sixteen lanes of one entry, issued as a single VecWrite.
+         *  Such a temp is always claimed whole, so writes stays empty
+         *  while vecValid is set. */
+        bool vecValid = false;
+        VecWrite vec;
     };
 
     /**
@@ -101,6 +107,19 @@ class VectorScheduler
      * @return VPU index, or -1 if no capacity.
      */
     int claimSlot(int lane, int type, bool hc);
+
+    /** Would claimSlot(lane, type, false) succeed right now? Pure
+     *  probe: no temp state is touched. */
+    bool slotAvailable(int lane, int type) const;
+
+    /** True while any temp could still take a positional
+     *  mixed-precision lane this cycle (free temp, or a non-full
+     *  type-1 temp). */
+    bool mpCapacityLeft() const;
+
+    /** True while any temp could still take a positional lane of some
+     *  type (free temp, or any non-full non-HC temp). */
+    bool positionalCapacityLeft() const;
 
     void passThrough();
     void scheduleBaseline();

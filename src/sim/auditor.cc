@@ -275,19 +275,23 @@ Auditor::checkPrf() const
                  " is neither free nor reachable (leaked)");
     }
 
-    for (const auto &[phys, rs_idx] : c_.vfma_dst_to_rs_) {
+    for (size_t p = 0; p < c_.vfma_dst_to_rs_.size(); ++p) {
+        int phys = static_cast<int>(p);
+        int rs_idx = c_.vfma_dst_to_rs_[p];
+        if (rs_idx < 0)
+            continue;
         live(phys, "vfma dst->RS map");
-        if (rs_idx < 0 || rs_idx >= rs.capacity() ||
-            !rs.at(rs_idx).valid || rs.at(rs_idx).dstPhys != phys)
+        if (rs_idx >= rs.capacity() || !rs.at(rs_idx).valid ||
+            rs.at(rs_idx).dstPhys != phys)
             fail("vfma dst->RS map entry for register " +
                  std::to_string(phys) + " references a dead RS slot");
         if (!rs.at(rs_idx).uop.isMixedPrecision())
             fail("vfma dst->RS map entry for register " +
                  std::to_string(phys) + " is not mixed-precision");
     }
-    for (const auto &[phys, seen] : c_.rotated_copies_) {
-        (void)seen;
-        live(phys, "rotated-copy table");
+    for (size_t p = 0; p < c_.rotated_copies_.size(); ++p) {
+        if (c_.rotated_copies_[p] != 0)
+            live(static_cast<int>(p), "rotated-copy table");
     }
 }
 
@@ -312,17 +316,62 @@ Auditor::checkWaiters() const
                 fail("stale waiter on register " +
                      std::to_string(phys) + " (seq " +
                      std::to_string(w.seq) + ")");
-            int src = w.isA ? e.pa : e.pb;
+            int src = w.src == Core::RegWaiter::Src::A   ? e.pa
+                      : w.src == Core::RegWaiter::Src::B ? e.pb
+                                                         : e.pc;
             if (src != static_cast<int>(phys))
                 fail("waiter on register " + std::to_string(phys) +
                      " enlisted for a different source of seq " +
                      std::to_string(e.seq));
-            if (w.isA ? e.aReady : e.bReady)
+            bool already = w.src == Core::RegWaiter::Src::A ? e.aReady
+                           : w.src == Core::RegWaiter::Src::B
+                               ? e.bReady
+                               : e.cReady;
+            if (already)
                 fail("waiter outlived readiness of register " +
                      std::to_string(phys) + " at seq " +
                      std::to_string(e.seq));
         }
     }
+    checkBaselineReady();
+}
+
+void
+Auditor::checkBaselineReady() const
+{
+    if (!c_.baseline_select_)
+        return;
+    const Rs &rs = c_.rs;
+    // Soundness: every queue record references a live, fully-ready,
+    // unissued entry, and the queue is age-ordered.
+    uint64_t prev_seq = 0;
+    size_t queued = 0;
+    for (const auto &[seq, idx] : c_.baseline_ready_) {
+        const RsEntry &e = rs.at(idx);
+        if (!e.valid || e.seq != seq)
+            fail("baseline ready queue references a dead RS slot "
+                 "(seq " + std::to_string(seq) + ")");
+        if (!e.aReady || !e.bReady || !e.cReady || e.issued)
+            fail("baseline ready queue holds a not-ready entry at seq " +
+                 std::to_string(seq));
+        if (seq <= prev_seq && queued > 0)
+            fail("baseline ready queue out of age order at seq " +
+                 std::to_string(seq));
+        prev_seq = seq;
+        ++queued;
+    }
+    // Completeness: a fully-ready unissued VFMA missing from the queue
+    // would never be selected (missed wakeup).
+    size_t ready = 0;
+    for (int idx = rs.first(); idx != Rs::kEnd; idx = rs.next(idx)) {
+        const RsEntry &e = rs.at(idx);
+        if (e.aReady && e.bReady && e.cReady && !e.issued)
+            ++ready;
+    }
+    if (ready != queued)
+        fail("baseline ready queue holds " + std::to_string(queued) +
+             " entries but " + std::to_string(ready) +
+             " RS entries are fully ready");
 }
 
 void
@@ -412,6 +461,16 @@ Auditor::checkEventTargets() const
         else
             checkLoadReq(ev.load, "in-flight load");
     }
+
+    size_t load_ring_total = 0;
+    for (const auto &bucket : c_.load_ring_) {
+        load_ring_total += bucket.size();
+        for (const Core::LoadReq &req : bucket)
+            checkLoadReq(req, "load ring");
+    }
+    if (load_ring_total != c_.load_ring_count_)
+        fail("load-ring count " + std::to_string(c_.load_ring_count_) +
+             " != bucket total " + std::to_string(load_ring_total));
 
     uint64_t prev_seq = 0;
     bool first = true;

@@ -63,6 +63,7 @@ class Auditor
     void checkRobRsLink() const;
     void checkPrf() const;
     void checkWaiters() const;
+    void checkBaselineReady() const;
     void checkEventTargets() const;
     void checkSaveState() const;
     void checkLaneOrder() const;

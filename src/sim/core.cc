@@ -117,7 +117,13 @@ Core::Core(const MachineConfig &machine_cfg, const SaveConfig &save_cfg,
 #endif
 
     reg_waiters_.resize(static_cast<size_t>(prf.numRegs()));
+    vfma_dst_to_rs_.assign(static_cast<size_t>(prf.numRegs()), -1);
+    rotated_copies_.assign(static_cast<size_t>(prf.numRegs()), 0);
+    baseline_select_ =
+        !scfg.enabled || scfg.policy == SchedPolicy::Baseline;
+    baseline_ready_.reserve(static_cast<size_t>(rs.capacity()));
     wb_scratch_.reserve(4 * kVecLanes);
+    wb_vec_scratch_.reserve(4);
     squashed_rob_.assign(static_cast<size_t>(rob.capacity()), 0);
     {
         // Pre-size the event heap's backing store.
@@ -191,7 +197,7 @@ Core::releaseEntry(int rs_idx)
 {
     const RsEntry &e = rs.at(rs_idx);
     if (e.dstPhys != kNoReg)
-        vfma_dst_to_rs_.erase(e.dstPhys);
+        vfma_dst_to_rs_[static_cast<size_t>(e.dstPhys)] = -1;
     sched_->onEntryReleased(rs_idx);
     rs.release(rs_idx);
 }
@@ -207,10 +213,12 @@ Core::wakeWaiters(int phys)
         RsEntry &e = rs.at(w.rsIdx);
         if (!e.valid || e.seq != w.seq)
             continue; // slot reused since enlisting
-        if (w.isA)
-            e.aReady = true;
-        else
-            e.bReady = true;
+        switch (w.src) {
+          case RegWaiter::Src::A: e.aReady = true; break;
+          case RegWaiter::Src::B: e.bReady = true; break;
+          case RegWaiter::Src::C: e.cReady = true; break;
+        }
+        onOperandReady(w.rsIdx, e);
     }
     ws.clear();
 }
@@ -220,10 +228,28 @@ Core::addWaiters(int rs_idx, const RsEntry &e)
 {
     if (!e.aReady && e.pa != kNoReg)
         reg_waiters_[static_cast<size_t>(e.pa)].push_back(
-            {rs_idx, e.seq, true});
+            {rs_idx, e.seq, RegWaiter::Src::A});
     if (!e.bReady && e.pb != kNoReg)
         reg_waiters_[static_cast<size_t>(e.pb)].push_back(
-            {rs_idx, e.seq, false});
+            {rs_idx, e.seq, RegWaiter::Src::B});
+    if (baseline_select_ && !e.cReady && e.pc != kNoReg)
+        reg_waiters_[static_cast<size_t>(e.pc)].push_back(
+            {rs_idx, e.seq, RegWaiter::Src::C});
+}
+
+void
+Core::onOperandReady(int rs_idx, const RsEntry &e)
+{
+    if (!baseline_select_ || !e.aReady || !e.bReady || !e.cReady)
+        return;
+    // Readiness flags each transition exactly once per entry, so the
+    // wake that completes the set enqueues the entry exactly once.
+    // Wakes arrive in no particular age order: insert by seq (the
+    // suffix that moves is almost always empty).
+    auto it = baseline_ready_.end();
+    while (it != baseline_ready_.begin() && (it - 1)->first > e.seq)
+        --it;
+    baseline_ready_.insert(it, {e.seq, rs_idx});
 }
 
 bool
@@ -231,7 +257,8 @@ Core::drained() const
 {
     if (have_peek_ || !trace_done_ || !rob.empty() || !replay_.empty())
         return false;
-    if (!load_queue_.empty() || !events_.empty() || pub_count_ != 0)
+    if (!load_queue_.empty() || !events_.empty() || pub_count_ != 0 ||
+        load_ring_count_ != 0)
         return false;
     for (const auto &v : vpus)
         if (!v.idle())
@@ -276,6 +303,15 @@ Core::wakeHorizon() const
         // core, never), diverging from the per-cycle loop.
         for (uint64_t d = 0; d < kPubRingSlots; ++d) {
             if (!pub_ring_[(cycle_ + d) % kPubRingSlots].empty()) {
+                h = std::min(h, cycle_ + d);
+                break;
+            }
+        }
+    }
+    if (load_ring_count_ != 0) {
+        // Same d=0 rationale as the publish ring above.
+        for (uint64_t d = 0; d < kPubRingSlots; ++d) {
+            if (!load_ring_[(cycle_ + d) % kPubRingSlots].empty()) {
                 h = std::min(h, cycle_ + d);
                 break;
             }
@@ -388,12 +424,22 @@ Core::processWriteback()
 {
     for (auto &v : vpus) {
         wb_scratch_.clear();
-        if (v.drainCompleted(cycle_, wb_scratch_) > 0)
+        wb_vec_scratch_.clear();
+        if (v.drainCompleted(cycle_, wb_scratch_, wb_vec_scratch_) > 0)
             activity_ = true;
         for (const LaneWrite &w : wb_scratch_) {
             if (prf.publishLane(w.dstPhys, w.lane, w.value))
                 wakeWaiters(w.dstPhys);
             if (rob.laneDone(w.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(w.robIdx).seq,
+                                   w.robIdx);
+        }
+        // Whole-register results: one publish + one ROB update instead
+        // of sixteen per-lane rounds (baseline/dense fast path).
+        for (const VecWrite &w : wb_vec_scratch_) {
+            if (prf.publishAll(w.dstPhys, w.value))
+                wakeWaiters(w.dstPhys);
+            if (rob.lanesDone(w.robIdx, kVecLanes) && etrace_)
                 etrace_->writeback(cycle_, rob.at(w.robIdx).seq,
                                    w.robIdx);
         }
@@ -417,6 +463,34 @@ Core::processEvents()
         pub_count_ -= bucket.size();
         bucket.clear();
     }
+    auto completeLoad = [this](const LoadReq &req) {
+        if (req.toRs) {
+            RsEntry &e = rs.at(req.rsIdx);
+            SAVE_ASSERT(e.valid && e.seq == req.seq,
+                        "stale embedded-broadcast completion");
+            e.bcastVal = VecReg::broadcastWord(image_->readU32(req.addr));
+            e.aReady = true;
+            onOperandReady(req.rsIdx, e);
+        } else {
+            VecReg v = req.op == Opcode::BroadcastLoad
+                           ? VecReg::broadcastWord(
+                                 image_->readU32(req.addr))
+                           : image_->readLine(req.addr);
+            if (prf.publishAll(req.dstPhys, v))
+                wakeWaiters(req.dstPhys);
+            if (rob.markDone(req.robIdx) && etrace_)
+                etrace_->writeback(cycle_, rob.at(req.robIdx).seq,
+                                   req.robIdx);
+        }
+    };
+    std::vector<LoadReq> &lbucket = load_ring_[cycle_ % kPubRingSlots];
+    if (!lbucket.empty()) {
+        activity_ = true;
+        for (const LoadReq &req : lbucket)
+            completeLoad(req);
+        load_ring_count_ -= lbucket.size();
+        lbucket.clear();
+    }
     while (!events_.empty() && events_.top().cycle <= cycle_) {
         Event ev = events_.top();
         events_.pop();
@@ -429,25 +503,7 @@ Core::processEvents()
                                    ev.robIdx);
             continue;
         }
-        // LoadDone
-        const LoadReq &req = ev.load;
-        if (req.toRs) {
-            RsEntry &e = rs.at(req.rsIdx);
-            SAVE_ASSERT(e.valid && e.seq == req.seq,
-                        "stale embedded-broadcast completion");
-            e.bcastVal = VecReg::broadcastWord(image_->readU32(req.addr));
-            e.aReady = true;
-        } else {
-            VecReg v = req.op == Opcode::BroadcastLoad
-                           ? VecReg::broadcastWord(
-                                 image_->readU32(req.addr))
-                           : image_->readLine(req.addr);
-            if (prf.publishAll(req.dstPhys, v))
-                wakeWaiters(req.dstPhys);
-            if (rob.markDone(req.robIdx) && etrace_)
-                etrace_->writeback(cycle_, rob.at(req.robIdx).seq,
-                                   req.robIdx);
-        }
+        completeLoad(ev.load);
     }
 }
 
@@ -480,12 +536,12 @@ Core::commit()
         if (!rob.at(rob.head()).done)
             break;
         int head_idx = rob.head();
-        RobEntry e = rob.pop();
+        const RobEntry &e = rob.at(head_idx);
         last_progress_cycle_ = cycle_;
         activity_ = true;
         if (e.oldPhys != kNoReg) {
             prf.release(e.oldPhys);
-            rotated_copies_.erase(e.oldPhys);
+            rotated_copies_[static_cast<size_t>(e.oldPhys)] = 0;
         }
         if (e.isStore) {
             image_->writeLine(e.storeAddr, prf.value(e.storeSrcPhys));
@@ -498,6 +554,7 @@ Core::commit()
         st_committed_.add();
         if (etrace_)
             etrace_->retire(cycle_, e.seq, e.uop, head_idx);
+        rob.popHead();
     }
 }
 
@@ -521,13 +578,13 @@ Core::squash()
         if (e.dstPhys != kNoReg) {
             renamer_.restoreMapping(e.uop.dst, e.oldPhys);
             prf.release(e.dstPhys);
-            vfma_dst_to_rs_.erase(e.dstPhys);
+            vfma_dst_to_rs_[static_cast<size_t>(e.dstPhys)] = -1;
             // The released register may be re-allocated immediately by
             // the replay; stale rotated-copy seen-bits keyed on it
             // would then suppress the copies the re-executed VFMAs
-            // must make (SecIV-B undercount). Commit erases oldPhys
+            // must make (SecIV-B undercount). Commit clears oldPhys
             // for the same reason.
-            rotated_copies_.erase(e.dstPhys);
+            rotated_copies_[static_cast<size_t>(e.dstPhys)] = 0;
         }
         if (e.op == Opcode::SetMask)
             renamer_.setMask(e.uop.wmask, e.prevMask);
@@ -565,6 +622,9 @@ Core::squash()
             return w.seq >= fault_seq_;
         });
     }
+    std::erase_if(baseline_ready_, [this](const auto &r) {
+        return r.first >= fault_seq_;
+    });
     {
         kept_events_.clear();
         while (!events_.empty()) {
@@ -588,6 +648,13 @@ Core::squash()
             return squashed_rob_[static_cast<size_t>(p.robIdx)] != 0;
         });
         pub_count_ -= before - bucket.size();
+    }
+    for (auto &bucket : load_ring_) {
+        size_t before = bucket.size();
+        std::erase_if(bucket, [this](const LoadReq &req) {
+            return req.seq >= fault_seq_;
+        });
+        load_ring_count_ -= before - bucket.size();
     }
     for (auto &vpu : vpus) {
         vpu.discardIf([&](const LaneWrite &w) {
@@ -699,11 +766,20 @@ Core::issueLoads()
         if (done_cycle <= cycle_)
             done_cycle = cycle_ + 1;
 
-        Event ev{};
-        ev.cycle = done_cycle;
-        ev.kind = Event::LoadDone;
-        ev.load = req;
-        pushEvent(ev);
+        if (done_cycle - cycle_ < kPubRingSlots) {
+            load_ring_[done_cycle % kPubRingSlots].push_back(req);
+            ++load_ring_count_;
+            // Issuing a load is progress (the next queued load may be
+            // waiting on this cycle's port budget): never fast-forward
+            // over it, exactly like the heap path's pushEvent.
+            activity_ = true;
+        } else {
+            Event ev{};
+            ev.cycle = done_cycle;
+            ev.kind = Event::LoadDone;
+            ev.load = req;
+            pushEvent(ev);
+        }
         st_loads_issued_.add();
         load_queue_.pop_front();
     }
@@ -771,7 +847,8 @@ Core::mguStage()
 void
 Core::allocateVfma(const Uop &u)
 {
-    RsEntry e;
+    int rs_idx = rs.allocEntry();
+    RsEntry &e = rs.at(rs_idx);
     e.uop = u;
     e.seq = seq_;
     e.pa = u.srcA >= 0 ? renamer_.mapOf(u.srcA) : kNoReg;
@@ -793,14 +870,15 @@ Core::allocateVfma(const Uop &u)
                               scfg.rotationStates / 2)
         : 0;
 
-    RobEntry re;
+    int rob_idx = rob.allocEntry();
+    RobEntry &re = rob.at(rob_idx);
     re.seq = seq_;
     re.op = u.op;
     re.uop = u;
     re.dstPhys = renamed.newPhys;
     re.oldPhys = renamed.oldPhys;
     re.lanesPending = kVecLanes;
-    e.robIdx = rob.push(re);
+    e.robIdx = rob_idx;
 
     if (e.rot != 0 && e.pb != kNoReg) {
         // A rotated copy of the non-broadcast multiplicand is needed
@@ -808,7 +886,7 @@ Core::allocateVfma(const Uop &u)
         // operand and the accumulator never need copies.
         uint8_t bit = static_cast<uint8_t>(
             1u << (e.rot - (-scfg.rotationStates / 2)));
-        uint8_t &seen = rotated_copies_[e.pb];
+        uint8_t &seen = rotated_copies_[static_cast<size_t>(e.pb)];
         if (!(seen & bit)) {
             seen |= static_cast<uint8_t>(bit);
             st_rotated_copies_.add();
@@ -816,10 +894,12 @@ Core::allocateVfma(const Uop &u)
     }
 
     refreshReadiness(e);
-    int rs_idx = rs.push(e);
-    addWaiters(rs_idx, rs.at(rs_idx));
+    if (baseline_select_)
+        e.cReady = e.pc == kNoReg || prf.fullyReady(e.pc);
+    addWaiters(rs_idx, e);
+    onOperandReady(rs_idx, e);
     if (u.op == Opcode::Vdpbf16Ps || u.op == Opcode::Vdpbf16PsBcast)
-        vfma_dst_to_rs_[renamed.newPhys] = rs_idx;
+        vfma_dst_to_rs_[static_cast<size_t>(renamed.newPhys)] = rs_idx;
 
     if (u.hasEmbeddedBroadcast()) {
         LoadReq req;
@@ -872,23 +952,21 @@ Core::allocate()
 
         switch (u.op) {
           case Opcode::Alu: {
-            RobEntry re;
+            RobEntry &re = rob.at(rob.allocEntry());
             re.seq = seq_;
             re.op = u.op;
             re.uop = u;
             re.done = true;
-            rob.push(re);
             break;
           }
           case Opcode::SetMask: {
-            RobEntry re;
+            RobEntry &re = rob.at(rob.allocEntry());
             re.seq = seq_;
             re.op = u.op;
             re.uop = u;
             re.prevMask = renamer_.mask(u.wmask);
             re.done = true;
             renamer_.setMask(u.wmask, u.maskImm);
-            rob.push(re);
             break;
           }
           case Opcode::BroadcastLoad:
@@ -899,13 +977,13 @@ Core::allocate()
                 fx_stall_ = &st_stall_prf_;
                 return; // PRF pressure: stall allocation
             }
-            RobEntry re;
+            int rob_idx = rob.allocEntry();
+            RobEntry &re = rob.at(rob_idx);
             re.seq = seq_;
             re.op = u.op;
             re.uop = u;
             re.dstPhys = renamed.newPhys;
             re.oldPhys = renamed.oldPhys;
-            int rob_idx = rob.push(re);
 
             LoadReq req;
             req.toRs = false;
@@ -918,14 +996,14 @@ Core::allocate()
             break;
           }
           case Opcode::StoreVec: {
-            RobEntry re;
+            int rob_idx = rob.allocEntry();
+            RobEntry &re = rob.at(rob_idx);
             re.seq = seq_;
             re.op = u.op;
             re.uop = u;
             re.isStore = true;
             re.storeAddr = u.addr;
             re.storeSrcPhys = renamer_.mapOf(u.srcC);
-            int rob_idx = rob.push(re);
             pending_stores_.push_back({rob_idx, re.storeSrcPhys});
             inflight_store_lines_.push_back({seq_, lineOf(u.addr)});
             break;

@@ -246,13 +246,14 @@ class Core
         const std::vector<Event> &container() const { return c; }
     };
 
-    /** RS entry waiting for a multiplicand register to become fully
-     *  ready; validated by seq at wake time (slots are reused). */
+    /** RS entry waiting for a source register to become fully ready;
+     *  validated by seq at wake time (slots are reused). */
     struct RegWaiter
     {
+        enum class Src : uint8_t { A, B, C };
         int rsIdx;
         uint64_t seq;
-        bool isA;
+        Src src;
     };
 
     /** A scheduled single-lane register write. Publishes are by far
@@ -287,6 +288,9 @@ class Core
     void wakeWaiters(int phys);
     /** Enlist a just-allocated RS entry on its not-ready sources. */
     void addWaiters(int rs_idx, const RsEntry &e);
+    /** A readiness flag of the entry just turned on: under the
+     *  baseline select, enqueue it once all three operands are in. */
+    void onOperandReady(int rs_idx, const RsEntry &e);
 
     void pushEvent(Event ev);
 
@@ -346,6 +350,11 @@ class Core
      *  mapping is unambiguous). Bucket vectors keep their capacity. */
     std::array<std::vector<PendingPublish>, kPubRingSlots> pub_ring_;
     size_t pub_count_ = 0;
+    /** Calendar ring for near-future load completions (L1 and
+     *  broadcast-cache hits land a few cycles out); only far-future
+     *  completions (L2/L3/DRAM) pay the event heap. */
+    std::array<std::vector<LoadReq>, kPubRingSlots> load_ring_;
+    size_t load_ring_count_ = 0;
     struct PendingStore { int robIdx; int srcPhys; };
     std::vector<PendingStore> pending_stores_;
     /** Cache lines with an in-flight (allocated, not yet committed)
@@ -359,14 +368,25 @@ class Core
     /** Per-phys-reg RS wakeup lists (consumed when the reg becomes
      *  fully ready; stale entries are filtered by seq). */
     std::vector<std::vector<RegWaiter>> reg_waiters_;
-    /** In-flight VFMA dst phys -> RS slot (mixed-precision chains). */
-    std::unordered_map<int, int> vfma_dst_to_rs_;
+    /** True when the baseline whole-instruction select is in use
+     *  (SAVE disabled or policy Baseline): entries then carry cReady
+     *  and fully-ready VFMAs queue on baseline_ready_. */
+    bool baseline_select_ = false;
+    /** Age-ordered (seq, RS index) queue of fully-ready unissued
+     *  VFMAs, maintained event-driven by the readiness wakeups so the
+     *  baseline select never rescans the whole RS. */
+    std::vector<std::pair<uint64_t, int>> baseline_ready_;
+    /** In-flight VFMA dst phys -> RS slot (mixed-precision chains);
+     *  indexed by physical register, -1 when none. */
+    std::vector<int> vfma_dst_to_rs_;
     /** Rotated-copy accounting (SecIV-B): per live non-broadcast
-     *  multiplicand physical register, which R-states were used. */
-    std::unordered_map<int, uint8_t> rotated_copies_;
+     *  multiplicand physical register, which R-states were used.
+     *  Indexed by physical register. */
+    std::vector<uint8_t> rotated_copies_;
 
     /** Reusable per-cycle scratch (never shrinks). */
     std::vector<LaneWrite> wb_scratch_;
+    std::vector<VecWrite> wb_vec_scratch_;
     std::vector<Uop> squash_uops_;
     std::vector<char> squashed_rob_;
     std::vector<Event> kept_events_;

@@ -1,35 +1,23 @@
 #include "sim/mgu.h"
 
-#include "isa/bf16.h"
+#include "util/simd.h"
 
 namespace save {
 
 uint16_t
 elmF32(const VecReg &a, const VecReg &b, uint16_t wm)
 {
-    // Branchless so the compiler can vectorize the 16 compares; +-0.0
-    // both count as zero (the product is exactly zero and the
-    // accumulation is ineffectual), which != handles.
-    uint16_t elm = 0;
-    for (int lane = 0; lane < kVecLanes; ++lane) {
-        unsigned eff = static_cast<unsigned>(a.f32(lane) != 0.0f) &
-                       static_cast<unsigned>(b.f32(lane) != 0.0f);
-        elm |= static_cast<uint16_t>(eff << lane);
-    }
-    return elm & wm;
+    // Zero detection over the actual operand values (+-0.0 both count:
+    // the product is exactly zero and the accumulation is
+    // ineffectual). Routed through the host-SIMD backend; all backends
+    // agree bit-for-bit with the scalar reference (util/simd.h).
+    return simd::ops().elmF32(a, b, wm);
 }
 
 uint32_t
 elmMp(const VecReg &a, const VecReg &b, uint16_t wm)
 {
-    uint32_t elm = 0;
-    for (int ml = 0; ml < kMlLanes; ++ml) {
-        if (!((wm >> (ml / kMlPerAl)) & 1))
-            continue;
-        if (!bf16IsZero(a.bf16(ml)) && !bf16IsZero(b.bf16(ml)))
-            elm |= 1u << ml;
-    }
-    return elm;
+    return simd::ops().elmMp(a, b, wm);
 }
 
 uint16_t

@@ -3,6 +3,7 @@
 #include "isa/bf16.h"
 #include "mem/memory_image.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace save {
 
@@ -45,22 +46,14 @@ ArchExecutor::exec(const Uop &u)
     uint16_t wm =
         u.wmask >= 0 ? masks_[static_cast<size_t>(u.wmask)] : 0xffffu;
 
-    for (int lane = 0; lane < kVecLanes; ++lane) {
-        if (!((wm >> lane) & 1))
-            continue; // masked lanes keep the accumulator value
-        float r = c.f32(lane);
-        if (u.isMixedPrecision()) {
-            // Zero-skip semantics identical to the MGU: a zero
-            // multiplicand contributes nothing (bf16.h).
-            for (int s = 0; s < kMlPerAl; ++s) {
-                int ml = kMlPerAl * lane + s;
-                r = bf16MacSkip(r, a.bf16(ml), b.bf16(ml));
-            }
-        } else {
-            r = macSkipF32(r, a.f32(lane), b.f32(lane));
-        }
-        c.setF32(lane, r);
-    }
+    // Whole-register MAC through the host-SIMD backend; masked lanes
+    // keep the accumulator value bit-exactly, and the zero-skip
+    // semantics are identical to the MGU's (bf16.h / util/simd.h).
+    if (u.isMixedPrecision())
+        c = simd::ops().bf16MacSkipVec(a, b, c,
+                                       simd::expandMask16to32(wm));
+    else
+        c = simd::ops().macSkipF32Vec(a, b, c, wm);
 }
 
 } // namespace save

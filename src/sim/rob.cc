@@ -21,6 +21,19 @@ Rob::push(RobEntry e)
     return idx;
 }
 
+int
+Rob::allocEntry()
+{
+    SAVE_ASSERT(!full(), "ROB overflow");
+    int idx = tail_;
+    RobEntry &e = buf_[static_cast<size_t>(idx)];
+    e = RobEntry{};
+    e.valid = true;
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+    return idx;
+}
+
 RobEntry
 Rob::pop()
 {
@@ -33,6 +46,17 @@ Rob::pop()
     return e;
 }
 
+void
+Rob::popHead()
+{
+    SAVE_ASSERT(!empty(), "ROB underflow");
+    RobEntry &e = buf_[static_cast<size_t>(head_)];
+    SAVE_ASSERT(e.done, "committing an incomplete entry");
+    e.valid = false;
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+}
+
 bool
 Rob::laneDone(int idx)
 {
@@ -40,6 +64,20 @@ Rob::laneDone(int idx)
     SAVE_ASSERT(e.valid && e.lanesPending > 0,
                 "lane writeback on a finished entry");
     if (--e.lanesPending == 0) {
+        e.done = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+Rob::lanesDone(int idx, int n)
+{
+    RobEntry &e = buf_[static_cast<size_t>(idx)];
+    SAVE_ASSERT(e.valid && e.lanesPending >= n,
+                "lane writeback on a finished entry");
+    e.lanesPending -= n;
+    if (e.lanesPending == 0) {
         e.done = true;
         return true;
     }

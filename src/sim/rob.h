@@ -54,6 +54,10 @@ class Rob
     /** Allocate at the tail; ROB must not be full. */
     int push(RobEntry e);
 
+    /** Allocate a cleared entry at the tail for in-place construction
+     *  (hot path: avoids copying a RobEntry through the call). */
+    int allocEntry();
+
     RobEntry &at(int idx) { return buf_[static_cast<size_t>(idx)]; }
     const RobEntry &at(int idx) const
     {
@@ -66,9 +70,17 @@ class Rob
     /** Pop the head; it must be done. */
     RobEntry pop();
 
+    /** Invalidate and advance past the head without copying it out
+     *  (hot path: read via at(head()) first). The head must be done. */
+    void popHead();
+
     /** Mark one lane of a VFMA entry written back; true when this was
      *  the last pending lane (the entry just completed). */
     bool laneDone(int idx);
+
+    /** Mark `n` lanes of a VFMA entry written back at once (whole-
+     *  register writeback); true when the entry just completed. */
+    bool lanesDone(int idx, int n);
 
     /** Mark a non-lane entry complete; true when it was not already. */
     bool markDone(int idx);

@@ -17,14 +17,24 @@ Rs::Rs(int entries) : capacity_(entries)
 int
 Rs::push(RsEntry e)
 {
+    int idx = allocEntry();
+    e.valid = true;
+    slots_[static_cast<size_t>(idx)] = e;
+    return idx;
+}
+
+int
+Rs::allocEntry()
+{
     if (free_.empty())
         throw ConfigError("RS overflow: push into a full " +
                           std::to_string(capacity_) +
                           "-entry RS (allocator back-pressure bypassed)");
     int idx = free_.back();
     free_.pop_back();
+    RsEntry &e = slots_[static_cast<size_t>(idx)];
+    e = RsEntry{};
     e.valid = true;
-    slots_[static_cast<size_t>(idx)] = e;
 
     Node &n = nodes_[static_cast<size_t>(idx)];
     n.aprev = age_tail_;

@@ -56,6 +56,10 @@ struct RsEntry
      *  register-writeback wakeup (Core::wakeWaiters), not polling. */
     bool aReady = false;
     bool bReady = false;
+    /** Accumulator fully ready. Only maintained under the baseline
+     *  select (which needs the whole register at once); the positional
+     *  policies consume per-lane PRF ready masks directly. */
+    bool cReady = false;
     /** Value delivered by an embedded-broadcast memory operand. */
     VecReg bcastVal;
     /** Write mask captured at allocation (0xffff when unmasked). */
@@ -100,6 +104,11 @@ class Rs
      *  sublist). Throws ConfigError if the RS is full — overflow means
      *  the allocator's rs.full() back-pressure check was bypassed. */
     int push(RsEntry e);
+
+    /** Allocate a cleared entry at the age/pending tail for in-place
+     *  construction (hot path: avoids copying an RsEntry through the
+     *  call). Same overflow contract as push. */
+    int allocEntry();
 
     /** Free a slot: O(1) unlink from the age order and its sublist. */
     void release(int idx);

@@ -4,13 +4,12 @@
 
 namespace save {
 
-void
-VpuPipeline::issue(const LaneWrite *writes, size_t n, uint64_t done_cycle)
+VpuPipeline::Op &
+VpuPipeline::insertOp(uint64_t done_cycle)
 {
     SAVE_ASSERT(!busy_, "VPU double issue in one cycle");
     busy_ = true;
     ++ops_;
-    lanes_ += n;
 
     if (count_ == q_.size()) {
         // Grow preserving ring order (cold: only with latencies > 15).
@@ -33,12 +32,47 @@ VpuPipeline::issue(const LaneWrite *writes, size_t n, uint64_t done_cycle)
             std::move(q_[(head_ + pos - 1) % q_.size()]);
         --pos;
     }
+    ++count_;
     Op &op = q_[(head_ + pos) % q_.size()];
     op.doneCycle = done_cycle;
     op.writes.clear();
+    op.hasVec = false;
+    return op;
+}
+
+void
+VpuPipeline::issue(const LaneWrite *writes, size_t n, uint64_t done_cycle)
+{
+    Op &op = insertOp(done_cycle);
+    lanes_ += n;
     for (size_t i = 0; i < n; ++i)
         op.writes.push_back(writes[i]);
-    ++count_;
+}
+
+void
+VpuPipeline::issueVec(const VecWrite &write, uint64_t done_cycle)
+{
+    Op &op = insertOp(done_cycle);
+    lanes_ += kVecLanes;
+    op.vec = write;
+    op.hasVec = true;
+}
+
+int
+VpuPipeline::drainCompleted(uint64_t now, std::vector<LaneWrite> &out,
+                            std::vector<VecWrite> &vec_out)
+{
+    int popped = 0;
+    while (count_ > 0 && q_[head_].doneCycle <= now) {
+        const Op &op = q_[head_];
+        out.insert(out.end(), op.writes.begin(), op.writes.end());
+        if (op.hasVec)
+            vec_out.push_back(op.vec);
+        head_ = (head_ + 1) % q_.size();
+        --count_;
+        ++popped;
+    }
+    return popped;
 }
 
 int
@@ -46,8 +80,15 @@ VpuPipeline::drainCompleted(uint64_t now, std::vector<LaneWrite> &out)
 {
     int popped = 0;
     while (count_ > 0 && q_[head_].doneCycle <= now) {
-        const LaneWriteVec &w = q_[head_].writes;
-        out.insert(out.end(), w.begin(), w.end());
+        const Op &op = q_[head_];
+        out.insert(out.end(), op.writes.begin(), op.writes.end());
+        if (op.hasVec) {
+            for (int lane = 0; lane < kVecLanes; ++lane)
+                out.push_back(LaneWrite{op.vec.dstPhys,
+                                        static_cast<int8_t>(lane),
+                                        op.vec.value.f32(lane),
+                                        op.vec.robIdx});
+        }
         head_ = (head_ + 1) % q_.size();
         --count_;
         ++popped;

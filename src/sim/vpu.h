@@ -38,6 +38,18 @@ struct LaneWrite
 /** Lane writes of one compacted op (at most one write per AL). */
 using LaneWriteVec = InlineVec<LaneWrite, kVecLanes>;
 
+/** A whole-register result traveling down a VPU pipeline: all sixteen
+ *  lanes of one destination, written back in a single publish. Used
+ *  when an op's sixteen lane writes all target the same register (the
+ *  baseline select and the dense coalescing fast path), which keeps
+ *  the writeback stage off the per-lane bookkeeping. */
+struct VecWrite
+{
+    int dstPhys = -1;
+    int robIdx = -1;
+    VecReg value;
+};
+
 /** A single VPU pipeline. */
 class VpuPipeline
 {
@@ -60,11 +72,20 @@ class VpuPipeline
         issue(writes.begin(), writes.size(), done_cycle);
     }
 
+    /** Issue one whole-register operation completing at done_cycle. */
+    void issueVec(const VecWrite &write, uint64_t done_cycle);
+
     /**
      * Pop all ops completing at or before now, appending their lane
-     * writes to out. Returns the number of *ops* popped — an op whose
-     * writes were all squashed still counts (it changes idle()).
+     * writes to out and whole-register writes to vec_out. Returns the
+     * number of *ops* popped — an op whose writes were all squashed
+     * still counts (it changes idle()).
      */
+    int drainCompleted(uint64_t now, std::vector<LaneWrite> &out,
+                       std::vector<VecWrite> &vec_out);
+
+    /** Lane-only overload (tests / cold paths): whole-register writes
+     *  are expanded into sixteen per-lane writes. */
     int drainCompleted(uint64_t now, std::vector<LaneWrite> &out);
 
     /** Convenience overload (tests / cold paths): fresh vector. */
@@ -84,19 +105,27 @@ class VpuPipeline
         return count_ == 0 ? kNeverCycle : q_[head_].doneCycle;
     }
 
-    /** Drop in-flight lane writes matching the predicate (squash). */
+    /** Drop in-flight lane writes matching the predicate (squash). A
+     *  whole-register write is probed once with a synthetic lane of -1
+     *  (predicates inspect dstPhys/robIdx) and dropped whole. */
     template <typename Pred>
     void
     discardIf(Pred pred)
     {
         for (size_t i = 0; i < count_; ++i) {
-            q_[(head_ + i) % q_.size()].writes.eraseIf(
+            Op &op = q_[(head_ + i) % q_.size()];
+            op.writes.eraseIf(
                 [&](const LaneWrite &w) { return pred(w); });
+            if (op.hasVec &&
+                pred(LaneWrite{op.vec.dstPhys, -1, 0.0f,
+                               op.vec.robIdx}))
+                op.hasVec = false;
         }
     }
 
     /** Visit every in-flight lane write, oldest op first, as
-     *  fn(write, done_cycle). Read-only (invariant auditing). */
+     *  fn(write, done_cycle). Whole-register writes are expanded into
+     *  their sixteen lanes. Read-only (invariant auditing). */
     template <typename Fn>
     void
     forEachInFlight(Fn fn) const
@@ -105,6 +134,14 @@ class VpuPipeline
             const Op &op = q_[(head_ + i) % q_.size()];
             for (const LaneWrite &w : op.writes)
                 fn(w, op.doneCycle);
+            if (op.hasVec) {
+                for (int lane = 0; lane < kVecLanes; ++lane)
+                    fn(LaneWrite{op.vec.dstPhys,
+                                 static_cast<int8_t>(lane),
+                                 op.vec.value.f32(lane),
+                                 op.vec.robIdx},
+                       op.doneCycle);
+            }
         }
     }
 
@@ -120,7 +157,13 @@ class VpuPipeline
     {
         uint64_t doneCycle;
         LaneWriteVec writes;
+        /** Whole-register payload (baseline/dense fast path). */
+        VecWrite vec;
+        bool hasVec = false;
     };
+
+    /** Ring insert sorted by completion cycle; returns the fresh op. */
+    Op &insertOp(uint64_t done_cycle);
 
     /** Ring buffer; sized for latency+issue-slot, grows only if a
      *  config exceeds that. */

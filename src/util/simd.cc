@@ -1,0 +1,583 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "isa/bf16.h"
+#include "util/logging.h"
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define SAVE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SAVE_SIMD_X86 0
+#endif
+
+namespace save::simd {
+
+namespace {
+
+/** Inverse of expandMask16to32 for the even bits: bit 2i of m becomes
+ *  bit i of the result. */
+constexpr uint16_t
+compressEvenBits(uint32_t m)
+{
+    uint32_t x = m & 0x55555555u;
+    x = (x | (x >> 1)) & 0x33333333u;
+    x = (x | (x >> 2)) & 0x0f0f0f0fu;
+    x = (x | (x >> 4)) & 0x00ff00ffu;
+    x = (x | (x >> 8)) & 0x0000ffffu;
+    return static_cast<uint16_t>(x);
+}
+
+/* ------------------------------------------------------------------ */
+/* Generic backend: the isa/bf16.h scalar helpers, verbatim. This is   */
+/* the semantic reference the SIMD backends must match bit-for-bit.    */
+/* ------------------------------------------------------------------ */
+
+VecReg
+macSkipF32VecGeneric(const VecReg &a, const VecReg &b, const VecReg &c,
+                     uint16_t wm)
+{
+    VecReg r = c;
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        if ((wm >> lane) & 1)
+            r.setF32(lane,
+                     macSkipF32(c.f32(lane), a.f32(lane), b.f32(lane)));
+    }
+    return r;
+}
+
+VecReg
+bf16MacSkipVecGeneric(const VecReg &a, const VecReg &b, const VecReg &c,
+                      uint32_t ml_mask)
+{
+    VecReg r = c;
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        if (!((ml_mask >> (kMlPerAl * lane)) & 0x3u))
+            continue;
+        float v = c.f32(lane);
+        for (int s = 0; s < kMlPerAl; ++s) {
+            int ml = kMlPerAl * lane + s;
+            if ((ml_mask >> ml) & 1)
+                v = bf16MacSkip(v, a.bf16(ml), b.bf16(ml));
+        }
+        r.setF32(lane, v);
+    }
+    return r;
+}
+
+uint16_t
+elmF32Generic(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    uint16_t elm = 0;
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        unsigned eff = static_cast<unsigned>(a.f32(lane) != 0.0f) &
+                       static_cast<unsigned>(b.f32(lane) != 0.0f);
+        elm |= static_cast<uint16_t>(eff << lane);
+    }
+    return elm & wm;
+}
+
+uint32_t
+elmMpGeneric(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    uint32_t elm = 0;
+    for (int ml = 0; ml < kMlLanes; ++ml) {
+        if (!((wm >> (ml / kMlPerAl)) & 1))
+            continue;
+        if (!bf16IsZero(a.bf16(ml)) && !bf16IsZero(b.bf16(ml)))
+            elm |= 1u << ml;
+    }
+    return elm;
+}
+
+uint16_t
+zeroMaskF32Generic(const VecReg &v)
+{
+    uint16_t m = 0;
+    for (int lane = 0; lane < kVecLanes; ++lane) {
+        if (v.f32(lane) == 0.0f)
+            m |= static_cast<uint16_t>(1u << lane);
+    }
+    return m;
+}
+
+uint32_t
+zeroMaskBf16Generic(const VecReg &v)
+{
+    uint32_t m = 0;
+    for (int ml = 0; ml < kMlLanes; ++ml) {
+        if (bf16IsZero(v.bf16(ml)))
+            m |= 1u << ml;
+    }
+    return m;
+}
+
+constexpr Ops kGenericOps = {
+    macSkipF32VecGeneric, bf16MacSkipVecGeneric, elmF32Generic,
+    elmMpGeneric,         zeroMaskF32Generic,    zeroMaskBf16Generic,
+};
+
+#if SAVE_SIMD_X86
+
+/* ------------------------------------------------------------------ */
+/* AVX2 backend: two 256-bit halves, vector blends. The target         */
+/* attribute deliberately omits "fma" so no contraction is possible.   */
+/* ------------------------------------------------------------------ */
+
+/** Bits 0..7 of `bits` as full 32-bit lane masks. */
+__attribute__((target("avx2"))) inline __m256
+laneMask8(uint32_t bits)
+{
+    const __m256i sel = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    __m256i v = _mm256_set1_epi32(static_cast<int>(bits));
+    return _mm256_castsi256_ps(
+        _mm256_cmpeq_epi32(_mm256_and_si256(v, sel), sel));
+}
+
+__attribute__((target("avx2"))) inline __m256
+canonNan256()
+{
+    return _mm256_castsi256_ps(_mm256_set1_epi32(0x7fc00000));
+}
+
+__attribute__((target("avx2"))) VecReg
+macSkipF32VecAvx2(const VecReg &a, const VecReg &b, const VecReg &c,
+                  uint16_t wm)
+{
+    VecReg out;
+    const float *pa = reinterpret_cast<const float *>(a.words());
+    const float *pb = reinterpret_cast<const float *>(b.words());
+    const float *pc = reinterpret_cast<const float *>(c.words());
+    float *po = reinterpret_cast<float *>(out.words());
+    for (int h = 0; h < 2; ++h) {
+        __m256 va = _mm256_loadu_ps(pa + 8 * h);
+        __m256 vb = _mm256_loadu_ps(pb + 8 * h);
+        __m256 vc = _mm256_loadu_ps(pc + 8 * h);
+        __m256 zero = _mm256_setzero_ps();
+        __m256 skip = _mm256_or_ps(_mm256_cmp_ps(va, zero, _CMP_EQ_OQ),
+                                   _mm256_cmp_ps(vb, zero, _CMP_EQ_OQ));
+        __m256 eff =
+            _mm256_andnot_ps(skip, laneMask8((wm >> (8 * h)) & 0xffu));
+        __m256 prod = _mm256_mul_ps(va, vb);
+        __m256 sum = _mm256_add_ps(vc, prod);
+        __m256 nan = _mm256_cmp_ps(sum, sum, _CMP_UNORD_Q);
+        sum = _mm256_blendv_ps(sum, canonNan256(), nan);
+        _mm256_storeu_ps(po + 8 * h, _mm256_blendv_ps(vc, sum, eff));
+    }
+    return out;
+}
+
+__attribute__((target("avx2"))) VecReg
+bf16MacSkipVecAvx2(const VecReg &a, const VecReg &b, const VecReg &c,
+                   uint32_t ml_mask)
+{
+    VecReg out;
+    uint16_t m0 = compressEvenBits(ml_mask);
+    uint16_t m1 = compressEvenBits(ml_mask >> 1);
+    for (int h = 0; h < 2; ++h) {
+        __m256i wa = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a.words() + 8 * h));
+        __m256i wb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b.words() + 8 * h));
+        __m256 vc = _mm256_loadu_ps(
+            reinterpret_cast<const float *>(c.words()) + 8 * h);
+        __m256 zero = _mm256_setzero_ps();
+        __m256i hi16 = _mm256_set1_epi32(
+            static_cast<int>(0xffff0000u));
+
+        // Step 0: even MLs (low word halves), widened exactly by <<16.
+        __m256 a0 = _mm256_castsi256_ps(_mm256_slli_epi32(wa, 16));
+        __m256 b0 = _mm256_castsi256_ps(_mm256_slli_epi32(wb, 16));
+        __m256 skip0 =
+            _mm256_or_ps(_mm256_cmp_ps(a0, zero, _CMP_EQ_OQ),
+                         _mm256_cmp_ps(b0, zero, _CMP_EQ_OQ));
+        __m256 eff0 =
+            _mm256_andnot_ps(skip0, laneMask8((m0 >> (8 * h)) & 0xffu));
+        __m256 sum0 = _mm256_add_ps(vc, _mm256_mul_ps(a0, b0));
+        __m256 nan0 = _mm256_cmp_ps(sum0, sum0, _CMP_UNORD_Q);
+        sum0 = _mm256_blendv_ps(sum0, canonNan256(), nan0);
+        __m256 r0 = _mm256_blendv_ps(vc, sum0, eff0);
+
+        // Step 1: odd MLs (high halves), widened by masking the lows.
+        __m256 a1 = _mm256_castsi256_ps(_mm256_and_si256(wa, hi16));
+        __m256 b1 = _mm256_castsi256_ps(_mm256_and_si256(wb, hi16));
+        __m256 skip1 =
+            _mm256_or_ps(_mm256_cmp_ps(a1, zero, _CMP_EQ_OQ),
+                         _mm256_cmp_ps(b1, zero, _CMP_EQ_OQ));
+        __m256 eff1 =
+            _mm256_andnot_ps(skip1, laneMask8((m1 >> (8 * h)) & 0xffu));
+        __m256 sum1 = _mm256_add_ps(r0, _mm256_mul_ps(a1, b1));
+        __m256 nan1 = _mm256_cmp_ps(sum1, sum1, _CMP_UNORD_Q);
+        sum1 = _mm256_blendv_ps(sum1, canonNan256(), nan1);
+        _mm256_storeu_ps(
+            reinterpret_cast<float *>(out.words()) + 8 * h,
+            _mm256_blendv_ps(r0, sum1, eff1));
+    }
+    return out;
+}
+
+__attribute__((target("avx2"))) uint16_t
+elmF32Avx2(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    const float *pa = reinterpret_cast<const float *>(a.words());
+    const float *pb = reinterpret_cast<const float *>(b.words());
+    unsigned res = 0;
+    for (int h = 0; h < 2; ++h) {
+        __m256 va = _mm256_loadu_ps(pa + 8 * h);
+        __m256 vb = _mm256_loadu_ps(pb + 8 * h);
+        __m256 zero = _mm256_setzero_ps();
+        __m256 nz = _mm256_and_ps(_mm256_cmp_ps(va, zero, _CMP_NEQ_UQ),
+                                  _mm256_cmp_ps(vb, zero, _CMP_NEQ_UQ));
+        res |= static_cast<unsigned>(_mm256_movemask_ps(nz)) << (8 * h);
+    }
+    return static_cast<uint16_t>(res) & wm;
+}
+
+/** 16-bit-lane signed-zero mask of one 256-bit half (bits 0..15). */
+__attribute__((target("avx2"))) inline uint16_t
+bf16ZeroHalfAvx2(__m256i w)
+{
+    __m256i mag = _mm256_and_si256(w, _mm256_set1_epi32(0x7fff7fff));
+    __m256i z = _mm256_cmpeq_epi16(mag, _mm256_setzero_si256());
+    return compressEvenBits(
+        static_cast<uint32_t>(_mm256_movemask_epi8(z)));
+}
+
+__attribute__((target("avx2"))) uint32_t
+elmMpAvx2(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    uint32_t nz = 0;
+    for (int h = 0; h < 2; ++h) {
+        __m256i wa = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a.words() + 8 * h));
+        __m256i wb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b.words() + 8 * h));
+        uint32_t z = static_cast<uint32_t>(bf16ZeroHalfAvx2(wa)) |
+                     static_cast<uint32_t>(bf16ZeroHalfAvx2(wb));
+        nz |= (~z & 0xffffu) << (16 * h);
+    }
+    return nz & expandMask16to32(wm);
+}
+
+__attribute__((target("avx2"))) uint16_t
+zeroMaskF32Avx2(const VecReg &v)
+{
+    const float *p = reinterpret_cast<const float *>(v.words());
+    unsigned res = 0;
+    for (int h = 0; h < 2; ++h) {
+        __m256 w = _mm256_loadu_ps(p + 8 * h);
+        __m256 z = _mm256_cmp_ps(w, _mm256_setzero_ps(), _CMP_EQ_OQ);
+        res |= static_cast<unsigned>(_mm256_movemask_ps(z)) << (8 * h);
+    }
+    return static_cast<uint16_t>(res);
+}
+
+__attribute__((target("avx2"))) uint32_t
+zeroMaskBf16Avx2(const VecReg &v)
+{
+    uint32_t res = 0;
+    for (int h = 0; h < 2; ++h) {
+        __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v.words() + 8 * h));
+        res |= static_cast<uint32_t>(bf16ZeroHalfAvx2(w)) << (16 * h);
+    }
+    return res;
+}
+
+constexpr Ops kAvx2Ops = {
+    macSkipF32VecAvx2, bf16MacSkipVecAvx2, elmF32Avx2,
+    elmMpAvx2,         zeroMaskF32Avx2,    zeroMaskBf16Avx2,
+};
+
+/* ------------------------------------------------------------------ */
+/* AVX-512 backend: whole-register ops with native lane masks. Uses    */
+/* mul+add (never vfmadd) and emulated VDPBF16PS steps — see simd.h.   */
+/* ------------------------------------------------------------------ */
+
+__attribute__((target("avx512f,avx512bw"))) inline __m512
+canonNan512()
+{
+    return _mm512_castsi512_ps(_mm512_set1_epi32(0x7fc00000));
+}
+
+__attribute__((target("avx512f,avx512bw"))) VecReg
+macSkipF32VecAvx512(const VecReg &a, const VecReg &b, const VecReg &c,
+                    uint16_t wm)
+{
+    __m512 va = _mm512_loadu_ps(a.words());
+    __m512 vb = _mm512_loadu_ps(b.words());
+    __m512 vc = _mm512_loadu_ps(c.words());
+    __m512 zero = _mm512_setzero_ps();
+    __mmask16 skip = _mm512_cmp_ps_mask(va, zero, _CMP_EQ_OQ) |
+                     _mm512_cmp_ps_mask(vb, zero, _CMP_EQ_OQ);
+    __mmask16 eff = wm & static_cast<__mmask16>(~skip);
+    __m512 prod = _mm512_mul_ps(va, vb);
+    __m512 sum = _mm512_add_ps(vc, prod);
+    __mmask16 nan = _mm512_cmp_ps_mask(sum, sum, _CMP_UNORD_Q);
+    sum = _mm512_mask_mov_ps(sum, nan, canonNan512());
+    VecReg out;
+    _mm512_storeu_ps(out.words(), _mm512_mask_mov_ps(vc, eff, sum));
+    return out;
+}
+
+__attribute__((target("avx512f,avx512bw"))) VecReg
+bf16MacSkipVecAvx512(const VecReg &a, const VecReg &b, const VecReg &c,
+                     uint32_t ml_mask)
+{
+    __m512i wa = _mm512_loadu_si512(a.words());
+    __m512i wb = _mm512_loadu_si512(b.words());
+    __m512 vc = _mm512_loadu_ps(c.words());
+    __m512 zero = _mm512_setzero_ps();
+    __m512i hi16 = _mm512_set1_epi32(static_cast<int>(0xffff0000u));
+    __mmask16 m0 = compressEvenBits(ml_mask);
+    __mmask16 m1 = compressEvenBits(ml_mask >> 1);
+
+    __m512 a0 = _mm512_castsi512_ps(_mm512_slli_epi32(wa, 16));
+    __m512 b0 = _mm512_castsi512_ps(_mm512_slli_epi32(wb, 16));
+    __mmask16 skip0 = _mm512_cmp_ps_mask(a0, zero, _CMP_EQ_OQ) |
+                      _mm512_cmp_ps_mask(b0, zero, _CMP_EQ_OQ);
+    __mmask16 eff0 = m0 & static_cast<__mmask16>(~skip0);
+    __m512 sum0 = _mm512_add_ps(vc, _mm512_mul_ps(a0, b0));
+    __mmask16 nan0 = _mm512_cmp_ps_mask(sum0, sum0, _CMP_UNORD_Q);
+    sum0 = _mm512_mask_mov_ps(sum0, nan0, canonNan512());
+    __m512 r0 = _mm512_mask_mov_ps(vc, eff0, sum0);
+
+    __m512 a1 = _mm512_castsi512_ps(_mm512_and_si512(wa, hi16));
+    __m512 b1 = _mm512_castsi512_ps(_mm512_and_si512(wb, hi16));
+    __mmask16 skip1 = _mm512_cmp_ps_mask(a1, zero, _CMP_EQ_OQ) |
+                      _mm512_cmp_ps_mask(b1, zero, _CMP_EQ_OQ);
+    __mmask16 eff1 = m1 & static_cast<__mmask16>(~skip1);
+    __m512 sum1 = _mm512_add_ps(r0, _mm512_mul_ps(a1, b1));
+    __mmask16 nan1 = _mm512_cmp_ps_mask(sum1, sum1, _CMP_UNORD_Q);
+    sum1 = _mm512_mask_mov_ps(sum1, nan1, canonNan512());
+
+    VecReg out;
+    _mm512_storeu_ps(out.words(), _mm512_mask_mov_ps(r0, eff1, sum1));
+    return out;
+}
+
+__attribute__((target("avx512f,avx512bw"))) uint16_t
+elmF32Avx512(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    __m512 va = _mm512_loadu_ps(a.words());
+    __m512 vb = _mm512_loadu_ps(b.words());
+    __m512 zero = _mm512_setzero_ps();
+    __mmask16 nz = _mm512_cmp_ps_mask(va, zero, _CMP_NEQ_UQ) &
+                   _mm512_cmp_ps_mask(vb, zero, _CMP_NEQ_UQ);
+    return static_cast<uint16_t>(nz) & wm;
+}
+
+__attribute__((target("avx512f,avx512bw"))) inline uint32_t
+bf16ZeroMaskAvx512(__m512i w)
+{
+    __m512i mag = _mm512_and_si512(w, _mm512_set1_epi32(0x7fff7fff));
+    return static_cast<uint32_t>(
+        _mm512_cmpeq_epi16_mask(mag, _mm512_setzero_si512()));
+}
+
+__attribute__((target("avx512f,avx512bw"))) uint32_t
+elmMpAvx512(const VecReg &a, const VecReg &b, uint16_t wm)
+{
+    __m512i wa = _mm512_loadu_si512(a.words());
+    __m512i wb = _mm512_loadu_si512(b.words());
+    uint32_t z = bf16ZeroMaskAvx512(wa) | bf16ZeroMaskAvx512(wb);
+    return ~z & expandMask16to32(wm);
+}
+
+__attribute__((target("avx512f,avx512bw"))) uint16_t
+zeroMaskF32Avx512(const VecReg &v)
+{
+    __m512 w = _mm512_loadu_ps(v.words());
+    return static_cast<uint16_t>(
+        _mm512_cmp_ps_mask(w, _mm512_setzero_ps(), _CMP_EQ_OQ));
+}
+
+__attribute__((target("avx512f,avx512bw"))) uint32_t
+zeroMaskBf16Avx512(const VecReg &v)
+{
+    return bf16ZeroMaskAvx512(_mm512_loadu_si512(v.words()));
+}
+
+constexpr Ops kAvx512Ops = {
+    macSkipF32VecAvx512, bf16MacSkipVecAvx512, elmF32Avx512,
+    elmMpAvx512,         zeroMaskF32Avx512,    zeroMaskBf16Avx512,
+};
+
+#endif // SAVE_SIMD_X86
+
+const Ops *
+tableFor(Backend b)
+{
+#if SAVE_SIMD_X86
+    if (b == Backend::Avx512)
+        return &kAvx512Ops;
+    if (b == Backend::Avx2)
+        return &kAvx2Ops;
+#endif
+    (void)b;
+    return &kGenericOps;
+}
+
+Backend
+bestSupported()
+{
+    if (backendSupported(Backend::Avx512))
+        return Backend::Avx512;
+    if (backendSupported(Backend::Avx2))
+        return Backend::Avx2;
+    return Backend::Generic;
+}
+
+struct State
+{
+    const Ops *ops;
+    Backend backend;
+};
+
+State &
+state()
+{
+    static State s = [] {
+        Backend b = bestSupported();
+        const char *env = std::getenv("SAVE_SIMD");
+        if (env && *env) {
+            Backend req;
+            if (!parseBackend(env, req)) {
+                SAVE_WARN("ignoring SAVE_SIMD='", env,
+                          "' (expected generic|avx2|avx512); using ",
+                          backendName(b));
+            } else if (!backendSupported(req)) {
+                SAVE_WARN("SAVE_SIMD='", env,
+                          "' not supported by this host; using ",
+                          backendName(b));
+            } else {
+                b = req;
+            }
+        }
+        return State{tableFor(b), b};
+    }();
+    return s;
+}
+
+} // namespace
+
+const Ops &
+ops()
+{
+    return *state().ops;
+}
+
+Backend
+activeBackend()
+{
+    return state().backend;
+}
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Avx512:
+        return "avx512";
+      case Backend::Avx2:
+        return "avx2";
+      default:
+        return "generic";
+    }
+}
+
+const char *
+backendName()
+{
+    return backendName(activeBackend());
+}
+
+bool
+backendSupported(Backend b)
+{
+    if (b == Backend::Generic)
+        return true;
+#if SAVE_SIMD_X86
+    if (b == Backend::Avx2)
+        return __builtin_cpu_supports("avx2");
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512bw");
+#else
+    return false;
+#endif
+}
+
+std::string
+hostFeatures()
+{
+    std::string out;
+#if SAVE_SIMD_X86
+    struct Feature
+    {
+        const char *name;
+        bool present;
+    };
+    const Feature feats[] = {
+        {"sse4.2", static_cast<bool>(__builtin_cpu_supports("sse4.2"))},
+        {"avx", static_cast<bool>(__builtin_cpu_supports("avx"))},
+        {"avx2", static_cast<bool>(__builtin_cpu_supports("avx2"))},
+        {"fma", static_cast<bool>(__builtin_cpu_supports("fma"))},
+        {"avx512f",
+         static_cast<bool>(__builtin_cpu_supports("avx512f"))},
+        {"avx512bw",
+         static_cast<bool>(__builtin_cpu_supports("avx512bw"))},
+        {"avx512vl",
+         static_cast<bool>(__builtin_cpu_supports("avx512vl"))},
+        {"avx512dq",
+         static_cast<bool>(__builtin_cpu_supports("avx512dq"))},
+        {"avx512bf16",
+         static_cast<bool>(__builtin_cpu_supports("avx512bf16"))},
+    };
+    for (const Feature &f : feats) {
+        if (!f.present)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += f.name;
+    }
+#else
+    out = "non-x86";
+#endif
+    return out;
+}
+
+bool
+parseBackend(const char *name, Backend &out)
+{
+    if (!name)
+        return false;
+    if (std::strcmp(name, "generic") == 0 ||
+        std::strcmp(name, "scalar") == 0) {
+        out = Backend::Generic;
+        return true;
+    }
+    if (std::strcmp(name, "avx2") == 0) {
+        out = Backend::Avx2;
+        return true;
+    }
+    if (std::strcmp(name, "avx512") == 0) {
+        out = Backend::Avx512;
+        return true;
+    }
+    return false;
+}
+
+bool
+forceBackend(Backend b)
+{
+    if (!backendSupported(b))
+        return false;
+    State &s = state();
+    s.backend = b;
+    s.ops = tableFor(b);
+    return true;
+}
+
+} // namespace save::simd

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Runtime-dispatched host-SIMD backends for the simulator's functional
+ * lane math. Three backends — generic scalar, AVX2, AVX-512 — implement
+ * one table of vector primitives; the best one the host supports is
+ * selected once via CPUID, overridable with SAVE_SIMD=generic|avx2|
+ * avx512. Every backend is bit-exact with the scalar helpers in
+ * isa/bf16.h, which define the FP contract:
+ *
+ *  - zero-skip MAC: a (signed-)zero multiplicand leaves the
+ *    accumulator bit-identical (NaN payloads pass through untouched);
+ *  - effectual lanes compute prod = a*b and acc + prod as two separate
+ *    IEEE-754 single-precision roundings (-ffp-contract=off semantics:
+ *    the SIMD backends use mul+add, never a fused FMA);
+ *  - a *computed* NaN result collapses to the canonical quiet NaN
+ *    0x7fc00000;
+ *  - BF16 lanes widen exactly (<<16) and accumulate in FP32.
+ *
+ * Deliberately NOT used: the native AVX512-BF16 VDPBF16PS instruction.
+ * It contracts the two products into one rounding (and flushes
+ * denormal inputs), which is not bit-compatible with the simulator's
+ * defined sequential round-to-nearest accumulation — the AVX-512
+ * backend instead emulates the two MAC steps with mul+add, preserving
+ * bit-exactness. Cross-backend bit-identity is enforced by
+ * tests/test_simd and the differential fuzzer.
+ */
+
+#ifndef SAVE_UTIL_SIMD_H
+#define SAVE_UTIL_SIMD_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/vec.h"
+
+namespace save::simd {
+
+enum class Backend { Generic = 0, Avx2 = 1, Avx512 = 2 };
+
+/** One backend's vector primitives. All operate on whole VecRegs and
+ *  reproduce the isa/bf16.h scalar helpers lane-for-lane. */
+struct Ops
+{
+    /** Per-lane macSkipF32(c, a, b) for lanes set in wm; other lanes
+     *  keep c bit-exactly. */
+    VecReg (*macSkipF32Vec)(const VecReg &a, const VecReg &b,
+                            const VecReg &c, uint16_t wm);
+
+    /**
+     * Per-AL mixed-precision MAC: for each accumulator lane, apply
+     * bf16MacSkip for its even ML then its odd ML (sequential FP32
+     * roundings, VDPBF16PS program order), restricted to the MLs set
+     * in ml_mask. ALs with no ML selected keep c bit-exactly.
+     */
+    VecReg (*bf16MacSkipVec)(const VecReg &a, const VecReg &b,
+                             const VecReg &c, uint32_t ml_mask);
+
+    /** Effectual-lane mask: bit i set iff a.f32(i) != 0 && b.f32(i)
+     *  != 0 (NaN counts as nonzero), ANDed with wm. */
+    uint16_t (*elmF32)(const VecReg &a, const VecReg &b, uint16_t wm);
+
+    /** Mixed-precision ELM: bit ml set iff neither bf16 multiplicand
+     *  is a signed zero and the AL's wm bit is set. */
+    uint32_t (*elmMp)(const VecReg &a, const VecReg &b, uint16_t wm);
+
+    /** Bit i set iff FP32 lane i of v is a (signed) zero. */
+    uint16_t (*zeroMaskF32)(const VecReg &v);
+
+    /** Bit ml set iff BF16 lane ml of v is a (signed) zero. */
+    uint32_t (*zeroMaskBf16)(const VecReg &v);
+};
+
+/** The active backend's primitive table (resolved once: CPUID best,
+ *  overridden by SAVE_SIMD if set). */
+const Ops &ops();
+
+Backend activeBackend();
+const char *backendName(Backend b);
+/** Name of the active backend ("generic" | "avx2" | "avx512"). */
+const char *backendName();
+
+/** True if the host can execute the given backend. */
+bool backendSupported(Backend b);
+
+/** Space-separated host CPUID SIMD feature list (reporting only). */
+std::string hostFeatures();
+
+/**
+ * Force a specific backend (tests, bench variants). Returns false and
+ * leaves the selection unchanged if the host does not support it. Not
+ * thread-safe: call only while no simulation is running.
+ */
+bool forceBackend(Backend b);
+
+/** Parse a SAVE_SIMD-style name; returns false on unknown names. */
+bool parseBackend(const char *name, Backend &out);
+
+/** Duplicate each of 16 mask bits into an adjacent pair: bit i of m
+ *  sets bits 2i and 2i+1 (AL write mask -> ML mask). */
+constexpr uint32_t
+expandMask16to32(uint16_t m)
+{
+    uint32_t x = m;
+    x = (x | (x << 8)) & 0x00ff00ffu;
+    x = (x | (x << 4)) & 0x0f0f0f0fu;
+    x = (x | (x << 2)) & 0x33333333u;
+    x = (x | (x << 1)) & 0x55555555u;
+    return x | (x << 1);
+}
+
+} // namespace save::simd
+
+#endif // SAVE_UTIL_SIMD_H
