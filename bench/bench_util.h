@@ -24,6 +24,21 @@
  *   --trace-events=F write a Perfetto/Chrome pipeline event trace of
  *                   every machine the bench runs (sets
  *                   SAVE_TRACE_EVENTS; see src/trace/event_trace.h)
+ *
+ * Isolation flags (sandboxed slice workers, src/proc; results are
+ * bit-identical across modes):
+ *   --isolation=M   none | thread (default) | process; default is the
+ *                   SAVE_ISOLATION environment variable
+ *   --workers=N     worker processes (0 = match --threads)
+ *   --worker-timeout-ms=N  per-slice wall-clock deadline (SIGKILL on
+ *                   expiry; default 30000)
+ *   --max-worker-crashes=N  pool-wide crash budget before degrading
+ *                   to in-process execution (default 8)
+ *   --worker-max-slices=N  recycle each worker after N slices (0 =
+ *                   never)
+ *   --worker-rss-mb=N  RLIMIT_AS cap per worker (0 = none)
+ *   --worker-bin=P  explicit save-worker binary (default: sibling of
+ *                   the bench, or SAVE_WORKER_BIN)
  */
 
 #ifndef SAVE_BENCH_BENCH_UTIL_H
@@ -123,8 +138,34 @@ estimatorOptions(const Flags &flags)
     o.cacheDir = flags.getStr("cache-dir", "");
     o.maxRetries = flags.getInt("max-retries", o.maxRetries);
     o.failFast = flags.has("fail-fast");
+    o.isolation = flags.getStr("isolation", "");
+    o.proc.workers = flags.getInt("workers", o.proc.workers);
+    o.proc.sliceTimeoutMs =
+        flags.getInt("worker-timeout-ms", o.proc.sliceTimeoutMs);
+    o.proc.maxWorkerCrashes =
+        flags.getInt("max-worker-crashes", o.proc.maxWorkerCrashes);
+    o.proc.maxSlicesPerWorker =
+        flags.getInt("worker-max-slices", o.proc.maxSlicesPerWorker);
+    o.proc.rssCapMb = flags.getInt("worker-rss-mb", o.proc.rssCapMb);
+    o.proc.workerBin = flags.getStr("worker-bin", "");
     o.validate();
     return o;
+}
+
+/**
+ * Generic fallback for the poisoned-result test used by SweepRunner:
+ * floating-point sweep values are poisoned when NaN; everything else
+ * defaults to "not poisoned" unless a type-specific overload (e.g.
+ * NetResult in dnn/estimator.h) says otherwise.
+ */
+template <typename T>
+inline bool
+sweepResultPoisoned(const T &v)
+{
+    if constexpr (std::is_floating_point_v<T>)
+        return std::isnan(v);
+    else
+        return false;
 }
 
 /** Sweep robustness knobs shared by the bench harnesses. */
@@ -222,8 +263,13 @@ class SweepRunner
         if (journal_) {
             std::string hex;
             T v;
+            // A journaled point resumes only if it is a real value: a
+            // NaN-poisoned record (a permanently failed point journaled
+            // by an older run) is treated as a miss so the resumed run
+            // re-attempts it instead of replaying the failure forever.
             if (journal_->lookup(key, &hex) &&
-                SweepJournal::decode(hex, v)) {
+                SweepJournal::decode(hex, v) &&
+                !sweepResultPoisoned(v)) {
                 resumed_.fetch_add(1, std::memory_order_relaxed);
                 return v;
             }
@@ -232,7 +278,10 @@ class SweepRunner
         for (int a = 1;; ++a) {
             try {
                 T v = fn();
-                if (journal_)
+                // Never journal a poisoned result as a success; the
+                // journal's last-wins records let a later clean value
+                // supersede whatever an older run may have written.
+                if (journal_ && !sweepResultPoisoned(v))
                     journal_->record(key, SweepJournal::encode(v));
                 computed_.fetch_add(1, std::memory_order_relaxed);
                 return v;
@@ -360,7 +409,20 @@ printBenchUsage(const char *argv0)
         "                   default: SAVE_JOURNAL env)\n"
         "  --trace-events=F write a Perfetto/Chrome pipeline event "
         "trace\n"
-        "                   (same as SAVE_TRACE_EVENTS=F)\n",
+        "                   (same as SAVE_TRACE_EVENTS=F)\n"
+        "  --isolation=M    slice execution: none | thread | process\n"
+        "                   (default: SAVE_ISOLATION env, then "
+        "thread)\n"
+        "  --workers=N      worker processes (0 = match --threads)\n"
+        "  --worker-timeout-ms=N  per-slice deadline before the "
+        "worker\n"
+        "                   is SIGKILLed (default 30000)\n"
+        "  --max-worker-crashes=N  crash budget before degrading to\n"
+        "                   in-process execution (default 8)\n"
+        "  --worker-max-slices=N  recycle workers after N slices "
+        "(0 = never)\n"
+        "  --worker-rss-mb=N  per-worker RLIMIT_AS cap (0 = none)\n"
+        "  --worker-bin=P   explicit save-worker binary path\n",
         argv0);
 }
 

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * save-worker: the sandboxed slice-simulation child process.
+ *
+ * Not a user-facing tool — the sweep parent (src/proc/worker_pool)
+ * fork/execs this binary with the wire protocol (src/proc/wire_codec,
+ * DESIGN.md §12) on stdin/stdout: HELO configures the session, then
+ * each REQ frame simulates one surface slice and answers RES (time,
+ * cycles, frequency, full stat map) or ERR (a SimError-taxonomy kind
+ * the parent rethrows). Logs go to stderr; stdout carries frames only.
+ *
+ * The worker is where process-level fault injection lands: it inherits
+ * SAVE_FAULT_INJECT across exec and applies crash/abort/hang/oom modes
+ * via maybeCrashSlice before simulating, using the attempt number the
+ * parent sends in the REQ arg. A bad_alloc during a slice (injected or
+ * a real RLIMIT_AS hit) is answered with ERR Oom and the worker lives
+ * on; one during framing exits with kWorkerExitOom so the parent's
+ * triage still classifies it.
+ */
+
+#include <exception>
+#include <new>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "dnn/estimator.h"
+#include "proc/wire_codec.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace save;
+
+void
+sendError(WireErrorKind kind, const std::string &what)
+{
+    WireErrorInfo info;
+    info.kind = kind;
+    info.what = what;
+    wireWrite(STDOUT_FILENO, kWireError, 0, wireEncodeError(info));
+}
+
+void
+applyRssCap(int cap_mb)
+{
+    if (cap_mb <= 0)
+        return;
+    struct rlimit lim;
+    lim.rlim_cur = lim.rlim_max =
+        static_cast<rlim_t>(cap_mb) * 1024 * 1024;
+    if (::setrlimit(RLIMIT_AS, &lim) != 0)
+        SAVE_WARN("save-worker: setrlimit(RLIMIT_AS, ", cap_mb,
+                  " MB) failed; running uncapped");
+}
+
+int
+serve()
+{
+    // Session setup: the first frame must be HELO.
+    WireFrame frame;
+    if (wireRead(STDIN_FILENO, frame, -1) != WireRead::Ok ||
+        frame.fourcc != kWireHello) {
+        sendError(WireErrorKind::Config,
+                  "save-worker expects a HELO frame first (this binary "
+                  "is launched by the sweep parent, not by hand)");
+        return kWorkerExitConfig;
+    }
+    WireSessionInit init;
+    try {
+        init = wireDecodeSessionInit(frame.payload);
+        init.mcfg.validate();
+        init.scfg.validate();
+    } catch (const SimError &e) {
+        sendError(WireErrorKind::Config, e.what());
+        return kWorkerExitConfig;
+    }
+    applyRssCap(init.rssCapMb);
+    if (!wireWrite(STDOUT_FILENO, kWireHelloAck, kWireVersion, {}))
+        return 1;
+
+    // Slice loop: the parent enforces deadlines, so reads block
+    // forever; a closed stdin is the normal shutdown signal.
+    for (;;) {
+        if (wireRead(STDIN_FILENO, frame, -1) != WireRead::Ok)
+            return kWorkerExitOk; // EOF: parent is gone
+        if (frame.fourcc == kWireBye)
+            return kWorkerExitOk;
+        if (frame.fourcc != kWireRequest) {
+            sendError(WireErrorKind::Trace,
+                      "save-worker: unexpected frame kind");
+            continue;
+        }
+        WireSliceRequest req = wireDecodeSliceRequest(frame.payload);
+        int attempt = static_cast<int>(frame.arg);
+        try {
+            FaultInjector::global().maybeCrashSlice(req.keyHash,
+                                                    attempt);
+            KernelResult kr = TrainingEstimator::simulateSliceKernel(
+                init.mcfg, init.scfg, req.key, init.tiles, init.cores,
+                init.seed);
+            WireSliceResult res;
+            res.timeNs = kr.timeNs;
+            res.cycles = kr.cycles;
+            res.coreGhz = kr.coreGhz;
+            for (const auto &[name, value] : kr.stats.all())
+                res.stats.emplace_back(name, value);
+            if (!wireWrite(STDOUT_FILENO, kWireResult, 0,
+                           wireEncodeSliceResult(res)))
+                return 1; // parent hung up mid-reply
+        } catch (const std::bad_alloc &) {
+            sendError(WireErrorKind::Oom,
+                      "slice simulation ran out of memory");
+        } catch (const ConfigError &e) {
+            sendError(WireErrorKind::Config, e.what());
+        } catch (const TraceError &e) {
+            sendError(WireErrorKind::Trace, e.what());
+        } catch (const DeadlockError &e) {
+            sendError(WireErrorKind::Deadlock, e.what());
+        } catch (const CacheError &e) {
+            sendError(WireErrorKind::Cache, e.what());
+        } catch (const AuditError &e) {
+            sendError(WireErrorKind::Audit, e.what());
+        } catch (const std::exception &e) {
+            sendError(WireErrorKind::Generic, e.what());
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    try {
+        return serve();
+    } catch (const std::bad_alloc &) {
+        return save::kWorkerExitOom;
+    } catch (const save::TraceError &e) {
+        // Corrupt frame from the parent: nothing sane to reply with.
+        SAVE_WARN("save-worker: ", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        SAVE_WARN("save-worker: ", e.what());
+        return 1;
+    }
+}

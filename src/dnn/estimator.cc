@@ -50,6 +50,20 @@ readyFuture(double v)
 
 } // namespace
 
+std::string
+resolveIsolation(const std::string &opt)
+{
+    std::string mode = opt;
+    if (mode.empty()) {
+        const char *env = std::getenv("SAVE_ISOLATION");
+        mode = env && *env ? env : "thread";
+    }
+    if (mode != "none" && mode != "thread" && mode != "process")
+        throw ConfigError("isolation mode must be none, thread, or "
+                          "process (got '" + mode + "')");
+    return mode;
+}
+
 void
 EstimatorOptions::validate() const
 {
@@ -71,6 +85,8 @@ EstimatorOptions::validate() const
     if (maxRetries < 0)
         throw ConfigError("EstimatorOptions.maxRetries must be >= 0 "
                           "(got " + std::to_string(maxRetries) + ")");
+    resolveIsolation(isolation);
+    proc.validate();
 }
 
 PhaseBreakdown &
@@ -105,12 +121,44 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
     mcfg_.validate();
     save_cfg_.validate();
 
-    if (opt_.threads >= 2) {
-        owned_pool_ = std::make_unique<ThreadPool>(opt_.threads);
-        pool_ = owned_pool_.get();
-    } else if (opt_.threads == 0) {
-        pool_ = &ThreadPool::global();
-    } // threads == 1: pool_ stays null, strictly serial
+    isolation_ = resolveIsolation(opt_.isolation);
+
+    // Process-level fault modes (crash/abort/hang/oom) are only
+    // containable behind a process boundary: refuse to arm them where
+    // a raised SIGSEGV would take the whole sweep down.
+    {
+        const FaultInjector &inj = FaultInjector::global();
+        if (isolation_ != "process" && inj.enabled() &&
+            inj.plan().anyProcessFaults())
+            throw ConfigError(
+                "SAVE_FAULT_INJECT crash/abort/hang/oom modes require "
+                "--isolation=process (current isolation: " +
+                isolation_ + ")");
+    }
+
+    if (isolation_ != "none") {
+        if (opt_.threads >= 2) {
+            owned_pool_ = std::make_unique<ThreadPool>(opt_.threads);
+            pool_ = owned_pool_.get();
+        } else if (opt_.threads == 0) {
+            pool_ = &ThreadPool::global();
+        } // threads == 1: pool_ stays null, strictly serial
+    }     // isolation == none: strictly serial regardless of threads
+
+    if (isolation_ == "process") {
+        ProcOptions p = opt_.proc;
+        if (p.workers == 0)
+            p.workers = threads();
+        WireSessionInit init;
+        init.mcfg = mcfg_;
+        init.scfg = save_cfg_;
+        init.tiles = opt_.tiles;
+        init.cores = opt_.cores;
+        init.seed = opt_.seed;
+        init.configHash =
+            SurfaceCache::hashConfig(mcfg_, save_cfg_, optionSalt(opt_));
+        proc_pool_ = std::make_unique<WorkerPool>(p, init);
+    }
 
     std::vector<SurfaceRecord> records;
     if (persistent_.enabled() && persistent_.load(records)) {
@@ -134,25 +182,58 @@ TrainingEstimator::threads() const
     return pool_ ? pool_->size() : 1;
 }
 
-double
-TrainingEstimator::simulateSlice(const Key &key) const
+KernelResult
+TrainingEstimator::simulateSliceKernel(const MachineConfig &mcfg,
+                                       const SaveConfig &save_on_cfg,
+                                       const SliceKey &key, int tiles,
+                                       int cores, uint64_t seed)
 {
     GemmConfig g;
     g.mr = key.mr;
     g.nrVecs = key.nr;
     g.kSteps = key.kSteps;
-    g.tiles = opt_.tiles;
+    g.tiles = tiles;
     g.pattern = static_cast<BroadcastPattern>(key.pattern);
     g.precision = static_cast<Precision>(key.precision);
     g.nbsSparsity = key.wBin * SparsitySurface::kStep;
     g.bsSparsity = key.aBin * SparsitySurface::kStep;
-    g.seed = opt_.seed + key.wBin * 131 + key.aBin * 17;
+    g.seed = seed + key.wBin * 131 + key.aBin * 17;
 
     // Each worker simulates with its own short-lived Engine: there is
     // no shared simulator state between concurrent slice points.
-    Engine eng(mcfg_,
-               key.saveOn ? save_cfg_ : SaveConfig::baseline());
-    return eng.runGemm(g, opt_.cores, key.vpus).timeNs;
+    Engine eng(mcfg, key.saveOn ? save_on_cfg : SaveConfig::baseline());
+    return eng.runGemm(g, cores, key.vpus);
+}
+
+double
+TrainingEstimator::simulateSlice(const Key &key) const
+{
+    return simulateSliceKernel(mcfg_, save_cfg_, key, opt_.tiles,
+                               opt_.cores, opt_.seed)
+        .timeNs;
+}
+
+double
+TrainingEstimator::runSliceIsolated(const Key &key, int attempt)
+{
+    if (proc_pool_ && !proc_pool_->degraded()) {
+        try {
+            return proc_pool_->runSlice(key, keyHash(key), attempt)
+                .timeNs;
+        } catch (const WorkerError &e) {
+            if (proc_pool_->degraded()) {
+                // The pool has drained past its crash budget: finish
+                // the point in-process instead of failing it. This is
+                // the graceful-degradation path, so it does not burn
+                // one of the slice's own retries.
+                SAVE_WARN("slice falling back in-process after pool "
+                          "degradation: ", e.what());
+                return simulateSlice(key);
+            }
+            throw;
+        }
+    }
+    return simulateSlice(key);
 }
 
 uint64_t
@@ -204,7 +285,7 @@ TrainingEstimator::simulateWithRetry(const Key &key)
     for (int a = 1;; ++a) {
         try {
             FaultInjector::global().maybeFailSlice(site);
-            return simulateSlice(key);
+            return runSliceIsolated(key, a);
         } catch (const std::exception &e) {
             if (a < attempts) {
                 SAVE_WARN("retrying ", keyLabel(key), " after attempt ",
@@ -278,14 +359,19 @@ TrainingEstimator::failures() const
 std::string
 TrainingEstimator::failureReport() const
 {
-    std::lock_guard<std::mutex> lk(failures_mu_);
-    if (failures_.empty())
-        return "";
     std::ostringstream os;
-    os << failures_.size() << " surface point(s) failed permanently:\n";
-    for (const SliceFailure &f : failures_)
-        os << "  " << f.point << ": " << f.reason << " ("
-           << f.attempts << " attempts)\n";
+    {
+        std::lock_guard<std::mutex> lk(failures_mu_);
+        if (!failures_.empty()) {
+            os << failures_.size()
+               << " surface point(s) failed permanently:\n";
+            for (const SliceFailure &f : failures_)
+                os << "  " << f.point << ": " << f.reason << " ("
+                   << f.attempts << " attempts)\n";
+        }
+    }
+    if (proc_pool_ && proc_pool_->crashes() > 0)
+        os << proc_pool_->report() << "\n";
     return os.str();
 }
 

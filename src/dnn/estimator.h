@@ -32,6 +32,7 @@
 #define SAVE_DNN_ESTIMATOR_H
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -45,9 +46,19 @@
 #include "dnn/slice_batch.h"
 #include "dnn/surface_cache.h"
 #include "engine/engine.h"
+#include "proc/worker_pool.h"
 #include "util/thread_pool.h"
 
 namespace save {
+
+/**
+ * Resolve the slice-execution isolation mode: `opt` if non-empty, else
+ * the SAVE_ISOLATION environment variable, else "thread". Accepted
+ * values: "none" (strictly serial, in-process), "thread" (in-process
+ * thread-pool fan-out, the default), "process" (sandboxed worker
+ * subprocesses, src/proc). Throws ConfigError on anything else.
+ */
+std::string resolveIsolation(const std::string &opt);
 
 /** Estimator tuning knobs. */
 struct EstimatorOptions
@@ -79,6 +90,13 @@ struct EstimatorOptions
     /** Rethrow the first slice failure instead of recording it and
      *  continuing with the rest of the sweep. */
     bool failFast = false;
+    /** Slice-execution isolation: ""/"none"/"thread"/"process"; empty
+     *  defers to SAVE_ISOLATION, then "thread". Results are
+     *  bit-identical across all modes. See resolveIsolation(). */
+    std::string isolation;
+    /** Worker-pool knobs; only consulted when isolation resolves to
+     *  "process". proc.workers == 0 matches the thread count. */
+    ProcOptions proc;
 
     /** Throws ConfigError on out-of-range knobs; the estimator ctor
      *  calls this. */
@@ -123,6 +141,30 @@ struct NetResult
     PhaseBreakdown saveStatic;
     PhaseBreakdown saveDynamic;
 };
+
+/**
+ * sweepResultPoisoned: true when a sweep-point result carries the NaN
+ * marker of a permanently failed slice. The journaled sweep driver
+ * (bench/bench_util.h) consults this so poisoned results are never
+ * journaled as successes and a resumed run re-attempts them instead
+ * of replaying the failure forever.
+ */
+inline bool
+sweepResultPoisoned(const PhaseBreakdown &b)
+{
+    return std::isnan(b.firstLayer) || std::isnan(b.forward) ||
+           std::isnan(b.bwdInput) || std::isnan(b.bwdWeights);
+}
+
+inline bool
+sweepResultPoisoned(const NetResult &r)
+{
+    return sweepResultPoisoned(r.baseline2) ||
+           sweepResultPoisoned(r.save2) ||
+           sweepResultPoisoned(r.save1) ||
+           sweepResultPoisoned(r.saveStatic) ||
+           sweepResultPoisoned(r.saveDynamic);
+}
 
 /** Surface-cached whole-network estimator. Thread-safe: concurrent
  *  kernelTime/inference/training calls share the single-flight surface
@@ -178,8 +220,28 @@ class TrainingEstimator
      *  can detect a poisoned result with std::isnan. */
     std::vector<SliceFailure> failures() const;
 
-    /** Multi-line report of all failures; empty string when clean. */
+    /** Multi-line report of all failures; empty string when clean.
+     *  Includes the worker-pool status once any worker crashed. */
     std::string failureReport() const;
+
+    /** Resolved isolation mode: "none", "thread", or "process". */
+    const std::string &isolation() const { return isolation_; }
+
+    /** The worker pool; null unless isolation() == "process". */
+    WorkerPool *processPool() { return proc_pool_.get(); }
+
+    /**
+     * One slice simulation with explicit inputs — the shared core of
+     * in-process execution and the save-worker binary, so out-of-
+     * process results are bit-identical by construction. `seed` is
+     * EstimatorOptions::seed (the per-point offset is derived from the
+     * key's sparsity bins internally).
+     */
+    static KernelResult simulateSliceKernel(const MachineConfig &mcfg,
+                                            const SaveConfig &save_on_cfg,
+                                            const SliceKey &key,
+                                            int tiles, int cores,
+                                            uint64_t seed);
 
   private:
     /** Surface-point cache key (shape + sparsity bins); shared with
@@ -208,6 +270,11 @@ class TrainingEstimator
      *  SliceFailure) unless failFast, which rethrows. */
     double simulateWithRetry(const Key &key);
 
+    /** One attempt of one slice under the resolved isolation mode:
+     *  dispatches to the worker pool (falling back in-process once it
+     *  degrades) or runs simulateSlice directly. */
+    double runSliceIsolated(const Key &key, int attempt);
+
     /** Simulated slice time in ns at binned sparsities; single-flight
      *  cached so concurrent callers never duplicate a simulation. */
     double sliceTime(const Key &key);
@@ -234,10 +301,15 @@ class TrainingEstimator
     SaveConfig save_cfg_;
     EstimatorOptions opt_;
 
+    std::string isolation_;
+
     /** Owned pool for threads >= 2; null for serial or global-pool
      *  mode (see EstimatorOptions::threads). */
     std::unique_ptr<ThreadPool> owned_pool_;
     ThreadPool *pool_ = nullptr;
+
+    /** Sandboxed slice workers; non-null iff isolation_ == "process". */
+    std::unique_ptr<WorkerPool> proc_pool_;
 
     /** Single-flight surface cache: the first thread to want a key
      *  simulates it, everyone else waits on the shared future. */

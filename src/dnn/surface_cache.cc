@@ -4,12 +4,13 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <vector>
 
 #include <unistd.h>
 
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/posix_io.h"
 
 namespace save {
 
@@ -39,43 +40,55 @@ class Fnv1a
     uint64_t h_ = 0xcbf29ce484222325ull;
 };
 
+/** Buffer-backed put/get: the whole file is composed in memory and
+ *  written (or read) in one EINTR-safe posix_io call. */
 template <typename T>
 void
-put(std::ostream &os, T value)
+put(std::string &buf, T value)
 {
-    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+    buf.append(reinterpret_cast<const char *>(&value), sizeof(T));
 }
+
+/** In-memory cursor over a loaded file image. */
+struct Cursor
+{
+    const char *p;
+    const char *end;
+};
 
 template <typename T>
 bool
-get(std::istream &is, T &value)
+get(Cursor &c, T &value)
 {
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-    return static_cast<bool>(is);
+    if (static_cast<size_t>(c.end - c.p) < sizeof(T))
+        return false;
+    std::memcpy(&value, c.p, sizeof(T));
+    c.p += sizeof(T);
+    return true;
 }
 
 void
-putRecord(std::ostream &os, const SurfaceRecord &r)
+putRecord(std::string &buf, const SurfaceRecord &r)
 {
-    put(os, r.mr);
-    put(os, r.nr);
-    put(os, r.kSteps);
-    put(os, r.pattern);
-    put(os, r.precision);
-    put(os, r.saveOn);
-    put(os, r.vpus);
-    put(os, r.wBin);
-    put(os, r.aBin);
-    put(os, r.timeNs);
+    put(buf, r.mr);
+    put(buf, r.nr);
+    put(buf, r.kSteps);
+    put(buf, r.pattern);
+    put(buf, r.precision);
+    put(buf, r.saveOn);
+    put(buf, r.vpus);
+    put(buf, r.wBin);
+    put(buf, r.aBin);
+    put(buf, r.timeNs);
 }
 
 bool
-getRecord(std::istream &is, SurfaceRecord &r)
+getRecord(Cursor &c, SurfaceRecord &r)
 {
-    return get(is, r.mr) && get(is, r.nr) && get(is, r.kSteps) &&
-           get(is, r.pattern) && get(is, r.precision) &&
-           get(is, r.saveOn) && get(is, r.vpus) && get(is, r.wBin) &&
-           get(is, r.aBin) && get(is, r.timeNs);
+    return get(c, r.mr) && get(c, r.nr) && get(c, r.kSteps) &&
+           get(c, r.pattern) && get(c, r.precision) &&
+           get(c, r.saveOn) && get(c, r.vpus) && get(c, r.wBin) &&
+           get(c, r.aBin) && get(c, r.timeNs);
 }
 
 bool
@@ -126,31 +139,34 @@ SurfaceCache::load(std::vector<SurfaceRecord> &out, std::string *why) const
     if (!enabled())
         return fail(why, "cache disabled (no directory configured)");
 
-    std::ifstream is(path(), std::ios::binary);
-    if (!is)
-        return fail(why, "no cache file at " + path());
+    std::string image;
+    std::string io_why;
+    if (!readFileBytes(path(), image, &io_why))
+        return fail(why, "no cache file at " + path() + " (" + io_why +
+                             ")");
+    Cursor c{image.data(), image.data() + image.size()};
 
     uint64_t magic = 0;
     uint32_t version = 0;
     uint64_t hash = 0;
     uint64_t count = 0;
-    if (!get(is, magic) || magic != kMagic)
+    if (!get(c, magic) || magic != kMagic)
         return quarantine(path(), why, "bad magic (not a surface cache)");
-    if (!get(is, version) || version != kVersion)
+    if (!get(c, version) || version != kVersion)
         return quarantine(path(), why,
                           "version " + std::to_string(version) +
                               " != expected " + std::to_string(kVersion));
-    if (!get(is, hash) || hash != config_hash_)
+    if (!get(c, hash) || hash != config_hash_)
         return quarantine(path(), why,
                           "config-hash mismatch (machine/feature/"
                           "estimator configuration changed)");
-    if (!get(is, count))
+    if (!get(c, count))
         return quarantine(path(), why, "truncated header");
 
     out.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
         SurfaceRecord r;
-        if (!getRecord(is, r)) {
+        if (!getRecord(c, r)) {
             out.clear();
             return quarantine(path(), why,
                               "truncated record " + std::to_string(i));
@@ -181,22 +197,19 @@ SurfaceCache::save(const std::vector<SurfaceRecord> &records) const
     std::string tmp_path =
         final_path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(tmp_serial.fetch_add(1));
-    {
-        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            SAVE_WARN("cannot write cache file ", tmp_path);
-            return false;
-        }
-        put(os, kMagic);
-        put(os, kVersion);
-        put(os, config_hash_);
-        put(os, static_cast<uint64_t>(records.size()));
-        for (const SurfaceRecord &r : records)
-            putRecord(os, r);
-        if (!os) {
-            SAVE_WARN("short write to cache file ", tmp_path);
-            return false;
-        }
+    std::string image;
+    image.reserve(28 + records.size() * sizeof(SurfaceRecord));
+    put(image, kMagic);
+    put(image, kVersion);
+    put(image, config_hash_);
+    put(image, static_cast<uint64_t>(records.size()));
+    for (const SurfaceRecord &r : records)
+        putRecord(image, r);
+    std::string io_why;
+    if (!writeFileBytes(tmp_path, image.data(), image.size(),
+                        &io_why)) {
+        SAVE_WARN("cannot write cache file ", tmp_path, ": ", io_why);
+        return false;
     }
     std::filesystem::rename(tmp_path, final_path, ec);
     if (ec) {

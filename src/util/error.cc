@@ -55,6 +55,34 @@ AuditError::AuditError(const std::string &what, std::string snapshot,
 {
 }
 
+WorkerError::WorkerError(Kind kind, const std::string &what,
+                         Context ctx)
+    : SimError(std::string("worker ") + kindName(kind) + ": " + what,
+               ctx),
+      kind_(kind)
+{
+}
+
+const char *
+WorkerError::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::Crash:
+        return "crash";
+    case Kind::Timeout:
+        return "timeout";
+    case Kind::Oom:
+        return "oom";
+    case Kind::Exit:
+        return "exit";
+    case Kind::Protocol:
+        return "protocol";
+    case Kind::Spawn:
+        return "spawn";
+    }
+    return "unknown";
+}
+
 CacheError::CacheError(const std::string &what, std::string path,
                        Context ctx)
     : SimError(what + " (" + path + ")", ctx), path_(std::move(path))

@@ -28,6 +28,13 @@
  *                    -DSAVE_AUDIT=ON; src/sim/auditor.h) found the
  *                    pipeline in an inconsistent state; carries the
  *                    same pipeline snapshot as the watchdog.
+ *   WorkerError   -- a sandboxed slice worker process (src/proc) died
+ *                    or misbehaved: crashed on a signal, overran its
+ *                    wall-clock deadline, was killed for memory, or
+ *                    broke the wire protocol. kind() carries the
+ *                    exit-status triage so the pool's retry/backoff
+ *                    and degradation policies can tell a clean
+ *                    in-worker error from a dead process.
  */
 
 #ifndef SAVE_UTIL_ERROR_H
@@ -113,6 +120,42 @@ class AuditError : public SimError
 
   private:
     std::string snapshot_;
+};
+
+/** A sandboxed slice worker process failed at the process level (as
+ *  opposed to sending back a clean typed error). Thrown only by the
+ *  parent side of src/proc; the pool maps it into respawn/backoff
+ *  bookkeeping and, past the crash budget, graceful in-process
+ *  fallback. */
+class WorkerError : public SimError
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        /** Killed by a signal (SIGSEGV/SIGBUS/SIGABRT/...). */
+        Crash,
+        /** Parent-enforced per-slice deadline expired; SIGKILLed. */
+        Timeout,
+        /** Out of memory: RSS-cap bad_alloc or an OOM-style kill. */
+        Oom,
+        /** Exited with a nonzero status and no error frame. */
+        Exit,
+        /** Sent a malformed/corrupt frame or violated the protocol. */
+        Protocol,
+        /** Could not be spawned (fork/exec/handshake failure). */
+        Spawn,
+    };
+
+    WorkerError(Kind kind, const std::string &what,
+                Context ctx = Context());
+
+    Kind kind() const { return kind_; }
+
+    /** Stable lower-case label ("crash", "timeout", ...). */
+    static const char *kindName(Kind kind);
+
+  private:
+    Kind kind_;
 };
 
 /** Persistent cache/journal I/O or format failure. */

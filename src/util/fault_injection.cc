@@ -1,10 +1,13 @@
 #include "util/fault_injection.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <new>
 
 #include "util/error.h"
 #include "util/logging.h"
@@ -78,6 +81,14 @@ FaultInjector::parsePlan(const std::string &spec)
             plan.cacheTruncateProb = parseDouble(key, val);
         } else if (key == "cache-bitflip") {
             plan.cacheBitflipProb = parseDouble(key, val);
+        } else if (key == "crash") {
+            plan.crashProb = parseDouble(key, val);
+        } else if (key == "abort") {
+            plan.abortProb = parseDouble(key, val);
+        } else if (key == "hang") {
+            plan.hangProb = parseDouble(key, val);
+        } else if (key == "oom") {
+            plan.oomProb = parseDouble(key, val);
         } else if (key == "watchdog-core") {
             plan.watchdogCore = static_cast<int>(parseInt(key, val));
         } else if (key == "watchdog-after") {
@@ -90,7 +101,11 @@ FaultInjector::parsePlan(const std::string &spec)
     }
     if (plan.sliceProb < 0 || plan.sliceProb > 1 ||
         plan.cacheTruncateProb < 0 || plan.cacheTruncateProb > 1 ||
-        plan.cacheBitflipProb < 0 || plan.cacheBitflipProb > 1)
+        plan.cacheBitflipProb < 0 || plan.cacheBitflipProb > 1 ||
+        plan.crashProb < 0 || plan.crashProb > 1 ||
+        plan.abortProb < 0 || plan.abortProb > 1 ||
+        plan.hangProb < 0 || plan.hangProb > 1 || plan.oomProb < 0 ||
+        plan.oomProb > 1)
         throw ConfigError(
             "fault-injection probabilities must be in [0,1]");
     if (plan.sliceTimes < 1)
@@ -159,6 +174,40 @@ FaultInjector::maybeFailSlice(uint64_t key)
                          return std::string(buf);
                      }(key) +
                      ")");
+}
+
+void
+FaultInjector::maybeCrashSlice(uint64_t key, int attempt)
+{
+    if (!enabled_ || !plan_.anyProcessFaults())
+        return;
+    if (attempt > plan_.sliceTimes)
+        return; // past the per-slice misbehavior budget: run clean
+
+    if (plan_.crashProb > 0 && draw(4, key) < plan_.crashProb) {
+        SAVE_WARN("fault injection: raising SIGSEGV for slice key 0x",
+                  std::hex, key, std::dec, " attempt ", attempt);
+        ::raise(SIGSEGV);
+    }
+    if (plan_.abortProb > 0 && draw(5, key) < plan_.abortProb) {
+        SAVE_WARN("fault injection: aborting for slice key 0x",
+                  std::hex, key, std::dec, " attempt ", attempt);
+        std::abort();
+    }
+    if (plan_.hangProb > 0 && draw(6, key) < plan_.hangProb) {
+        SAVE_WARN("fault injection: hanging on slice key 0x", std::hex,
+                  key, std::dec, " attempt ", attempt,
+                  " (waiting for the deadline kill)");
+        for (;;) {
+            struct timespec ts = {0, 50 * 1000 * 1000};
+            ::nanosleep(&ts, nullptr);
+        }
+    }
+    if (plan_.oomProb > 0 && draw(7, key) < plan_.oomProb) {
+        SAVE_WARN("fault injection: forcing bad_alloc for slice key 0x",
+                  std::hex, key, std::dec, " attempt ", attempt);
+        throw std::bad_alloc();
+    }
 }
 
 uint64_t

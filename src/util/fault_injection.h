@@ -26,11 +26,25 @@
  *   SAVE_FAULT_INJECT="slice=0.1,times=1,seed=42"
  *   SAVE_FAULT_INJECT="cache-truncate=1"
  *   SAVE_FAULT_INJECT="watchdog-core=0,watchdog-after=5000"
+ *   SAVE_FAULT_INJECT="crash=0.2,hang=0.1,times=1"
  *
  * Keys: slice (probability 0-1), times (failures per selected slice),
  * seed, cache-truncate (probability per save), cache-bitflip
  * (probability per save), watchdog-core (core id, -1 off),
  * watchdog-after (cycle at which the forced watchdog fires).
+ *
+ * Process-level faults (crash = raise SIGSEGV, abort = std::abort,
+ * hang = sleep forever so the parent's deadline fires, oom = a forced
+ * std::bad_alloc) exist to test the out-of-process containment layer
+ * (src/proc): a slice worker applies them via maybeCrashSlice before
+ * simulating. Selection is the same seeded per-slice-key draw as
+ * `slice`, but the attempt budget is stateless — the caller passes
+ * the attempt number, because the failed-attempt count cannot live in
+ * a process that just died. A selected slice misbehaves on attempts
+ * 1..times and runs clean from attempt times+1, so an injected run
+ * with retries >= times finishes bit-identical to a fault-free run.
+ * In-process execution (--isolation=none|thread) refuses these modes
+ * with ConfigError — a raised SIGSEGV in-process is not containable.
  */
 
 #ifndef SAVE_UTIL_FAULT_INJECTION_H
@@ -61,11 +75,28 @@ struct FaultPlan
     /** Cycle at which the forced watchdog fires. */
     uint64_t watchdogAfterCycles = 1000;
 
+    /** Process-level faults, applied by slice workers (src/proc) via
+     *  maybeCrashSlice. Each is a per-slice-key probability; a
+     *  selected slice misbehaves on attempts 1..sliceTimes. */
+    double crashProb = 0.0; ///< raise(SIGSEGV)
+    double abortProb = 0.0; ///< std::abort()
+    double hangProb = 0.0;  ///< sleep until the parent's deadline kill
+    double oomProb = 0.0;   ///< throw std::bad_alloc
+
+    /** True when any process-level (worker-only) mode is armed. */
+    bool
+    anyProcessFaults() const
+    {
+        return crashProb > 0 || abortProb > 0 || hangProb > 0 ||
+               oomProb > 0;
+    }
+
     bool
     any() const
     {
         return sliceProb > 0 || cacheTruncateProb > 0 ||
-               cacheBitflipProb > 0 || watchdogCore >= 0;
+               cacheBitflipProb > 0 || watchdogCore >= 0 ||
+               anyProcessFaults();
     }
 };
 
@@ -92,6 +123,16 @@ class FaultInjector
      * Call once per simulation attempt with a stable per-slice hash.
      */
     void maybeFailSlice(uint64_t key);
+
+    /**
+     * Apply any armed process-level fault for `key` on this `attempt`
+     * (1-based): raise SIGSEGV, abort, hang, or throw std::bad_alloc.
+     * Called by slice worker processes (bench/save_worker.cc) only —
+     * never from code that must survive. Stateless on purpose: a
+     * selected slice misbehaves iff attempt <= sliceTimes, so the
+     * decision survives the death of the process making it.
+     */
+    void maybeCrashSlice(uint64_t key, int attempt);
 
     /** Cycle at which core `core` must force-fire its watchdog
      *  (~0ull = never). Cores cache this at construction. */

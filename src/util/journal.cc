@@ -1,11 +1,16 @@
 #include "util/journal.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <iterator>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/posix_io.h"
 
 namespace save {
 
@@ -76,28 +81,40 @@ SweepJournal::SweepJournal(const std::string &path, uint64_t config_hash)
     load(config_hash);
 
     bool fresh = !std::filesystem::exists(path_);
-    out_.open(path_, std::ios::app);
-    if (!out_)
-        throw CacheError("cannot open sweep journal for append", path_);
-    if (fresh) {
-        out_ << headerLine(config_hash) << "\n";
-        out_.flush();
-        if (!out_)
-            throw CacheError("cannot write sweep journal header",
-                             path_);
-    }
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0)
+        throw CacheError(std::string("cannot open sweep journal for "
+                                     "append: ") +
+                             std::strerror(errno),
+                         path_);
+    if (fresh)
+        appendLine(headerLine(config_hash));
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+SweepJournal::appendLine(const std::string &line)
+{
+    std::string rec = line + "\n";
+    if (writeFull(fd_, rec.data(), rec.size()) !=
+        static_cast<ssize_t>(rec.size()))
+        throw CacheError(std::string("cannot append to sweep "
+                                     "journal: ") +
+                             std::strerror(errno),
+                         path_);
 }
 
 void
 SweepJournal::load(uint64_t config_hash)
 {
-    std::ifstream is(path_, std::ios::binary);
-    if (!is)
+    std::string text;
+    if (!readFileBytes(path_, text, nullptr))
         return; // no journal yet: start fresh
-
-    std::string text((std::istreambuf_iterator<char>(is)),
-                     std::istreambuf_iterator<char>());
-    is.close();
 
     // A record torn by a mid-append kill lacks its trailing '\n', so
     // only the prefix up to the last newline is trusted.
@@ -142,7 +159,10 @@ SweepJournal::load(uint64_t config_hash)
             ++dropped;
             continue;
         }
-        entries_.emplace(line.substr(0, tab), line.substr(tab + 1));
+        // Last-wins: a later record for the same key supersedes the
+        // earlier one (how a resumed run upgrades a failure marker).
+        entries_.insert_or_assign(line.substr(0, tab),
+                                  line.substr(tab + 1));
     }
     if (dropped > 0)
         SAVE_WARN("sweep journal ", path_, ": dropped ", dropped,
@@ -175,12 +195,11 @@ SweepJournal::record(const std::string &key, const std::string &payload)
                           "tabs/newlines: '" + key + "'");
 
     std::lock_guard<std::mutex> lk(mu_);
-    if (!entries_.emplace(key, payload).second)
-        return; // already journaled
-    out_ << key << '\t' << payload << '\n';
-    out_.flush();
-    if (!out_)
-        throw CacheError("cannot append to sweep journal", path_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == payload)
+        return; // identical record already journaled
+    entries_.insert_or_assign(key, payload);
+    appendLine(key + "\t" + payload);
 }
 
 } // namespace save

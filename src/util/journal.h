@@ -13,11 +13,19 @@
  * file is append-only, each record is a single '\n'-terminated line,
  * and load() ignores an unterminated tail line (the only damage a
  * kill mid-append can cause). Payloads are hex-encoded so records
- * never contain separators.
+ * never contain separators. All file I/O goes through the EINTR-safe
+ * helpers in util/posix_io.h.
  *
  * File format (text):
  *   SAVEJRNL 1 <16-hex config hash>\n
  *   <key>\t<hex payload>\n ...
+ *
+ * Duplicate keys are legal and the LAST record wins, both in load()
+ * and in record(): re-recording a key with a different payload appends
+ * a superseding line. This is what lets a resumed sweep upgrade a
+ * journaled failure marker (NaN-poisoned point) to a real value once
+ * a later run computes it — with first-wins, a permanently-failed
+ * point would stay poisoned in every future resume.
  *
  * The config hash covers everything that affects point values; a
  * mismatch (flags changed between runs) moves the stale journal to
@@ -29,10 +37,10 @@
 #define SAVE_UTIL_JOURNAL_H
 
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
+#include <type_traits>
 
 namespace save {
 
@@ -50,6 +58,8 @@ class SweepJournal
      */
     SweepJournal(const std::string &path, uint64_t config_hash);
 
+    ~SweepJournal();
+
     bool enabled() const { return !path_.empty(); }
     const std::string &path() const { return path_; }
     size_t size() const { return entries_.size(); }
@@ -61,8 +71,9 @@ class SweepJournal
     /**
      * Append one completed point and flush. Keys must be non-empty
      * and free of tabs/newlines (throws ConfigError otherwise);
-     * payload must be hex (use encode()). Duplicate keys are ignored.
-     * Thread-safe.
+     * payload must be hex (use encode()). Re-recording a key with the
+     * same payload is a no-op; a different payload appends a
+     * superseding record (last-wins on reload). Thread-safe.
      */
     void record(const std::string &key, const std::string &payload);
 
@@ -91,10 +102,12 @@ class SweepJournal
 
   private:
     void load(uint64_t config_hash);
+    void appendLine(const std::string &line);
 
     std::string path_;
     std::map<std::string, std::string> entries_;
-    std::ofstream out_;
+    /** O_APPEND fd for record(); -1 when disabled. */
+    int fd_ = -1;
     mutable std::mutex mu_;
 };
 

@@ -391,7 +391,10 @@ TEST_F(RobustnessTest, JournalRoundTripAndDuplicateKeys)
         EXPECT_EQ(j.size(), 0u);
         j.record("p1", SweepJournal::encode(1.5));
         j.record("p2", SweepJournal::encode(2.5));
-        j.record("p1", SweepJournal::encode(99.0)); // ignored
+        // Re-recording with a different payload supersedes (last
+        // wins): this is how a resumed sweep upgrades a journaled
+        // failure marker to a real value.
+        j.record("p1", SweepJournal::encode(99.0));
         EXPECT_THROW(j.record("bad\tkey", "00"), ConfigError);
         EXPECT_THROW(j.record("", "00"), ConfigError);
     }
@@ -401,7 +404,7 @@ TEST_F(RobustnessTest, JournalRoundTripAndDuplicateKeys)
     ASSERT_TRUE(j.lookup("p1", &hex));
     double v = 0;
     ASSERT_TRUE(SweepJournal::decode(hex, v));
-    EXPECT_DOUBLE_EQ(v, 1.5); // first record wins, duplicate ignored
+    EXPECT_DOUBLE_EQ(v, 99.0); // last record wins
     EXPECT_FALSE(j.lookup("p3"));
 }
 
