@@ -295,6 +295,14 @@ wireDecodeSliceResult(const std::vector<uint8_t> &payload)
     r.cycles = traceGetU64(p, end);
     r.coreGhz = traceGetF64(p, end);
     uint32_t n = traceGetU32(p, end);
+    // n is untrusted: each entry needs at least a 4-byte name length
+    // plus an 8-byte value, so bound it by the remaining payload
+    // before reserving — a corrupt count must be a TraceError, not a
+    // multi-GB allocation attempt in the parent.
+    if (n > static_cast<size_t>(end - p) / 12)
+        throw TraceError("wire: slice-result stat count " +
+                         std::to_string(n) +
+                         " exceeds remaining payload");
     r.stats.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
         std::string name = getString(p, end);

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <thread>
 
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -88,12 +89,19 @@ Worker::~Worker()
 void
 Worker::spawn()
 {
+    // O_CLOEXEC: spawn() runs concurrently from several pool threads,
+    // and a sibling slot forking between our pipe() and our
+    // parent-side close would otherwise inherit from_child[1] across
+    // its exec — keeping this worker's stdout pipe open so the parent
+    // never sees EOF when the worker crashes, delaying crash
+    // detection to the full slice deadline. dup2 in our own child
+    // clears CLOEXEC on the stdin/stdout copies it needs.
     int to_child[2];   // parent writes -> child stdin
     int from_child[2]; // child stdout -> parent reads
-    if (::pipe(to_child) != 0)
+    if (::pipe2(to_child, O_CLOEXEC) != 0)
         throw WorkerError(WorkerError::Kind::Spawn,
                           std::string("pipe: ") + std::strerror(errno));
-    if (::pipe(from_child) != 0) {
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
         ::close(to_child[0]);
         ::close(to_child[1]);
         throw WorkerError(WorkerError::Kind::Spawn,
@@ -163,7 +171,7 @@ Worker::spawn()
         throw WorkerError(WorkerError::Kind::Spawn,
                           std::string("handshake: ") + e.what());
     }
-    SAVE_INFORM("worker slot ", id_, ": spawned pid ", pid_, " (",
+    SAVE_INFORM("worker slot ", id_, ": spawned pid ", pid, " (",
                 bin_, ")");
 }
 
@@ -210,11 +218,22 @@ Worker::run(const SliceKey &key, uint64_t key_hash, int attempt,
     }
 
     if (frame.fourcc == kWireError) {
+        WireErrorInfo err;
+        try {
+            err = wireDecodeError(frame.payload);
+        } catch (const TraceError &e) {
+            // Malformed ERR payload is protocol corruption, not a
+            // clean in-worker failure: same treatment as a corrupt
+            // result frame.
+            kill();
+            ++consecutive_crashes_;
+            throw WorkerError(WorkerError::Kind::Protocol, e.what());
+        }
         // Clean in-worker failure: the child survives and keeps its
         // slot; rethrow with the original taxonomy type.
         ++slices_done_;
         consecutive_crashes_ = 0;
-        wireThrowError(wireDecodeError(frame.payload));
+        wireThrowError(err);
     }
     if (frame.fourcc != kWireResult) {
         kill();
@@ -282,11 +301,12 @@ Worker::triageDeath(const char *verb, bool killed_by_parent)
 void
 Worker::kill()
 {
-    if (pid_ <= 0)
+    pid_t pid = pid_.load(std::memory_order_relaxed);
+    if (pid <= 0)
         return;
-    ::kill(pid_, SIGKILL);
+    ::kill(pid, SIGKILL);
     int status = 0;
-    ::waitpid(pid_, &status, 0);
+    ::waitpid(pid, &status, 0);
     if (to_child_ >= 0)
         ::close(to_child_);
     if (from_child_ >= 0)
@@ -296,9 +316,22 @@ Worker::kill()
 }
 
 void
+Worker::interrupt()
+{
+    // Foreign-thread path (pool degradation/shutdown): signal only.
+    // No fd close, no reap — the owning thread is blocked reading the
+    // pipe, observes EOF once the child dies, and runs triageDeath to
+    // close and reap in its own error path.
+    pid_t pid = pid_.load(std::memory_order_relaxed);
+    if (pid > 0)
+        ::kill(pid, SIGKILL);
+}
+
+void
 Worker::shutdown()
 {
-    if (pid_ <= 0)
+    pid_t pid = pid_.load(std::memory_order_relaxed);
+    if (pid <= 0)
         return;
     // Graceful: ask, give it a moment, then insist.
     wireWrite(to_child_, kWireBye, 0, {});
@@ -308,14 +341,14 @@ Worker::shutdown()
                     std::chrono::milliseconds(500);
     for (;;) {
         int status = 0;
-        pid_t r = ::waitpid(pid_, &status, WNOHANG);
-        if (r == pid_ || (r < 0 && errno == ECHILD)) {
+        pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid || (r < 0 && errno == ECHILD)) {
             pid_ = -1;
             break;
         }
         if (std::chrono::steady_clock::now() >= deadline) {
-            ::kill(pid_, SIGKILL);
-            ::waitpid(pid_, &status, 0);
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
             pid_ = -1;
             break;
         }

@@ -20,6 +20,7 @@
 #ifndef SAVE_PROC_WORKER_H
 #define SAVE_PROC_WORKER_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <sys/types.h>
@@ -39,7 +40,9 @@ namespace save {
 std::string resolveWorkerBin(const std::string &explicit_path);
 
 /** One child process slot. Not thread-safe: the pool checks a Worker
- *  out to exactly one thread at a time. */
+ *  out to exactly one thread at a time. The single exception is
+ *  interrupt(), which only signals the child and may be called from
+ *  any thread (pool degradation/shutdown). */
 class Worker
 {
   public:
@@ -64,8 +67,11 @@ class Worker
                         int attempt, int timeout_ms);
 
     /** True while a child is believed alive. */
-    bool alive() const { return pid_ > 0; }
-    pid_t pid() const { return pid_; }
+    bool alive() const { return pid() > 0; }
+    pid_t pid() const
+    {
+        return pid_.load(std::memory_order_relaxed);
+    }
     int id() const { return id_; }
 
     /** Slices completed by the current child (recycling counter). */
@@ -77,8 +83,17 @@ class Worker
     /** Ask a live child to drain: BYE, bounded wait, then SIGKILL. */
     void shutdown();
 
-    /** SIGKILL + reap immediately (deadline expiry, pool drain). */
+    /** SIGKILL + reap immediately (deadline expiry, pool drain).
+     *  Owner-only: closes the pipe fds. */
     void kill();
+
+    /**
+     * SIGKILL the child without touching fds or reaping — the only
+     * member safe to call from a thread that does NOT own this
+     * Worker. The owning thread (blocked in run()) observes EOF on
+     * the pipe and does the close/reap in its own error path.
+     */
+    void interrupt();
 
   private:
     /** Fork/exec + HELO/HACK handshake. Throws WorkerError(Spawn). */
@@ -91,7 +106,9 @@ class Worker
     std::string bin_;
     WireSessionInit init_;
 
-    pid_t pid_ = -1;
+    /** Atomic so interrupt() can read it from a foreign thread while
+     *  the owner respawns or reaps; all writes stay owner-only. */
+    std::atomic<pid_t> pid_{-1};
     int to_child_ = -1;   ///< parent write end -> child stdin
     int from_child_ = -1; ///< parent read end <- child stdout
     int slices_done_ = 0;

@@ -108,47 +108,76 @@ WorkerPool::checkout()
 void
 WorkerPool::release(int idx, bool crashed)
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    Slot &slot = slots_[static_cast<size_t>(idx)];
-    slot.busy = false;
-    if (crashed) {
-        ++crashes_;
-        ++respawns_;
-        // Exponential backoff with deterministic jitter: doubles per
-        // consecutive crash of this slot, capped, plus up to 25% skew
-        // so slots crashing in lockstep do not respawn in lockstep.
-        int streak =
-            std::max(1, slot.worker->consecutiveCrashes());
-        int64_t delay = opts_.backoffBaseMs;
-        for (int i = 1; i < streak && delay < opts_.backoffMaxMs; ++i)
-            delay *= 2;
-        delay = std::min<int64_t>(delay, opts_.backoffMaxMs);
-        uint64_t mixed =
-            (static_cast<uint64_t>(idx) * 0x9e3779b97f4a7c15ull) ^
-            (static_cast<uint64_t>(crashes_) * 0xbf58476d1ce4e5b9ull);
-        delay += static_cast<int64_t>(mixed % 1000) * delay / 4000;
-        slot.notBefore = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(delay);
-        if (crashes_ >= opts_.maxWorkerCrashes && !degraded_) {
-            degraded_ = true;
-            SAVE_WARN("worker pool: crash budget exhausted (",
-                      crashes_, " process failures); draining and "
-                      "degrading to in-process execution");
-            for (auto &s : slots_)
-                if (s.worker)
-                    s.worker->kill();
-        }
-    } else {
-        slot.notBefore = std::chrono::steady_clock::time_point::min();
-        if (opts_.maxSlicesPerWorker > 0 && slot.worker->alive() &&
-            slot.worker->slicesDone() >= opts_.maxSlicesPerWorker) {
-            SAVE_INFORM("worker pool: recycling slot ", idx, " after ",
-                        slot.worker->slicesDone(), " slices");
-            slot.worker->shutdown();
+    Worker *recycle = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        Slot &slot = slots_[static_cast<size_t>(idx)];
+        slot.busy = false;
+        if (crashed) {
+            ++crashes_;
             ++respawns_;
+            // Exponential backoff with deterministic jitter: doubles
+            // per consecutive crash of this slot, capped, plus up to
+            // 25% skew so slots crashing in lockstep do not respawn
+            // in lockstep.
+            int streak =
+                std::max(1, slot.worker->consecutiveCrashes());
+            int64_t delay = opts_.backoffBaseMs;
+            for (int i = 1;
+                 i < streak && delay < opts_.backoffMaxMs; ++i)
+                delay *= 2;
+            delay = std::min<int64_t>(delay, opts_.backoffMaxMs);
+            uint64_t mixed =
+                (static_cast<uint64_t>(idx) * 0x9e3779b97f4a7c15ull) ^
+                (static_cast<uint64_t>(crashes_) * 0xbf58476d1ce4e5b9ull);
+            delay += static_cast<int64_t>(mixed % 1000) * delay / 4000;
+            slot.notBefore = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(delay);
+            if (crashes_ >= opts_.maxWorkerCrashes && !degraded_) {
+                degraded_ = true;
+                SAVE_WARN("worker pool: crash budget exhausted (",
+                          crashes_, " process failures); draining and "
+                          "degrading to in-process execution");
+                // Busy slots are owned by the thread blocked inside
+                // Worker::run(); kill()ing them here would close the
+                // fds that thread is reading and reset its pid. Only
+                // signal those children (interrupt) — the owner sees
+                // EOF and closes/reaps in its own error path. Idle
+                // slots are unowned and safe to reap in place.
+                for (auto &s : slots_) {
+                    if (!s.worker)
+                        continue;
+                    if (s.busy)
+                        s.worker->interrupt();
+                    else
+                        s.worker->kill();
+                }
+            }
+        } else {
+            slot.notBefore =
+                std::chrono::steady_clock::time_point::min();
+            if (opts_.maxSlicesPerWorker > 0 && slot.worker->alive() &&
+                slot.worker->slicesDone() >= opts_.maxSlicesPerWorker) {
+                SAVE_INFORM("worker pool: recycling slot ", idx,
+                            " after ", slot.worker->slicesDone(),
+                            " slices");
+                // Drain outside the lock: the BYE wait can block up
+                // to 500 ms and must not stall every other thread's
+                // checkout/release. Keep the slot checked out while
+                // we drain so nobody else touches the Worker.
+                slot.busy = true;
+                recycle = slot.worker.get();
+            }
         }
+        cv_.notify_all();
     }
-    cv_.notify_all();
+    if (recycle) {
+        recycle->shutdown();
+        std::lock_guard<std::mutex> lk(mu_);
+        slots_[static_cast<size_t>(idx)].busy = false;
+        ++respawns_;
+        cv_.notify_all();
+    }
 }
 
 WireSliceResult
@@ -186,14 +215,30 @@ WorkerPool::degraded() const
 void
 WorkerPool::shutdown()
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (shut_down_)
-        return;
-    shut_down_ = true;
-    for (auto &s : slots_)
-        if (s.worker)
-            s.worker->shutdown();
-    cv_.notify_all();
+    std::vector<Worker *> idle;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (shut_down_)
+            return;
+        shut_down_ = true;
+        for (auto &s : slots_) {
+            if (!s.worker)
+                continue;
+            // Same ownership rule as degradation: a busy slot's fds
+            // belong to the thread that checked it out, so only
+            // signal its child; that thread closes and reaps on EOF.
+            if (s.busy)
+                s.worker->interrupt();
+            else
+                idle.push_back(s.worker.get());
+        }
+        cv_.notify_all();
+    }
+    // shut_down_ makes checkout() throw, so the idle slots can no
+    // longer be claimed: this thread owns them and can run the
+    // blocking BYE drain without holding the pool lock.
+    for (Worker *w : idle)
+        w->shutdown();
 }
 
 int
