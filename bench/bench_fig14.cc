@@ -58,10 +58,10 @@ run(int argc, char **argv)
                        {eopt.gridStep, eopt.kSteps, eopt.tiles,
                         eopt.cores, static_cast<int64_t>(eopt.seed)});
     TrainingEstimator est(MachineConfig{}, SaveConfig{}, eopt);
-    std::printf("simulation fan-out: %d thread(s), %lu surface "
-                "point(s) from persistent cache\n\n",
-                est.threads(),
-                static_cast<unsigned long>(est.persistentHits()));
+    // Run-dependent counters go to stderr: stdout must be bit-identical
+    // across cold/warm cache states and isolation modes (CI diffs it).
+    std::fprintf(stderr, "simulation fan-out: %d thread(s)\n",
+                 est.threads());
 
     struct Entry
     {
@@ -107,9 +107,12 @@ run(int argc, char **argv)
     for (const Entry &e : gnmt_entries)
         printNet(e.label, eval(e, true), true);
 
-    std::printf("\nslice simulations: %lu\n",
-                static_cast<unsigned long>(est.simulations()));
-    std::printf("Paper (dynamic, MP): inference 1.68x/1.37x/1.59x "
+    std::fprintf(stderr,
+                 "slice simulations: %lu, persistent hits: %lu\n",
+                 static_cast<unsigned long>(est.simulations()),
+                 static_cast<unsigned long>(est.persistentHits()));
+    maybePrintCacheStats(flags, est.resultStore());
+    std::printf("\nPaper (dynamic, MP): inference 1.68x/1.37x/1.59x "
                 "(VGG/ResNet/ResNet-pruned), 1.39x GNMT; training "
                 "1.64x/1.29x/1.42x, 1.28x GNMT.\n");
     return runner.finish(est.failures().size(), est.failureReport());

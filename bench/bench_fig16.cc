@@ -25,6 +25,7 @@ run(int argc, char **argv)
     MachineConfig m;
     Engine base(m, SaveConfig::baseline());
     Engine sv(m, SaveConfig{});
+    BenchResultCache rcache(flags);
 
     std::vector<KernelSpec> kernels = allStudiedKernels();
     std::printf("studied kernels: %zu (13 VGG16 + 53 ResNet-50 conv, "
@@ -92,8 +93,8 @@ run(int argc, char **argv)
                     static_cast<Precision>(key.prec), 0.9, 0.9, flags);
                 GemmConfig dense = g;
                 dense.bsSparsity = dense.nbsSparsity = 0.0;
-                auto rb = base.runGemm(dense, 1, 2);
-                auto rs = sv.runGemm(g, 1, key.vpus);
+                auto rb = rcache.run(base, dense, 1, 2);
+                auto rs = rcache.run(sv, g, 1, key.vpus);
                 return speedup(rb, rs);
             });
         });
@@ -127,6 +128,7 @@ run(int argc, char **argv)
     }
     std::printf("Paper geomean caps: FP32 1.39x (2 VPUs) / 1.62x "
                 "(1 VPU); MP 1.48x / 1.77x.\n");
+    maybePrintCacheStats(flags, rcache.store());
     return runner.finish();
 }
 

@@ -11,8 +11,12 @@
  *   --cores=N       active cores per slice simulation
  *   --threads=N     host threads for the simulation fan-out
  *                   (0 = SAVE_THREADS env or hardware concurrency)
- *   --cache-dir=D   persistent surface cache ("none" disables; default
+ *   --cache-dir=D   persistent result store ("none" disables; default
  *                   is the SAVE_CACHE_DIR environment variable)
+ *   --cache-max-mb=N result-store size cap; LRU eviction past it
+ *                   (0 = SAVE_CACHE_MAX_MB env, unlimited by default)
+ *   --cache-stats   print store counters (hits/misses/inserts/
+ *                   evictions/bytes) to stderr after the run
  *   --max-retries=N retries for a failed sweep point / slice (default 2)
  *   --fail-fast     abort the sweep on the first permanent failure
  *   --max-failures=N tolerated permanent failures before a nonzero
@@ -58,6 +62,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "cache/cas_key.h"
+#include "cache/result_store.h"
 #include "dnn/estimator.h"
 #include "dnn/networks.h"
 #include "engine/engine.h"
@@ -136,6 +142,7 @@ estimatorOptions(const Flags &flags)
     o.cores = flags.getInt("cores", o.cores);
     o.threads = flags.getInt("threads", 0);
     o.cacheDir = flags.getStr("cache-dir", "");
+    o.cacheMaxMb = flags.getInt("cache-max-mb", 0);
     o.maxRetries = flags.getInt("max-retries", o.maxRetries);
     o.failFast = flags.has("fail-fast");
     o.isolation = flags.getStr("isolation", "");
@@ -150,6 +157,80 @@ estimatorOptions(const Flags &flags)
     o.proc.workerBin = flags.getStr("worker-bin", "");
     o.validate();
     return o;
+}
+
+/**
+ * Persistent memoization of Engine::runGemm for the figure/table
+ * benches that drive the simulator directly (no estimator): a repeat
+ * slice — same machine, feature set, and GEMM workload — is served
+ * from the content-addressed result store instead of re-simulating.
+ * Shares --cache-dir/--cache-max-mb (and the SAVE_CACHE_DIR /
+ * SAVE_CACHE_MAX_MB environment) with the estimator-driven benches,
+ * and the same store directory: the key space is partitioned by the
+ * config/workload digests, so estimator slices and bench slices
+ * coexist in one store.
+ */
+class BenchResultCache
+{
+  public:
+    explicit BenchResultCache(const Flags &flags)
+    {
+        ResultStore::Options o;
+        o.dir = ResultStore::resolveDir(flags.getStr("cache-dir", ""));
+        o.maxBytes =
+            ResultStore::resolveMaxBytes(flags.getInt("cache-max-mb", 0));
+        store_ = std::make_unique<ResultStore>(o);
+    }
+
+    /** eng.runGemm(g, cores, vpus), served from the store when it has
+     *  this exact (machine, features, workload) before. Simulated
+     *  results are persisted as they complete; a cached result is
+     *  bit-identical to the simulation it replaces (the store
+     *  round-trips every stat verbatim). */
+    KernelResult
+    run(const Engine &eng, const GemmConfig &g, int cores, int vpus)
+    {
+        const CasKey key{casHashConfig(eng.machine(), eng.save(), 0),
+                         casGemmWorkload(g, cores, vpus)};
+        CasValue v;
+        if (store_->lookup(key, &v)) {
+            KernelResult kr;
+            kr.timeNs = v.timeNs;
+            kr.cycles = v.cycles;
+            kr.coreGhz = v.coreGhz;
+            for (const auto &[name, value] : v.stats)
+                kr.stats.set(name, value);
+            return kr;
+        }
+        KernelResult kr = eng.runGemm(g, cores, vpus);
+        if (std::isfinite(kr.timeNs)) {
+            v = CasValue{};
+            v.timeNs = kr.timeNs;
+            v.cycles = kr.cycles;
+            v.coreGhz = kr.coreGhz;
+            for (const auto &[name, value] : kr.stats.all())
+                v.stats.emplace_back(name, value);
+            store_->insert(key, v);
+        }
+        return kr;
+    }
+
+    const ResultStore *store() const { return store_.get(); }
+
+  private:
+    std::unique_ptr<ResultStore> store_;
+};
+
+/** --cache-stats: one stderr line of store counters after the run.
+ *  Accepts a null store (estimator without one) as a no-op. */
+inline void
+maybePrintCacheStats(const Flags &flags, const ResultStore *store)
+{
+    if (!flags.has("cache-stats") || store == nullptr)
+        return;
+    std::fprintf(stderr, "cache %s: %s\n",
+                 store->enabled() ? store->dir().c_str() : "(disabled)",
+                 store->statsSnapshot().toJson().c_str());
 }
 
 /**
@@ -398,8 +479,12 @@ printBenchUsage(const char *argv0)
         "  --cores=N        active cores per slice simulation\n"
         "  --threads=N      host threads (0 = SAVE_THREADS env or "
         "hardware)\n"
-        "  --cache-dir=D    persistent surface cache ('none' "
+        "  --cache-dir=D    persistent result store ('none' "
         "disables)\n"
+        "  --cache-max-mb=N result-store size cap, LRU-evicted "
+        "(0 = env)\n"
+        "  --cache-stats    print store counters to stderr after the "
+        "run\n"
         "  --max-retries=N  retries per failed sweep point (default "
         "2)\n"
         "  --fail-fast      abort on the first permanent failure\n"

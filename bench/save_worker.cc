@@ -18,12 +18,16 @@
  * triage still classifies it.
  */
 
+#include <cmath>
 #include <exception>
+#include <memory>
 #include <new>
 
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include "cache/cas_key.h"
+#include "cache/result_store.h"
 #include "dnn/estimator.h"
 #include "proc/wire_codec.h"
 #include "util/error.h"
@@ -78,6 +82,21 @@ serve()
         return kWorkerExitConfig;
     }
     applyRssCap(init.rssCapMb);
+
+    // The worker opens its own handle on the shared result store and
+    // persists every slice it simulates *before* replying, so a result
+    // lands on disk exactly once: the parent marks worker-run slices
+    // as already persisted. A cache hit here answers the REQ without
+    // simulating at all (e.g. a retry of a slice whose first attempt
+    // crashed after the insert).
+    std::unique_ptr<ResultStore> store;
+    if (!init.cacheDir.empty()) {
+        ResultStore::Options sopt;
+        sopt.dir = init.cacheDir;
+        sopt.maxBytes = init.cacheMaxBytes;
+        store = std::make_unique<ResultStore>(sopt);
+    }
+
     if (!wireWrite(STDOUT_FILENO, kWireHelloAck, kWireVersion, {}))
         return 1;
 
@@ -98,15 +117,34 @@ serve()
         try {
             FaultInjector::global().maybeCrashSlice(req.keyHash,
                                                     attempt);
-            KernelResult kr = TrainingEstimator::simulateSliceKernel(
-                init.mcfg, init.scfg, req.key, init.tiles, init.cores,
-                init.seed);
+            const CasKey ck{init.configHash,
+                            casSliceWorkload(req.key)};
             WireSliceResult res;
-            res.timeNs = kr.timeNs;
-            res.cycles = kr.cycles;
-            res.coreGhz = kr.coreGhz;
-            for (const auto &[name, value] : kr.stats.all())
-                res.stats.emplace_back(name, value);
+            CasValue hit;
+            if (store && store->lookup(ck, &hit)) {
+                res.timeNs = hit.timeNs;
+                res.cycles = hit.cycles;
+                res.coreGhz = hit.coreGhz;
+                res.stats = hit.stats;
+            } else {
+                KernelResult kr =
+                    TrainingEstimator::simulateSliceKernel(
+                        init.mcfg, init.scfg, req.key, init.tiles,
+                        init.cores, init.seed);
+                res.timeNs = kr.timeNs;
+                res.cycles = kr.cycles;
+                res.coreGhz = kr.coreGhz;
+                for (const auto &[name, value] : kr.stats.all())
+                    res.stats.emplace_back(name, value);
+                if (store && std::isfinite(res.timeNs)) {
+                    CasValue v;
+                    v.timeNs = res.timeNs;
+                    v.cycles = res.cycles;
+                    v.coreGhz = res.coreGhz;
+                    v.stats = res.stats;
+                    store->insert(ck, v);
+                }
+            }
             if (!wireWrite(STDOUT_FILENO, kWireResult, 0,
                            wireEncodeSliceResult(res)))
                 return 1; // parent hung up mid-reply

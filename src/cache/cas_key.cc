@@ -1,0 +1,101 @@
+#include "cache/cas_key.h"
+
+namespace save {
+
+uint64_t
+casHashConfig(const MachineConfig &m, const SaveConfig &s, uint64_t salt)
+{
+    CasHasher h;
+    h.mix(salt);
+
+    h.mix(m.cores);
+    h.mix(m.freq2VpuGhz);
+    h.mix(m.freq1VpuGhz);
+    h.mix(m.uncoreGhz);
+    h.mix(m.issueWidth);
+    h.mix(m.commitWidth);
+    h.mix(m.rsEntries);
+    h.mix(m.robEntries);
+    h.mix(m.prfExtraRegs);
+    h.mix(m.numVpus);
+    h.mix(m.fp32FmaLatency);
+    h.mix(m.mpFmaLatency);
+    h.mix(m.l1ReadPorts);
+    h.mix(m.bcachePorts);
+    h.mix(m.bcacheEntries);
+    h.mix(m.l1SizeKb);
+    h.mix(m.l1Ways);
+    h.mix(m.l1LatCycles);
+    h.mix(m.l2SizeKb);
+    h.mix(m.l2Ways);
+    h.mix(m.l2LatCycles);
+    h.mix(m.l3SizeKbPerCore);
+    h.mix(m.l3Ways);
+    h.mix(m.l3LatNs);
+    h.mix(m.nocHopCycles);
+    h.mix(m.dramGBps);
+    h.mix(m.dramChannels);
+    h.mix(m.dramLatNs);
+    h.mix(m.prefetchDegree);
+    h.mix(m.exceptionServiceCycles);
+
+    h.mix(s.enabled);
+    h.mix(static_cast<uint8_t>(s.policy));
+    h.mix(s.laneWiseDep);
+    h.mix(s.bsSkip);
+    h.mix(static_cast<uint8_t>(s.bcache));
+    h.mix(s.mpCompress);
+    h.mix(s.hcExtraLatency);
+    h.mix(s.rotationStates);
+
+    return h.value();
+}
+
+namespace {
+
+/** Leading domain tag so the two workload serializations can never
+ *  collide with each other, whatever their field values. */
+enum class WorkloadDomain : uint8_t { Slice = 1, Gemm = 2 };
+
+} // namespace
+
+uint64_t
+casSliceWorkload(const SliceKey &key)
+{
+    CasHasher h;
+    h.mix(static_cast<uint8_t>(WorkloadDomain::Slice));
+    h.mix(static_cast<uint64_t>(key.mr));
+    h.mix(static_cast<uint64_t>(key.nr));
+    h.mix(static_cast<uint64_t>(key.kSteps));
+    h.mix(key.pattern);
+    h.mix(key.precision);
+    h.mix(key.saveOn);
+    h.mix(key.vpus);
+    h.mix(key.wBin);
+    h.mix(key.aBin);
+    return h.value();
+}
+
+uint64_t
+casGemmWorkload(const GemmConfig &g, int cores, int vpus)
+{
+    CasHasher h;
+    h.mix(static_cast<uint8_t>(WorkloadDomain::Gemm));
+    h.mix(static_cast<uint64_t>(g.mr));
+    h.mix(static_cast<uint64_t>(g.nrVecs));
+    h.mix(static_cast<uint64_t>(g.kSteps));
+    h.mix(static_cast<uint64_t>(g.tiles));
+    h.mix(static_cast<uint8_t>(g.pattern));
+    h.mix(static_cast<uint8_t>(g.precision));
+    h.mix(static_cast<uint8_t>(g.aLayout));
+    h.mix(g.bsSparsity);
+    h.mix(g.nbsSparsity);
+    h.mix(g.seed);
+    h.mix(g.useWriteMask);
+    h.mix(g.writeMask);
+    h.mix(static_cast<uint64_t>(cores));
+    h.mix(static_cast<uint64_t>(vpus));
+    return h.value();
+}
+
+} // namespace save

@@ -1,0 +1,714 @@
+#include "cache/result_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "trace/trace_format.h"
+#include "util/error.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/posix_io.h"
+
+namespace save {
+
+namespace {
+
+constexpr uint32_t kRecFourcc = traceFourcc('C', 'R', 'E', 'C');
+/** A record larger than this is treated as corruption, not allocated. */
+constexpr uint64_t kMaxPayload = 16ull << 20;
+/** Flight locks older than this are presumed abandoned even when the
+ *  recorded pid cannot be probed. */
+constexpr long kFlightStaleSec = 120;
+/** waitForResult poll period. */
+constexpr int kWaitPollMs = 10;
+
+std::vector<uint8_t>
+encodePayload(const CasKey &key, const CasValue &v)
+{
+    std::vector<uint8_t> out;
+    tracePutU64(out, key.cfg);
+    tracePutU64(out, key.wl);
+    tracePutF64(out, v.timeNs);
+    tracePutU64(out, v.cycles);
+    tracePutF64(out, v.coreGhz);
+    tracePutU32(out, static_cast<uint32_t>(v.stats.size()));
+    for (const auto &[name, value] : v.stats) {
+        tracePutU32(out, static_cast<uint32_t>(name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+        tracePutF64(out, value);
+    }
+    return out;
+}
+
+/** Throws TraceError on any malformed payload. */
+void
+decodePayload(const uint8_t *p, const uint8_t *end, CasKey &key,
+              CasValue &v)
+{
+    key.cfg = traceGetU64(p, end);
+    key.wl = traceGetU64(p, end);
+    v.timeNs = traceGetF64(p, end);
+    v.cycles = traceGetU64(p, end);
+    v.coreGhz = traceGetF64(p, end);
+    uint32_t n = traceGetU32(p, end);
+    // Untrusted count: each stat needs >= 12 bytes, so bound it by the
+    // remaining payload before reserving.
+    if (n > static_cast<size_t>(end - p) / 12)
+        throw TraceError("cas: stat count " + std::to_string(n) +
+                         " exceeds remaining payload");
+    v.stats.clear();
+    v.stats.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t len = traceGetU32(p, end);
+        if (static_cast<size_t>(end - p) < len)
+            throw TraceError("cas: stat name runs past payload end");
+        std::string name(reinterpret_cast<const char *>(p), len);
+        p += len;
+        double value = traceGetF64(p, end);
+        v.stats.emplace_back(std::move(name), value);
+    }
+    if (p != end)
+        throw TraceError("cas: trailing bytes after record payload");
+}
+
+std::vector<uint8_t>
+encodeFrame(const CasKey &key, const CasValue &v)
+{
+    std::vector<uint8_t> payload = encodePayload(key, v);
+    std::vector<uint8_t> frame;
+    frame.reserve(kTraceChunkHeaderBytes + payload.size());
+    tracePutU32(frame, kRecFourcc);
+    tracePutU32(frame, ResultStore::kVersion);
+    tracePutU64(frame, payload.size());
+    tracePutU32(frame, payload.empty()
+                           ? traceCrc32(nullptr, 0)
+                           : traceCrc32(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+/** True when the pid recorded in a flight lock is definitely gone. */
+bool
+pidDead(pid_t pid)
+{
+    if (pid <= 0)
+        return false; // unparseable: fall back to the mtime check
+    return ::kill(pid, 0) != 0 && errno == ESRCH;
+}
+
+} // namespace
+
+std::string
+ResultStore::resolveDir(const std::string &opt)
+{
+    if (opt == "none" || opt == "-")
+        return "";
+    if (!opt.empty())
+        return opt;
+    const char *env = std::getenv("SAVE_CACHE_DIR");
+    return env ? env : "";
+}
+
+uint64_t
+ResultStore::resolveMaxBytes(int opt_mb)
+{
+    if (opt_mb > 0)
+        return static_cast<uint64_t>(opt_mb) << 20;
+    if (opt_mb == 0) {
+        const char *env = std::getenv("SAVE_CACHE_MAX_MB");
+        if (env && *env) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end && *end == '\0' && v > 0)
+                return static_cast<uint64_t>(v) << 20;
+            SAVE_WARN("ignoring malformed SAVE_CACHE_MAX_MB='", env,
+                      "' (expects a positive integer, MB)");
+        }
+    }
+    return 0;
+}
+
+int
+ResultStore::shardOf(const CasKey &key)
+{
+    return static_cast<int>((key.cfg ^ key.wl) &
+                            static_cast<uint64_t>(kShards - 1));
+}
+
+std::string
+ResultStore::shardPath(int shard) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "cas-%02x.savecas", shard);
+    return (std::filesystem::path(opt_.dir) / name).string();
+}
+
+std::string
+ResultStore::flightPath(const CasKey &key) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "fl-%016llx%016llx.lock",
+                  static_cast<unsigned long long>(key.cfg),
+                  static_cast<unsigned long long>(key.wl));
+    return (std::filesystem::path(opt_.dir) / name).string();
+}
+
+ResultStore::ResultStore(Options opt) : opt_(std::move(opt))
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.dir, ec);
+    if (ec) {
+        SAVE_WARN("cannot create cache dir ", opt_.dir, ": ",
+                  ec.message(), "; result store disabled");
+        opt_.dir.clear();
+        return;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int i = 0; i < kShards; ++i) {
+        // Test hook: deterministic at-rest corruption of an existing
+        // shard before it is parsed (SAVE_FAULT_INJECT cache-truncate/
+        // cache-bitflip), exercising the quarantine path on warm runs.
+        std::error_code sec;
+        if (std::filesystem::exists(shardPath(i), sec))
+            FaultInjector::global().maybeTamperCacheFile(
+                shardPath(i), static_cast<uint64_t>(i));
+        loadShardLocked(i, /*at_open=*/true);
+    }
+    if (opt_.maxBytes && totalRecordBytesLocked() > opt_.maxBytes)
+        evictLocked();
+}
+
+ResultStore::~ResultStore()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (Shard &s : shards_)
+        if (s.appendFd >= 0) {
+            ::close(s.appendFd);
+            s.appendFd = -1;
+        }
+}
+
+bool
+ResultStore::loadShardLocked(int shard, bool at_open)
+{
+    Shard &s = shards_[shard];
+    const std::string path = shardPath(shard);
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return true; // nothing on disk yet
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return true;
+    }
+    const uint64_t size = static_cast<uint64_t>(st.st_size);
+    if (size <= s.parsed) {
+        ::close(fd);
+        if (size < s.parsed) {
+            // The file shrank under us (another process compacted or
+            // an injected truncation): drop what we indexed from disk
+            // and re-parse from scratch. In-memory values stay valid.
+            s.parsed = 0;
+            s.diskBytes = 0;
+            if (s.appendFd >= 0) {
+                ::close(s.appendFd);
+                s.appendFd = -1;
+            }
+            return loadShardLocked(shard, at_open);
+        }
+        return true;
+    }
+
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+        SAVE_WARN("cannot mmap cache shard ", path, ": ",
+                  std::strerror(errno));
+        return true;
+    }
+    const uint8_t *base = static_cast<const uint8_t *>(map);
+
+    std::string why;
+    bool corrupt = false;
+    uint64_t off = s.parsed;
+    while (off < size) {
+        const uint64_t left = size - off;
+        if (left < kTraceChunkHeaderBytes) {
+            if (at_open) {
+                why = "torn record header at offset " +
+                      std::to_string(off);
+                corrupt = true;
+            }
+            break; // mid-run: a concurrent append is still landing
+        }
+        const uint8_t *p = base + off;
+        const uint8_t *hend = p + kTraceChunkHeaderBytes;
+        uint32_t fourcc = traceGetU32(p, hend);
+        uint32_t version = traceGetU32(p, hend);
+        uint64_t len = traceGetU64(p, hend);
+        uint32_t crc = traceGetU32(p, hend);
+        if (fourcc != kRecFourcc) {
+            why = "bad record fourcc at offset " + std::to_string(off);
+            corrupt = true;
+            break;
+        }
+        if (version != kVersion) {
+            why = "record version " + std::to_string(version) +
+                  " != expected " + std::to_string(kVersion);
+            corrupt = true;
+            break;
+        }
+        if (len > kMaxPayload) {
+            why = "record length " + std::to_string(len) +
+                  " exceeds the " + std::to_string(kMaxPayload) +
+                  "-byte cap";
+            corrupt = true;
+            break;
+        }
+        if (left - kTraceChunkHeaderBytes < len) {
+            if (at_open) {
+                why = "torn record payload at offset " +
+                      std::to_string(off);
+                corrupt = true;
+            }
+            break;
+        }
+        const uint8_t *payload = base + off + kTraceChunkHeaderBytes;
+        uint32_t got = len == 0 ? traceCrc32(nullptr, 0)
+                                : traceCrc32(payload, len);
+        if (got != crc) {
+            why = "record CRC mismatch at offset " + std::to_string(off);
+            corrupt = true;
+            break;
+        }
+        CasKey key;
+        CasValue val;
+        try {
+            decodePayload(payload, payload + len, key, val);
+        } catch (const TraceError &e) {
+            why = e.what();
+            corrupt = true;
+            break;
+        }
+        const uint32_t rec_bytes =
+            static_cast<uint32_t>(kTraceChunkHeaderBytes + len);
+        s.diskBytes += rec_bytes;
+        // First record wins; a duplicate append (two processes racing
+        // past each other's single-flight window) carries identical
+        // bytes and is dropped at the next compaction.
+        if (!s.recs.count(key)) {
+            Rec r;
+            r.val = std::move(val);
+            r.recBytes = rec_bytes;
+            r.lastUse = ++useClock_;
+            s.recs.emplace(key, std::move(r));
+        }
+        off += kTraceChunkHeaderBytes + len;
+    }
+    ::munmap(map, size);
+    s.parsed = off;
+
+    if (corrupt) {
+        quarantineShardLocked(shard, why);
+        return false;
+    }
+    return true;
+}
+
+void
+ResultStore::quarantineShardLocked(int shard, const std::string &why)
+{
+    Shard &s = shards_[shard];
+    const std::string path = shardPath(shard);
+    if (s.appendFd >= 0) {
+        ::close(s.appendFd);
+        s.appendFd = -1;
+    }
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (ec)
+        std::filesystem::remove(path, ec);
+    SAVE_WARN("quarantined corrupt cache shard ", path, " -> ", path,
+              ".corrupt: ", why);
+    quarantines_.fetch_add(1, std::memory_order_relaxed);
+
+    // Records this process already validated are still good: re-append
+    // them to a fresh file so a warm run loses nothing but the
+    // corrupted bytes.
+    s.parsed = 0;
+    s.diskBytes = 0;
+    for (auto &[key, rec] : s.recs)
+        appendRecordLocked(shard, key, rec);
+}
+
+int
+ResultStore::appendFdLocked(int shard)
+{
+    Shard &s = shards_[shard];
+    if (s.appendFd < 0)
+        s.appendFd = ::open(shardPath(shard).c_str(),
+                            O_WRONLY | O_APPEND | O_CREAT, 0644);
+    return s.appendFd;
+}
+
+bool
+ResultStore::appendRecordLocked(int shard, const CasKey &key,
+                                const Rec &r)
+{
+    Shard &s = shards_[shard];
+    int fd = appendFdLocked(shard);
+    if (fd < 0) {
+        if (!warnedWriteFailure_) {
+            warnedWriteFailure_ = true;
+            SAVE_WARN("cannot open cache shard ", shardPath(shard),
+                      " for append: ", std::strerror(errno),
+                      "; persisting disabled for this run");
+        }
+        return false;
+    }
+    std::vector<uint8_t> frame = encodeFrame(key, r.val);
+    if (writeFull(fd, frame.data(), frame.size()) !=
+        static_cast<ssize_t>(frame.size())) {
+        if (!warnedWriteFailure_) {
+            warnedWriteFailure_ = true;
+            SAVE_WARN("cannot append to cache shard ", shardPath(shard),
+                      ": ", std::strerror(errno),
+                      "; persisting disabled for this run");
+        }
+        return false;
+    }
+    s.parsed += frame.size();
+    s.diskBytes += frame.size();
+    return true;
+}
+
+bool
+ResultStore::lookup(const CasKey &key, CasValue *out)
+{
+    if (!enabled())
+        return false;
+    std::lock_guard<std::mutex> lk(mu_);
+    Shard &s = shards_[shardOf(key)];
+    auto it = s.recs.find(key);
+    if (it == s.recs.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    it->second.lastUse = ++useClock_;
+    if (out)
+        *out = it->second.val;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ResultStore::insert(const CasKey &key, const CasValue &value)
+{
+    if (!enabled())
+        return false;
+    if (!std::isfinite(value.timeNs))
+        return false; // poisoned (exhausted-retry) results never persist
+    std::lock_guard<std::mutex> lk(mu_);
+    const int shard = shardOf(key);
+    Shard &s = shards_[shard];
+    if (s.recs.count(key))
+        return true; // already present: results land once
+
+    Rec r;
+    r.val = value;
+    r.recBytes = static_cast<uint32_t>(
+        kTraceChunkHeaderBytes + encodePayload(key, value).size());
+    r.lastUse = ++useClock_;
+    if (!appendRecordLocked(shard, key, r))
+        return false;
+    s.recs.emplace(key, std::move(r));
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+
+    // Test hook: deterministic corruption of the just-appended-to
+    // shard (SAVE_FAULT_INJECT cache-truncate/cache-bitflip). The
+    // in-memory index is unaffected; the next open detects and
+    // quarantines.
+    FaultInjector::global().maybeTamperCacheFile(shardPath(shard),
+                                                key.cfg ^ key.wl);
+
+    if (opt_.maxBytes && totalRecordBytesLocked() > opt_.maxBytes)
+        evictLocked();
+    return true;
+}
+
+void
+ResultStore::refresh()
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int i = 0; i < kShards; ++i)
+        loadShardLocked(i, /*at_open=*/false);
+}
+
+uint64_t
+ResultStore::totalRecordBytesLocked() const
+{
+    uint64_t total = 0;
+    for (const Shard &s : shards_)
+        total += s.diskBytes;
+    return total;
+}
+
+uint64_t
+ResultStore::bytes() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return totalRecordBytesLocked();
+}
+
+uint64_t
+ResultStore::records() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t n = 0;
+    for (const Shard &s : shards_)
+        n += s.recs.size();
+    return n;
+}
+
+void
+ResultStore::evictLocked()
+{
+    // Batched LRU with hysteresis: drop the least-recently-used
+    // records until the live set fits in 3/4 of the cap, then compact
+    // every shard that lost records (or carries duplicate bytes) via
+    // temp-file + rename. The most recent record always survives,
+    // even when it alone exceeds the cap.
+    struct Victim
+    {
+        uint64_t lastUse;
+        int shard;
+        CasKey key;
+        uint32_t recBytes;
+    };
+    std::vector<Victim> order;
+    uint64_t live = 0;
+    for (int i = 0; i < kShards; ++i)
+        for (const auto &[key, rec] : shards_[i].recs) {
+            order.push_back({rec.lastUse, i, key, rec.recBytes});
+            live += rec.recBytes;
+        }
+    std::sort(order.begin(), order.end(),
+              [](const Victim &a, const Victim &b) {
+                  return a.lastUse < b.lastUse;
+              });
+
+    const uint64_t target = opt_.maxBytes - opt_.maxBytes / 4;
+    bool rewrite[kShards] = {};
+    size_t dropped = 0;
+    for (const Victim &v : order) {
+        if (live <= target || dropped + 1 >= order.size())
+            break;
+        shards_[v.shard].recs.erase(v.key);
+        rewrite[v.shard] = true;
+        live -= v.recBytes;
+        ++dropped;
+    }
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+
+    static std::atomic<uint64_t> tmp_serial{0};
+    for (int i = 0; i < kShards; ++i) {
+        Shard &s = shards_[i];
+        const uint64_t rec_total = [&] {
+            uint64_t t = 0;
+            for (const auto &[key, rec] : s.recs)
+                t += rec.recBytes;
+            return t;
+        }();
+        // Compact when records were dropped here or duplicate bytes
+        // accumulated; untouched, duplicate-free shards keep their
+        // file as-is.
+        if (!rewrite[i] && s.diskBytes == rec_total)
+            continue;
+        const std::string path = shardPath(i);
+        if (s.recs.empty()) {
+            if (s.appendFd >= 0) {
+                ::close(s.appendFd);
+                s.appendFd = -1;
+            }
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            s.parsed = 0;
+            s.diskBytes = 0;
+            continue;
+        }
+        std::vector<uint8_t> image;
+        for (const auto &[key, rec] : s.recs) {
+            std::vector<uint8_t> frame = encodeFrame(key, rec.val);
+            image.insert(image.end(), frame.begin(), frame.end());
+        }
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid()) + "." +
+            std::to_string(tmp_serial.fetch_add(1));
+        std::string why;
+        if (!writeFileBytes(tmp, image.data(), image.size(), &why)) {
+            SAVE_WARN("cache compaction: ", why);
+            continue;
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            SAVE_WARN("cache compaction: cannot move ", tmp,
+                      " into place: ", ec.message());
+            std::filesystem::remove(tmp, ec);
+            continue;
+        }
+        if (s.appendFd >= 0) {
+            ::close(s.appendFd);
+            s.appendFd = -1; // reopened lazily against the new inode
+        }
+        s.parsed = image.size();
+        s.diskBytes = image.size();
+    }
+}
+
+ResultStore::Flight
+ResultStore::beginFlight(const CasKey &key)
+{
+    Flight f;
+    if (!enabled()) {
+        f.owner_ = true; // no store: every caller just computes
+        return f;
+    }
+    const std::string path = flightPath(key);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd >= 0) {
+            char buf[32];
+            int n = std::snprintf(buf, sizeof(buf), "%ld\n",
+                                  static_cast<long>(::getpid()));
+            writeFull(fd, buf, static_cast<size_t>(n));
+            ::close(fd);
+            f.owner_ = true;
+            f.path_ = path;
+            return f;
+        }
+        if (errno != EEXIST)
+            break; // unwritable dir etc.: degrade to owner-less wait
+
+        // Someone else holds the flight. Break the lock if its owner
+        // is provably dead or the file is stale (owner on another
+        // host, or pid wrapped); otherwise we are a follower.
+        std::string contents;
+        bool stale = false;
+        if (readFileBytes(path, contents)) {
+            pid_t pid =
+                static_cast<pid_t>(std::strtol(contents.c_str(),
+                                               nullptr, 10));
+            if (pidDead(pid))
+                stale = true;
+        }
+        if (!stale) {
+            struct stat st;
+            if (::stat(path.c_str(), &st) == 0 &&
+                ::time(nullptr) - st.st_mtime > kFlightStaleSec)
+                stale = true;
+        }
+        if (!stale) {
+            f.path_ = path;
+            return f; // follower: waitForResult
+        }
+        SAVE_WARN("breaking stale cache flight lock ", path);
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    f.path_ = path;
+    return f;
+}
+
+void
+ResultStore::Flight::release()
+{
+    if (!owner_ || path_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    owner_ = false;
+}
+
+bool
+ResultStore::waitForResult(const CasKey &key, CasValue *out,
+                           int timeout_ms)
+{
+    if (!enabled())
+        return false;
+    const int shard = shardOf(key);
+    const std::string lock = flightPath(key);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            loadShardLocked(shard, /*at_open=*/false);
+            Shard &s = shards_[shard];
+            auto it = s.recs.find(key);
+            if (it != s.recs.end()) {
+                it->second.lastUse = ++useClock_;
+                if (out)
+                    *out = it->second.val;
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        std::error_code ec;
+        if (!std::filesystem::exists(lock, ec)) {
+            // The owner released (or died) without landing a result:
+            // one last refresh to close the release/insert race, then
+            // let the caller simulate the point itself.
+            std::lock_guard<std::mutex> lk(mu_);
+            loadShardLocked(shard, /*at_open=*/false);
+            Shard &s = shards_[shard];
+            auto it = s.recs.find(key);
+            if (it == s.recs.end())
+                return false;
+            it->second.lastUse = ++useClock_;
+            if (out)
+                *out = it->second.val;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kWaitPollMs));
+    }
+}
+
+StatGroup
+ResultStore::statsSnapshot() const
+{
+    StatGroup g;
+    g.set("hits", static_cast<double>(hits()));
+    g.set("misses", static_cast<double>(misses()));
+    g.set("inserts", static_cast<double>(inserts()));
+    g.set("evictions", static_cast<double>(evictions()));
+    g.set("quarantines", static_cast<double>(quarantines()));
+    g.set("bytes", static_cast<double>(bytes()));
+    g.set("records", static_cast<double>(records()));
+    return g;
+}
+
+} // namespace save

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -17,19 +18,6 @@ namespace save {
 
 namespace {
 
-/** Resolve the persistent-cache directory: explicit option, then the
- *  SAVE_CACHE_DIR environment variable; "none"/"-" force-disables. */
-std::string
-resolveCacheDir(const std::string &opt_dir)
-{
-    if (opt_dir == "none" || opt_dir == "-")
-        return "";
-    if (!opt_dir.empty())
-        return opt_dir;
-    const char *env = std::getenv("SAVE_CACHE_DIR");
-    return env ? env : "";
-}
-
 /** Estimator knobs that shift slice times but live outside the Key. */
 uint64_t
 optionSalt(const EstimatorOptions &opt)
@@ -40,12 +28,20 @@ optionSalt(const EstimatorOptions &opt)
     return salt;
 }
 
-std::shared_future<double>
-readyFuture(double v)
+/** How long a single-flight follower waits for the owning process
+ *  before giving up and simulating the point itself. */
+constexpr int kFlightWaitMs = 60000;
+
+CasValue
+toCasValue(const KernelResult &kr)
 {
-    std::promise<double> p;
-    p.set_value(v);
-    return p.get_future().share();
+    CasValue v;
+    v.timeNs = kr.timeNs;
+    v.cycles = kr.cycles;
+    v.coreGhz = kr.coreGhz;
+    for (const auto &[name, value] : kr.stats.all())
+        v.stats.emplace_back(name, value);
+    return v;
 }
 
 } // namespace
@@ -112,16 +108,14 @@ PhaseBreakdown::operator*=(double f)
 TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
                                      SaveConfig save_features,
                                      EstimatorOptions opt)
-    : mcfg_(mcfg), save_cfg_(save_features), opt_(opt),
-      persistent_(resolveCacheDir(opt.cacheDir),
-                  SurfaceCache::hashConfig(mcfg, save_features,
-                                           optionSalt(opt)))
+    : mcfg_(mcfg), save_cfg_(save_features), opt_(opt)
 {
     opt_.validate();
     mcfg_.validate();
     save_cfg_.validate();
 
     isolation_ = resolveIsolation(opt_.isolation);
+    config_hash_ = casHashConfig(mcfg_, save_cfg_, optionSalt(opt_));
 
     // Process-level fault modes (crash/abort/hang/oom) are only
     // containable behind a process boundary: refuse to arm them where
@@ -134,6 +128,37 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
                 "SAVE_FAULT_INJECT crash/abort/hang/oom modes require "
                 "--isolation=process (current isolation: " +
                 isolation_ + ")");
+    }
+
+    ResultStore::Options sopt;
+    sopt.dir = ResultStore::resolveDir(opt_.cacheDir);
+    sopt.maxBytes = ResultStore::resolveMaxBytes(opt_.cacheMaxMb);
+    store_ = std::make_unique<ResultStore>(sopt);
+
+    // Migrate a v1 surface-cache file for this config into the store
+    // (quarantine-on-mismatch semantics unchanged: a corrupt v1 file
+    // is moved to .corrupt by load() exactly as before). Migrated
+    // records carry the slice time only — the only field the
+    // estimator consumes — and the source file is renamed aside so
+    // migration happens once.
+    if (store_->enabled()) {
+        SurfaceCache legacy(store_->dir(), config_hash_);
+        std::vector<SurfaceRecord> records;
+        if (legacy.load(records)) {
+            for (const SurfaceRecord &r : records) {
+                Key k{r.mr, r.nr, r.kSteps, r.pattern, r.precision,
+                      r.saveOn, r.vpus, r.wBin, r.aBin};
+                CasValue v;
+                v.timeNs = r.timeNs;
+                store_->insert(casKey(k), v);
+            }
+            std::error_code ec;
+            std::filesystem::rename(legacy.path(),
+                                    legacy.path() + ".migrated", ec);
+            SAVE_INFORM("migrated ", records.size(),
+                        " v1 surface record(s) into the result store ",
+                        store_->dir());
+        }
     }
 
     if (isolation_ != "none") {
@@ -155,26 +180,14 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
         init.tiles = opt_.tiles;
         init.cores = opt_.cores;
         init.seed = opt_.seed;
-        init.configHash =
-            SurfaceCache::hashConfig(mcfg_, save_cfg_, optionSalt(opt_));
+        init.configHash = config_hash_;
+        init.cacheDir = store_->dir();
+        init.cacheMaxBytes = sopt.maxBytes;
         proc_pool_ = std::make_unique<WorkerPool>(p, init);
     }
-
-    std::vector<SurfaceRecord> records;
-    if (persistent_.enabled() && persistent_.load(records)) {
-        for (const SurfaceRecord &r : records) {
-            Key k{r.mr, r.nr, r.kSteps, r.pattern, r.precision,
-                  r.saveOn, r.vpus, r.wBin, r.aBin};
-            cache_.emplace(k, readyFuture(r.timeNs));
-        }
-        persistent_hits_ = records.size();
-    }
 }
 
-TrainingEstimator::~TrainingEstimator()
-{
-    flushPersistentCache();
-}
+TrainingEstimator::~TrainingEstimator() = default;
 
 int
 TrainingEstimator::threads() const
@@ -205,21 +218,37 @@ TrainingEstimator::simulateSliceKernel(const MachineConfig &mcfg,
     return eng.runGemm(g, cores, key.vpus);
 }
 
-double
+KernelResult
 TrainingEstimator::simulateSlice(const Key &key) const
 {
     return simulateSliceKernel(mcfg_, save_cfg_, key, opt_.tiles,
-                               opt_.cores, opt_.seed)
-        .timeNs;
+                               opt_.cores, opt_.seed);
 }
 
-double
+CasKey
+TrainingEstimator::casKey(const Key &key) const
+{
+    return CasKey{config_hash_, casSliceWorkload(key)};
+}
+
+TrainingEstimator::SliceOutcome
 TrainingEstimator::runSliceIsolated(const Key &key, int attempt)
 {
     if (proc_pool_ && !proc_pool_->degraded()) {
         try {
-            return proc_pool_->runSlice(key, keyHash(key), attempt)
-                .timeNs;
+            WireSliceResult wr =
+                proc_pool_->runSlice(key, keyHash(key), attempt);
+            SliceOutcome out;
+            out.result.timeNs = wr.timeNs;
+            out.result.cycles = wr.cycles;
+            out.result.coreGhz = wr.coreGhz;
+            for (const auto &[name, value] : wr.stats)
+                out.result.stats.set(name, value);
+            // The worker already persisted this result into the shared
+            // store before replying; the parent must not append a
+            // duplicate record.
+            out.fromWorker = true;
+            return out;
         } catch (const WorkerError &e) {
             if (proc_pool_->degraded()) {
                 // The pool has drained past its crash budget: finish
@@ -228,12 +257,12 @@ TrainingEstimator::runSliceIsolated(const Key &key, int attempt)
                 // one of the slice's own retries.
                 SAVE_WARN("slice falling back in-process after pool "
                           "degradation: ", e.what());
-                return simulateSlice(key);
+                return SliceOutcome{simulateSlice(key), false};
             }
             throw;
         }
     }
-    return simulateSlice(key);
+    return SliceOutcome{simulateSlice(key), false};
 }
 
 uint64_t
@@ -277,7 +306,7 @@ TrainingEstimator::keyLabel(const Key &key) const
     return os.str();
 }
 
-double
+TrainingEstimator::SliceOutcome
 TrainingEstimator::simulateWithRetry(const Key &key)
 {
     const uint64_t site = keyHash(key);
@@ -304,9 +333,41 @@ TrainingEstimator::simulateWithRetry(const Key &key)
             }
             SAVE_WARN(keyLabel(key), " failed permanently after ",
                       attempts, " attempts: ", e.what());
-            return std::numeric_limits<double>::quiet_NaN();
+            SliceOutcome out;
+            out.result.timeNs =
+                std::numeric_limits<double>::quiet_NaN();
+            return out;
         }
     }
+}
+
+double
+TrainingEstimator::computeCold(const Key &key)
+{
+    if (store_ && store_->enabled()) {
+        const CasKey ck = casKey(key);
+        ResultStore::Flight flight = store_->beginFlight(ck);
+        if (!flight.owner()) {
+            // Another process is simulating this exact point. Wait for
+            // its insert; on timeout (owner died mid-flight or is just
+            // slow) fall through and simulate it ourselves — inserts
+            // are idempotent, so a late duplicate is harmless.
+            CasValue v;
+            if (store_->waitForResult(ck, &v, kFlightWaitMs))
+                return v.timeNs;
+        }
+        SliceOutcome out = simulateWithRetry(key);
+        if (std::isfinite(out.result.timeNs)) {
+            sims_.fetch_add(1, std::memory_order_relaxed);
+            if (!out.fromWorker)
+                store_->insert(ck, toCasValue(out.result));
+        }
+        return out.result.timeNs;
+    }
+    SliceOutcome out = simulateWithRetry(key);
+    if (std::isfinite(out.result.timeNs))
+        sims_.fetch_add(1, std::memory_order_relaxed);
+    return out.result.timeNs;
 }
 
 double
@@ -331,16 +392,16 @@ TrainingEstimator::sliceTime(const Key &key)
 
     double t;
     try {
-        t = simulateWithRetry(key);
+        CasValue v;
+        if (store_ && store_->lookup(casKey(key), &v))
+            t = v.timeNs; // persistent hit: no simulation at all
+        else
+            t = computeCold(key);
     } catch (...) {
         // failFast (or a non-isolatable error): fail every waiter too,
         // then let the sweep driver unwind.
         promise.set_exception(std::current_exception());
         throw;
-    }
-    if (std::isfinite(t)) {
-        sims_.fetch_add(1, std::memory_order_relaxed);
-        dirty_.store(true, std::memory_order_relaxed);
     }
     // NaN (exhausted retries) is cached like any value: the point is
     // not re-attempted within this process, and waiters observe the
@@ -582,30 +643,43 @@ TrainingEstimator::prefetch(const NetworkModel &net, Precision precision,
     if (todo.empty())
         return;
 
-    // Batch the claimed points by micro-kernel shape (SoA layout) and
+    // Serve persistent-store hits immediately: only the points the
+    // store has never seen are batched and fanned out. coldPromise[]
+    // maps a cold point back to its promise slot in the full claim.
+    std::vector<Key> cold;
+    std::vector<size_t> coldPromise;
+    for (size_t i = 0; i < todo.size(); ++i) {
+        CasValue v;
+        if (store_ && store_->lookup(casKey(todo[i]), &v)) {
+            promises[i].set_value(v.timeNs);
+        } else {
+            cold.push_back(todo[i]);
+            coldPromise.push_back(i);
+        }
+    }
+    if (cold.empty())
+        return;
+
+    // Batch the cold points by micro-kernel shape (SoA layout) and
     // fan out one pool task per batch. Each point still simulates with
     // its own seeded Engine, so the grouping only changes scheduling,
     // never values.
-    std::vector<SliceBatch> batches = batchSlices(todo);
+    std::vector<SliceBatch> batches = batchSlices(cold);
     auto run_batch = [&](SliceBatch &b) {
         for (size_t i = 0; i < b.size(); ++i) {
             double t;
             try {
-                t = simulateWithRetry(b.keyAt(i));
+                t = computeCold(b.keyAt(i));
             } catch (...) {
                 // failFast: fail this point's waiters and everything
                 // left in the batch, then let parallelFor rethrow.
                 auto e = std::current_exception();
                 for (size_t j = i; j < b.size(); ++j)
-                    promises[b.srcIdx[j]].set_exception(e);
+                    promises[coldPromise[b.srcIdx[j]]].set_exception(e);
                 throw;
             }
-            if (std::isfinite(t)) {
-                sims_.fetch_add(1, std::memory_order_relaxed);
-                dirty_.store(true, std::memory_order_relaxed);
-            }
             b.times[i] = t;
-            promises[b.srcIdx[i]].set_value(t);
+            promises[coldPromise[b.srcIdx[i]]].set_value(t);
         }
     };
 
@@ -675,47 +749,6 @@ TrainingEstimator::training(const NetworkModel &net, Precision precision)
     r.saveStatic *= inv;
     r.saveDynamic *= inv;
     return r;
-}
-
-void
-TrainingEstimator::flushPersistentCache()
-{
-    if (!persistent_.enabled() ||
-        !dirty_.load(std::memory_order_relaxed))
-        return;
-
-    std::vector<SurfaceRecord> records;
-    {
-        std::lock_guard<std::mutex> lk(cache_mu_);
-        records.reserve(cache_.size());
-        for (const auto &[k, fut] : cache_) {
-            if (fut.wait_for(std::chrono::seconds(0)) !=
-                std::future_status::ready)
-                continue; // still simulating: skip, keep the file valid
-            double t;
-            try {
-                t = fut.get();
-            } catch (...) {
-                continue; // failed simulation: never persist it
-            }
-            if (!std::isfinite(t))
-                continue; // exhausted-retry marker: never persist
-            SurfaceRecord r;
-            r.mr = k.mr;
-            r.nr = k.nr;
-            r.kSteps = k.kSteps;
-            r.pattern = k.pattern;
-            r.precision = k.precision;
-            r.saveOn = k.saveOn;
-            r.vpus = k.vpus;
-            r.wBin = k.wBin;
-            r.aBin = k.aBin;
-            r.timeNs = t;
-            records.push_back(r);
-        }
-    }
-    if (persistent_.save(records))
-        dirty_.store(false, std::memory_order_relaxed);
 }
 
 } // namespace save

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_store.h"
 #include "dnn/networks.h"
 #include "dnn/slice_batch.h"
 #include "dnn/surface_cache.h"
@@ -79,10 +80,14 @@ struct EstimatorOptions
      *  1 runs strictly serially, N >= 2 uses a dedicated N-thread
      *  pool. Results are identical for every setting. */
     int threads = 0;
-    /** Persistent surface-cache directory. Empty defers to the
+    /** Persistent result-store directory. Empty defers to the
      *  SAVE_CACHE_DIR environment variable; "none" disables
      *  persistence even when the variable is set. */
     std::string cacheDir;
+    /** Result-store size cap in MB; eviction compacts the least-
+     *  recently-used records past it. 0 defers to SAVE_CACHE_MAX_MB
+     *  (unlimited when that is unset too). */
+    int cacheMaxMb = 0;
     /** Extra attempts after a slice simulation throws. Each retry
      *  rebuilds the Engine from scratch, so a transient fault (e.g.
      *  injected via SAVE_FAULT_INJECT) cannot poison later attempts. */
@@ -198,22 +203,25 @@ class TrainingEstimator
     double kernelTime(const KernelSpec &spec, Precision precision,
                       double bs, double nbs, bool save_on, int vpus);
 
-    /** Slice simulations performed so far (in-memory cache misses). */
+    /** Slice simulations performed so far (persistent-store misses
+     *  actually executed by this process). */
     uint64_t simulations() const
     {
         return sims_.load(std::memory_order_relaxed);
     }
 
-    /** Surface points loaded from the persistent cache at startup. */
-    uint64_t persistentHits() const { return persistent_hits_; }
+    /** Surface points served from the persistent result store. */
+    uint64_t persistentHits() const
+    {
+        return store_ ? store_->hits() : 0;
+    }
+
+    /** The persistent result store (disabled instance when no cache
+     *  directory is configured). For counters/diagnostics. */
+    const ResultStore *resultStore() const { return store_.get(); }
 
     /** Worker threads the fan-out uses (1 = serial path). */
     int threads() const;
-
-    /** Write new surface points back to the persistent cache (no-op
-     *  when disabled or clean). Failed (non-finite) points are never
-     *  persisted. Also runs on destruction. */
-    void flushPersistentCache();
 
     /** Surface points that exhausted their retries. Their times are
      *  quiet NaN, which propagates through interpolation so callers
@@ -256,9 +264,21 @@ class TrainingEstimator
     };
     BinWeights binWeights(double nbs, double bs) const;
 
+    /** One slice attempt plus where it ran: a slice that executed in
+     *  a sandboxed worker was already persisted by that worker, so the
+     *  parent must not append a duplicate record. */
+    struct SliceOutcome
+    {
+        KernelResult result;
+        bool fromWorker = false;
+    };
+
     /** Run one slice simulation (pure: no estimator state touched;
      *  the worker builds its own short-lived Engine). */
-    double simulateSlice(const Key &key) const;
+    KernelResult simulateSlice(const Key &key) const;
+
+    /** CAS identity of a surface point (config digest + workload). */
+    CasKey casKey(const Key &key) const;
 
     /** Stable hash of a surface point (fault-injection site id and
      *  failure-report label share it). */
@@ -266,14 +286,23 @@ class TrainingEstimator
     std::string keyLabel(const Key &key) const;
 
     /** simulateSlice with the retry/fault-isolation policy applied.
-     *  Returns NaN after maxRetries + 1 failed attempts (recording a
-     *  SliceFailure) unless failFast, which rethrows. */
-    double simulateWithRetry(const Key &key);
+     *  Returns a NaN-timed result after maxRetries + 1 failed attempts
+     *  (recording a SliceFailure) unless failFast, which rethrows. */
+    SliceOutcome simulateWithRetry(const Key &key);
 
     /** One attempt of one slice under the resolved isolation mode:
      *  dispatches to the worker pool (falling back in-process once it
      *  degrades) or runs simulateSlice directly. */
-    double runSliceIsolated(const Key &key, int attempt);
+    SliceOutcome runSliceIsolated(const Key &key, int attempt);
+
+    /**
+     * Produce one point the persistent store does not have yet:
+     * cross-process single-flight (losers wait for the owner's
+     * insert), then simulate with the retry policy and persist the
+     * finite result — from the parent in-process, or from the worker
+     * that ran it. Returns the slice time (NaN = permanently failed).
+     */
+    double computeCold(const Key &key);
 
     /** Simulated slice time in ns at binned sparsities; single-flight
      *  cached so concurrent callers never duplicate a simulation. */
@@ -317,9 +346,10 @@ class TrainingEstimator
     std::map<Key, std::shared_future<double>> cache_;
     std::atomic<uint64_t> sims_{0};
 
-    SurfaceCache persistent_;
-    uint64_t persistent_hits_ = 0;
-    std::atomic<bool> dirty_{false};
+    /** Persistent content-addressed store (disabled instance when no
+     *  cache directory resolves). */
+    std::unique_ptr<ResultStore> store_;
+    uint64_t config_hash_ = 0;
 
     mutable std::mutex failures_mu_;
     std::vector<SliceFailure> failures_;

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include "cache/cas_key.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/posix_io.h"
@@ -17,28 +18,6 @@ namespace save {
 namespace {
 
 constexpr uint64_t kMagic = 0x0046525345564153ull; // "SAVESRF\0"
-
-/** FNV-1a running hash; fed field-by-field, never via raw structs. */
-class Fnv1a
-{
-  public:
-    template <typename T>
-    void
-    mix(T value)
-    {
-        unsigned char bytes[sizeof(T)];
-        std::memcpy(bytes, &value, sizeof(T));
-        for (unsigned char b : bytes) {
-            h_ ^= b;
-            h_ *= 0x100000001b3ull;
-        }
-    }
-
-    uint64_t value() const { return h_; }
-
-  private:
-    uint64_t h_ = 0xcbf29ce484222325ull;
-};
 
 /** Buffer-backed put/get: the whole file is composed in memory and
  *  written (or read) in one EINTR-safe posix_io call. */
@@ -228,50 +207,10 @@ uint64_t
 SurfaceCache::hashConfig(const MachineConfig &m, const SaveConfig &s,
                          uint64_t salt)
 {
-    Fnv1a h;
-    h.mix(salt);
-
-    h.mix(m.cores);
-    h.mix(m.freq2VpuGhz);
-    h.mix(m.freq1VpuGhz);
-    h.mix(m.uncoreGhz);
-    h.mix(m.issueWidth);
-    h.mix(m.commitWidth);
-    h.mix(m.rsEntries);
-    h.mix(m.robEntries);
-    h.mix(m.prfExtraRegs);
-    h.mix(m.numVpus);
-    h.mix(m.fp32FmaLatency);
-    h.mix(m.mpFmaLatency);
-    h.mix(m.l1ReadPorts);
-    h.mix(m.bcachePorts);
-    h.mix(m.bcacheEntries);
-    h.mix(m.l1SizeKb);
-    h.mix(m.l1Ways);
-    h.mix(m.l1LatCycles);
-    h.mix(m.l2SizeKb);
-    h.mix(m.l2Ways);
-    h.mix(m.l2LatCycles);
-    h.mix(m.l3SizeKbPerCore);
-    h.mix(m.l3Ways);
-    h.mix(m.l3LatNs);
-    h.mix(m.nocHopCycles);
-    h.mix(m.dramGBps);
-    h.mix(m.dramChannels);
-    h.mix(m.dramLatNs);
-    h.mix(m.prefetchDegree);
-    h.mix(m.exceptionServiceCycles);
-
-    h.mix(s.enabled);
-    h.mix(static_cast<uint8_t>(s.policy));
-    h.mix(s.laneWiseDep);
-    h.mix(s.bsSkip);
-    h.mix(static_cast<uint8_t>(s.bcache));
-    h.mix(s.mpCompress);
-    h.mix(s.hcExtraLatency);
-    h.mix(s.rotationStates);
-
-    return h.value();
+    // One digest, one definition: the CAS key derivation owns the
+    // field list (cache/cas_key.cc) so the v1 surface format and the
+    // result store can never disagree about what "same config" means.
+    return casHashConfig(m, s, salt);
 }
 
 } // namespace save

@@ -1,11 +1,14 @@
 /**
  * @file
- * Persistent on-disk cache for simulated slice-time surfaces.
+ * Persistent on-disk cache for simulated slice-time surfaces — the
+ * legacy v1 format.
  *
- * Every estimator-driven figure re-simulates the same steady-state
- * slices; with SAVE_CACHE_DIR set (or EstimatorOptions::cacheDir), a
- * warm cache makes repeated bench/example runs skip simulation
- * entirely.
+ * Superseded by the content-addressed result store (cache/
+ * result_store.h): the estimator now persists through per-record CAS
+ * appends instead of whole-file rewrites, and keeps this reader only
+ * to migrate v1 files it finds in the cache directory (migrated files
+ * are renamed to `<path>.migrated`). The writer remains for the v1
+ * format's own tests.
  *
  * File format (little-endian, versioned):
  *   u64 magic  'SAVESRF\0'

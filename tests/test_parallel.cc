@@ -326,22 +326,29 @@ TEST_F(SurfaceCacheTest, EstimatorPersistsAndReloadsSurfaces)
         cold = est.inference(net, Precision::Fp32);
         cold_sims = est.simulations();
         EXPECT_GT(cold_sims, 0u);
-    } // destructor flushes the cache file
+        // Every simulated point was persisted as it completed.
+        ASSERT_NE(est.resultStore(), nullptr);
+        EXPECT_EQ(est.resultStore()->inserts(), cold_sims);
+    }
 
     {
         TrainingEstimator est(MachineConfig{}, SaveConfig{}, o);
-        EXPECT_EQ(est.persistentHits(), cold_sims);
         warm = est.inference(net, Precision::Fp32);
-        // Warm run: zero new simulations, bit-identical result.
+        // Warm run: every point served from the store (lookups are
+        // lazy, so hits accrue during evaluation), zero new
+        // simulations, bit-identical result.
+        EXPECT_EQ(est.persistentHits(), cold_sims);
         EXPECT_EQ(est.simulations(), 0u);
         EXPECT_EQ(std::memcmp(&cold, &warm, sizeof cold), 0);
     }
 
-    // A different machine config must ignore the stale file.
+    // A different machine config must miss the store for every point.
     MachineConfig other;
     other.dramGBps *= 2;
     TrainingEstimator est(other, SaveConfig{}, o);
+    est.inference(net, Precision::Fp32);
     EXPECT_EQ(est.persistentHits(), 0u);
+    EXPECT_GT(est.simulations(), 0u);
 }
 
 } // namespace
