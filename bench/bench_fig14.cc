@@ -9,6 +9,10 @@
  * and mixed precision, with the paper's phase breakdown (first layer
  * split out; forward / backward-input / backward-weights).
  *
+ * The entry tables and every output format live in
+ * dnn/fig14_report.h, shared with the save-serve daemon: a served
+ * sweep and this bench must produce byte-identical reports.
+ *
  * Flags: --grid=1 reproduces the paper's full 10% sparsity sampling
  * (slower); the default --grid=3 samples every 30% and interpolates.
  * With --journal=PATH (or SAVE_JOURNAL) every completed network
@@ -17,37 +21,9 @@
  */
 
 #include "bench_util.h"
+#include "dnn/fig14_report.h"
 
 using namespace save;
-
-namespace {
-
-void
-printRow(const char *cfg, const PhaseBreakdown &bd, double base_total)
-{
-    std::printf("  %-9s %6.2fx  (1st %5.1f%%, fwd %5.1f%%, bwd-in "
-                "%5.1f%%, bwd-w %5.1f%%)\n",
-                cfg, base_total / bd.total(),
-                100 * bd.firstLayer / bd.total(),
-                100 * bd.forward / bd.total(),
-                100 * bd.bwdInput / bd.total(),
-                100 * bd.bwdWeights / bd.total());
-}
-
-void
-printNet(const char *title, const NetResult &r, bool training)
-{
-    double base = r.baseline2.total();
-    std::printf("%s  (baseline: %.3f ms)\n", title, base / 1e6);
-    printRow("baseline", r.baseline2, base);
-    printRow("2 VPUs", r.save2, base);
-    printRow("1 VPU", r.save1, base);
-    if (training)
-        printRow("static", r.saveStatic, base);
-    printRow("dynamic", r.saveDynamic, base);
-}
-
-} // namespace
 
 static int
 run(int argc, char **argv)
@@ -63,58 +39,22 @@ run(int argc, char **argv)
     std::fprintf(stderr, "simulation fan-out: %d thread(s)\n",
                  est.threads());
 
-    struct Entry
-    {
-        NetworkModel net;
-        Precision prec;
-        const char *label;
-    };
-    const Entry cnn_entries[] = {
-        {vgg16Dense(), Precision::Fp32, "VGG16 FP32 dense"},
-        {resnet50Dense(), Precision::Fp32, "ResNet-50 FP32 dense"},
-        {resnet50Pruned(), Precision::Fp32, "ResNet-50 FP32 pruned"},
-        {vgg16Dense(), Precision::Bf16, "VGG16 MP dense"},
-        {resnet50Dense(), Precision::Bf16, "ResNet-50 MP dense"},
-        {resnet50Pruned(), Precision::Bf16, "ResNet-50 MP pruned"},
-    };
-    const Entry gnmt_entries[] = {
-        {gnmtPruned(), Precision::Fp32, "GNMT FP32 pruned"},
-        {gnmtPruned(), Precision::Bf16, "GNMT MP pruned"},
-    };
-
-    auto eval = [&](const Entry &e, bool training) {
-        std::string key = std::string(training ? "train/" : "infer/") +
-                          e.label;
+    Fig14Eval eval = [&](const std::string &key, const Fig14Entry &e,
+                         bool training) {
         return runner.point<NetResult>(key, [&] {
             return training ? est.training(e.net, e.prec)
                             : est.inference(e.net, e.prec);
         });
     };
 
-    std::printf("=== Fig. 14a: CNN inference ===\n");
-    for (const Entry &e : cnn_entries)
-        printNet(e.label, eval(e, false), false);
-
-    std::printf("\n=== Fig. 14b: GNMT inference ===\n");
-    for (const Entry &e : gnmt_entries)
-        printNet(e.label, eval(e, false), false);
-
-    std::printf("\n=== Fig. 14c: CNN end-to-end training ===\n");
-    for (const Entry &e : cnn_entries)
-        printNet(e.label, eval(e, true), true);
-
-    std::printf("\n=== Fig. 14d: GNMT end-to-end training ===\n");
-    for (const Entry &e : gnmt_entries)
-        printNet(e.label, eval(e, true), true);
+    std::string report = fig14Report(eval);
+    std::fputs(report.c_str(), stdout);
 
     std::fprintf(stderr,
                  "slice simulations: %lu, persistent hits: %lu\n",
                  static_cast<unsigned long>(est.simulations()),
                  static_cast<unsigned long>(est.persistentHits()));
     maybePrintCacheStats(flags, est.resultStore());
-    std::printf("\nPaper (dynamic, MP): inference 1.68x/1.37x/1.59x "
-                "(VGG/ResNet/ResNet-pruned), 1.39x GNMT; training "
-                "1.64x/1.29x/1.42x, 1.28x GNMT.\n");
     return runner.finish(est.failures().size(), est.failureReport());
 }
 

@@ -9,6 +9,7 @@
  *   --ksteps=N      slice K length
  *   --tiles=N       register tiles per slice
  *   --cores=N       active cores per slice simulation
+ *   --seed=N        estimator workload seed (default 7)
  *   --threads=N     host threads for the simulation fan-out
  *                   (0 = SAVE_THREADS env or hardware concurrency)
  *   --cache-dir=D   persistent result store ("none" disables; default
@@ -70,6 +71,7 @@
 #include "util/error.h"
 #include "util/journal.h"
 #include "util/logging.h"
+#include "util/runtime_options.h"
 #include "util/thread_pool.h"
 
 namespace save {
@@ -140,6 +142,8 @@ estimatorOptions(const Flags &flags)
     o.kSteps = flags.getInt("ksteps", o.kSteps);
     o.tiles = flags.getInt("tiles", o.tiles);
     o.cores = flags.getInt("cores", o.cores);
+    o.seed = static_cast<uint64_t>(
+        flags.getInt("seed", static_cast<int>(o.seed)));
     o.threads = flags.getInt("threads", 0);
     o.cacheDir = flags.getStr("cache-dir", "");
     o.cacheMaxMb = flags.getInt("cache-max-mb", 0);
@@ -268,10 +272,8 @@ sweepOptions(const Flags &flags)
     o.failFast = flags.has("fail-fast");
     o.maxFailures = flags.getInt("max-failures", o.maxFailures);
     o.journalPath = flags.getStr("journal", "");
-    if (o.journalPath.empty()) {
-        const char *env = std::getenv("SAVE_JOURNAL");
-        o.journalPath = env ? env : "";
-    }
+    if (o.journalPath.empty())
+        o.journalPath = RuntimeOptions::fromEnv().journalPath;
     if (o.journalPath == "none" || o.journalPath == "-")
         o.journalPath.clear();
     if (o.maxRetries < 0)
@@ -477,6 +479,7 @@ printBenchUsage(const char *argv0)
         "  --ksteps=N       slice K length\n"
         "  --tiles=N        register tiles per slice\n"
         "  --cores=N        active cores per slice simulation\n"
+        "  --seed=N         estimator workload seed (default 7)\n"
         "  --threads=N      host threads (0 = SAVE_THREADS env or "
         "hardware)\n"
         "  --cache-dir=D    persistent result store ('none' "

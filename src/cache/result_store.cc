@@ -22,6 +22,7 @@
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/posix_io.h"
+#include "util/runtime_options.h"
 
 namespace save {
 
@@ -88,17 +89,8 @@ decodePayload(const uint8_t *p, const uint8_t *end, CasKey &key,
 std::vector<uint8_t>
 encodeFrame(const CasKey &key, const CasValue &v)
 {
-    std::vector<uint8_t> payload = encodePayload(key, v);
-    std::vector<uint8_t> frame;
-    frame.reserve(kTraceChunkHeaderBytes + payload.size());
-    tracePutU32(frame, kRecFourcc);
-    tracePutU32(frame, ResultStore::kVersion);
-    tracePutU64(frame, payload.size());
-    tracePutU32(frame, payload.empty()
-                           ? traceCrc32(nullptr, 0)
-                           : traceCrc32(payload.data(), payload.size()));
-    frame.insert(frame.end(), payload.begin(), payload.end());
-    return frame;
+    return frameEncode(kRecFourcc, ResultStore::kVersion,
+                       encodePayload(key, v));
 }
 
 /** True when the pid recorded in a flight lock is definitely gone. */
@@ -119,8 +111,7 @@ ResultStore::resolveDir(const std::string &opt)
         return "";
     if (!opt.empty())
         return opt;
-    const char *env = std::getenv("SAVE_CACHE_DIR");
-    return env ? env : "";
+    return RuntimeOptions::fromEnv().cacheDir;
 }
 
 uint64_t
@@ -128,17 +119,8 @@ ResultStore::resolveMaxBytes(int opt_mb)
 {
     if (opt_mb > 0)
         return static_cast<uint64_t>(opt_mb) << 20;
-    if (opt_mb == 0) {
-        const char *env = std::getenv("SAVE_CACHE_MAX_MB");
-        if (env && *env) {
-            char *end = nullptr;
-            long v = std::strtol(env, &end, 10);
-            if (end && *end == '\0' && v > 0)
-                return static_cast<uint64_t>(v) << 20;
-            SAVE_WARN("ignoring malformed SAVE_CACHE_MAX_MB='", env,
-                      "' (expects a positive integer, MB)");
-        }
-    }
+    if (opt_mb == 0)
+        return RuntimeOptions::fromEnv().cacheMaxBytes();
     return 0;
 }
 
@@ -249,55 +231,35 @@ ResultStore::loadShardLocked(int shard, bool at_open)
     bool corrupt = false;
     uint64_t off = s.parsed;
     while (off < size) {
-        const uint64_t left = size - off;
-        if (left < kTraceChunkHeaderBytes) {
-            if (at_open) {
-                why = "torn record header at offset " +
-                      std::to_string(off);
-                corrupt = true;
-            }
-            break; // mid-run: a concurrent append is still landing
+        FrameView v;
+        FrameParse parsed = frameParse(base, size, off, v, kMaxPayload,
+                                       &why);
+        if (parsed == FrameParse::Truncated) {
+            // Mid-run: a concurrent append is still landing. At open
+            // nothing can still be landing, so a torn tail is damage.
+            corrupt = at_open;
+            if (!at_open)
+                why.clear();
+            break;
         }
-        const uint8_t *p = base + off;
-        const uint8_t *hend = p + kTraceChunkHeaderBytes;
-        uint32_t fourcc = traceGetU32(p, hend);
-        uint32_t version = traceGetU32(p, hend);
-        uint64_t len = traceGetU64(p, hend);
-        uint32_t crc = traceGetU32(p, hend);
-        if (fourcc != kRecFourcc) {
-            why = "bad record fourcc at offset " + std::to_string(off);
+        if (parsed == FrameParse::Corrupt) {
             corrupt = true;
             break;
         }
-        if (version != kVersion) {
-            why = "record version " + std::to_string(version) +
+        if (v.fourcc != kRecFourcc) {
+            why = "bad record fourcc at offset " +
+                  std::to_string(off - kFrameHeaderBytes - v.len);
+            corrupt = true;
+            break;
+        }
+        if (v.arg != kVersion) {
+            why = "record version " + std::to_string(v.arg) +
                   " != expected " + std::to_string(kVersion);
             corrupt = true;
             break;
         }
-        if (len > kMaxPayload) {
-            why = "record length " + std::to_string(len) +
-                  " exceeds the " + std::to_string(kMaxPayload) +
-                  "-byte cap";
-            corrupt = true;
-            break;
-        }
-        if (left - kTraceChunkHeaderBytes < len) {
-            if (at_open) {
-                why = "torn record payload at offset " +
-                      std::to_string(off);
-                corrupt = true;
-            }
-            break;
-        }
-        const uint8_t *payload = base + off + kTraceChunkHeaderBytes;
-        uint32_t got = len == 0 ? traceCrc32(nullptr, 0)
-                                : traceCrc32(payload, len);
-        if (got != crc) {
-            why = "record CRC mismatch at offset " + std::to_string(off);
-            corrupt = true;
-            break;
-        }
+        const uint8_t *payload = v.payload;
+        const uint64_t len = v.len;
         CasKey key;
         CasValue val;
         try {
@@ -320,7 +282,7 @@ ResultStore::loadShardLocked(int shard, bool at_open)
             r.lastUse = ++useClock_;
             s.recs.emplace(key, std::move(r));
         }
-        off += kTraceChunkHeaderBytes + len;
+        // frameParse already advanced `off` past this record.
     }
     ::munmap(map, size);
     s.parsed = off;

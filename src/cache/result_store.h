@@ -110,6 +110,7 @@ class ResultStore
 
     bool enabled() const { return !opt_.dir.empty(); }
     const std::string &dir() const { return opt_.dir; }
+    uint64_t maxBytes() const { return opt_.maxBytes; }
 
     /** Find a record. Counts a hit or a miss. */
     bool lookup(const CasKey &key, CasValue *out);

@@ -13,6 +13,7 @@
 #include "util/error.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/runtime_options.h"
 
 namespace save {
 
@@ -49,15 +50,12 @@ toCasValue(const KernelResult &kr)
 std::string
 resolveIsolation(const std::string &opt)
 {
-    std::string mode = opt;
-    if (mode.empty()) {
-        const char *env = std::getenv("SAVE_ISOLATION");
-        mode = env && *env ? env : "thread";
+    if (!opt.empty()) {
+        RuntimeOptions o;
+        o.isolation = opt;
+        return o.resolveIsolation();
     }
-    if (mode != "none" && mode != "thread" && mode != "process")
-        throw ConfigError("isolation mode must be none, thread, or "
-                          "process (got '" + mode + "')");
-    return mode;
+    return RuntimeOptions::fromEnv().resolveIsolation();
 }
 
 void
@@ -108,6 +106,16 @@ PhaseBreakdown::operator*=(double f)
 TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
                                      SaveConfig save_features,
                                      EstimatorOptions opt)
+    : TrainingEstimator(mcfg, save_features, std::move(opt), nullptr,
+                        nullptr)
+{
+}
+
+TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
+                                     SaveConfig save_features,
+                                     EstimatorOptions opt,
+                                     ThreadPool *shared_pool,
+                                     ResultStore *shared_store)
     : mcfg_(mcfg), save_cfg_(save_features), opt_(opt)
 {
     opt_.validate();
@@ -130,10 +138,18 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
                 isolation_ + ")");
     }
 
-    ResultStore::Options sopt;
-    sopt.dir = ResultStore::resolveDir(opt_.cacheDir);
-    sopt.maxBytes = ResultStore::resolveMaxBytes(opt_.cacheMaxMb);
-    store_ = std::make_unique<ResultStore>(sopt);
+    uint64_t cache_max_bytes = 0;
+    if (shared_store) {
+        store_ = shared_store;
+        cache_max_bytes = shared_store->maxBytes();
+    } else {
+        ResultStore::Options sopt;
+        sopt.dir = ResultStore::resolveDir(opt_.cacheDir);
+        sopt.maxBytes = ResultStore::resolveMaxBytes(opt_.cacheMaxMb);
+        cache_max_bytes = sopt.maxBytes;
+        owned_store_ = std::make_unique<ResultStore>(sopt);
+        store_ = owned_store_.get();
+    }
 
     // Migrate a v1 surface-cache file for this config into the store
     // (quarantine-on-mismatch semantics unchanged: a corrupt v1 file
@@ -162,7 +178,9 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
     }
 
     if (isolation_ != "none") {
-        if (opt_.threads >= 2) {
+        if (shared_pool) {
+            pool_ = shared_pool;
+        } else if (opt_.threads >= 2) {
             owned_pool_ = std::make_unique<ThreadPool>(opt_.threads);
             pool_ = owned_pool_.get();
         } else if (opt_.threads == 0) {
@@ -182,7 +200,7 @@ TrainingEstimator::TrainingEstimator(MachineConfig mcfg,
         init.seed = opt_.seed;
         init.configHash = config_hash_;
         init.cacheDir = store_->dir();
-        init.cacheMaxBytes = sopt.maxBytes;
+        init.cacheMaxBytes = cache_max_bytes;
         proc_pool_ = std::make_unique<WorkerPool>(p, init);
     }
 }

@@ -179,6 +179,19 @@ class TrainingEstimator
   public:
     TrainingEstimator(MachineConfig mcfg, SaveConfig save_features,
                       EstimatorOptions opt);
+
+    /**
+     * Reentrant-facade constructor: fan out over `shared_pool` and
+     * consult `shared_store` instead of creating private ones. Either
+     * may be null (falling back to the EstimatorOptions behavior).
+     * Both handles must outlive the estimator; neither is owned. This
+     * is how SimSession (src/serve) gives every daemon worker session
+     * its own estimator while sharing one pool and one CAS store.
+     */
+    TrainingEstimator(MachineConfig mcfg, SaveConfig save_features,
+                      EstimatorOptions opt, ThreadPool *shared_pool,
+                      ResultStore *shared_store);
+
     ~TrainingEstimator();
 
     /** Forward pass at end-of-training sparsity. */
@@ -218,7 +231,7 @@ class TrainingEstimator
 
     /** The persistent result store (disabled instance when no cache
      *  directory is configured). For counters/diagnostics. */
-    const ResultStore *resultStore() const { return store_.get(); }
+    const ResultStore *resultStore() const { return store_; }
 
     /** Worker threads the fan-out uses (1 = serial path). */
     int threads() const;
@@ -346,9 +359,11 @@ class TrainingEstimator
     std::map<Key, std::shared_future<double>> cache_;
     std::atomic<uint64_t> sims_{0};
 
-    /** Persistent content-addressed store (disabled instance when no
-     *  cache directory resolves). */
-    std::unique_ptr<ResultStore> store_;
+    /** Persistent content-addressed store: owned_store_ is populated
+     *  unless a shared store was injected; store_ always points at the
+     *  live instance (disabled instance when no directory resolves). */
+    std::unique_ptr<ResultStore> owned_store_;
+    ResultStore *store_ = nullptr;
     uint64_t config_hash_ = 0;
 
     mutable std::mutex failures_mu_;

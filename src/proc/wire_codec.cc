@@ -10,119 +10,6 @@ namespace save {
 
 namespace {
 
-void
-putBytes(std::vector<uint8_t> &out, const void *data, size_t n)
-{
-    if (n == 0)
-        return;
-    const uint8_t *p = static_cast<const uint8_t *>(data);
-    out.insert(out.end(), p, p + n);
-}
-
-void
-putString(std::vector<uint8_t> &out, const std::string &s)
-{
-    tracePutU32(out, static_cast<uint32_t>(s.size()));
-    putBytes(out, s.data(), s.size());
-}
-
-std::string
-getString(const uint8_t *&p, const uint8_t *end)
-{
-    uint32_t n = traceGetU32(p, end);
-    if (static_cast<size_t>(end - p) < n)
-        throw TraceError("wire: string runs past payload end");
-    std::string s(reinterpret_cast<const char *>(p), n);
-    p += n;
-    return s;
-}
-
-/** Raw bytes of a trivially-copyable struct, guarded by its size. */
-template <typename T>
-void
-putStruct(std::vector<uint8_t> &out, const T &v)
-{
-    static_assert(std::is_trivially_copyable_v<T>,
-                  "wire structs travel as raw bytes");
-    tracePutU32(out, static_cast<uint32_t>(sizeof(T)));
-    putBytes(out, &v, sizeof(T));
-}
-
-template <typename T>
-T
-getStruct(const uint8_t *&p, const uint8_t *end, const char *name)
-{
-    static_assert(std::is_trivially_copyable_v<T>);
-    uint32_t n = traceGetU32(p, end);
-    if (n != sizeof(T))
-        throw TraceError(std::string("wire: ") + name + " size " +
-                         std::to_string(n) + " != expected " +
-                         std::to_string(sizeof(T)) +
-                         " (parent/worker built from different trees?)");
-    if (static_cast<size_t>(end - p) < n)
-        throw TraceError(std::string("wire: ") + name +
-                         " runs past payload end");
-    T v;
-    std::memcpy(&v, p, sizeof(T));
-    p += n;
-    return v;
-}
-
-/** Absolute deadline helper: remaining ms, clamped to >= 0. */
-int
-remainingMs(std::chrono::steady_clock::time_point deadline)
-{
-    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                    deadline - std::chrono::steady_clock::now())
-                    .count();
-    return left < 0 ? 0 : static_cast<int>(left);
-}
-
-/**
- * Read exactly n bytes before the deadline. Returns false on clean
- * EOF at offset 0 when eof_ok; throws TraceError on mid-buffer EOF or
- * a hard error; throws WireReadTimeout-by-return via the bool+status
- * plumbing of the caller (we signal timeout with a sentinel).
- */
-enum class TimedRead
-{
-    Ok,
-    Eof,
-    Timeout
-};
-
-TimedRead
-readTimed(int fd, void *buf, size_t n, bool infinite,
-          std::chrono::steady_clock::time_point deadline, bool eof_ok)
-{
-    size_t done = 0;
-    while (done < n) {
-        int wait = infinite ? -1 : remainingMs(deadline);
-        int ready = pollReadable(fd, wait);
-        if (ready < 0)
-            throw TraceError(std::string("wire: poll failed: ") +
-                             std::strerror(errno));
-        if (ready == 0)
-            return TimedRead::Timeout;
-        ssize_t r = ::read(fd, static_cast<char *>(buf) + done,
-                           n - done);
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
-            throw TraceError(std::string("wire: read failed: ") +
-                             std::strerror(errno));
-        }
-        if (r == 0) {
-            if (done == 0 && eof_ok)
-                return TimedRead::Eof;
-            throw TraceError("wire: EOF inside a frame (peer died "
-                             "mid-message)");
-        }
-        done += static_cast<size_t>(r);
-    }
-    return TimedRead::Ok;
-}
-
 bool
 knownFourcc(uint32_t fourcc)
 {
@@ -137,77 +24,14 @@ bool
 wireWrite(int fd, uint32_t fourcc, uint32_t arg,
           const std::vector<uint8_t> &payload)
 {
-    std::vector<uint8_t> buf;
-    buf.reserve(kTraceChunkHeaderBytes + payload.size());
-    tracePutU32(buf, fourcc);
-    tracePutU32(buf, arg);
-    tracePutU64(buf, payload.size());
-    tracePutU32(buf, payload.empty()
-                         ? traceCrc32(nullptr, 0)
-                         : traceCrc32(payload.data(), payload.size()));
-    putBytes(buf, payload.data(), payload.size());
-    return writeFull(fd, buf.data(), buf.size()) ==
-           static_cast<ssize_t>(buf.size());
+    return frameWriteFd(fd, fourcc, arg, payload);
 }
 
 WireRead
 wireRead(int fd, WireFrame &frame, int timeout_ms)
 {
-    bool infinite = timeout_ms < 0;
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(infinite ? 0 : timeout_ms);
-
-    uint8_t header[kTraceChunkHeaderBytes];
-    switch (readTimed(fd, header, sizeof(header), infinite, deadline,
-                      /*eof_ok=*/true)) {
-    case TimedRead::Eof:
-        return WireRead::Eof;
-    case TimedRead::Timeout:
-        return WireRead::Timeout;
-    case TimedRead::Ok:
-        break;
-    }
-
-    const uint8_t *p = header;
-    const uint8_t *end = header + sizeof(header);
-    frame.fourcc = traceGetU32(p, end);
-    frame.arg = traceGetU32(p, end);
-    uint64_t len = traceGetU64(p, end);
-    uint32_t crc = traceGetU32(p, end);
-
-    if (!knownFourcc(frame.fourcc))
-        throw TraceError("wire: unknown frame fourcc 0x" +
-                         [](uint32_t f) {
-                             char b[16];
-                             std::snprintf(b, sizeof(b), "%08x", f);
-                             return std::string(b);
-                         }(frame.fourcc) +
-                         " (corrupt or misaligned stream)");
-    if (len > kWireMaxPayload)
-        throw TraceError("wire: frame payload length " +
-                         std::to_string(len) + " exceeds the " +
-                         std::to_string(kWireMaxPayload) +
-                         "-byte cap (corrupt length field)");
-
-    frame.payload.resize(len);
-    if (len > 0) {
-        switch (readTimed(fd, frame.payload.data(), len, infinite,
-                          deadline, /*eof_ok=*/false)) {
-        case TimedRead::Timeout:
-            return WireRead::Timeout;
-        default:
-            break;
-        }
-    }
-    uint32_t got = frame.payload.empty()
-                       ? traceCrc32(nullptr, 0)
-                       : traceCrc32(frame.payload.data(),
-                                    frame.payload.size());
-    if (got != crc)
-        throw TraceError("wire: frame payload CRC mismatch (stored 0x" +
-                         std::to_string(crc) + ", computed 0x" +
-                         std::to_string(got) + ")");
-    return WireRead::Ok;
+    return frameReadFd(fd, frame, timeout_ms, knownFourcc,
+                       kWireMaxPayload, "wire");
 }
 
 std::vector<uint8_t>
@@ -216,13 +40,13 @@ wireEncodeSessionInit(const WireSessionInit &s)
     std::vector<uint8_t> out;
     tracePutU32(out, kWireVersion);
     tracePutU64(out, s.configHash);
-    putStruct(out, s.mcfg);
-    putStruct(out, s.scfg);
+    framePutStruct(out, s.mcfg);
+    framePutStruct(out, s.scfg);
     tracePutU32(out, static_cast<uint32_t>(s.tiles));
     tracePutU32(out, static_cast<uint32_t>(s.cores));
     tracePutU64(out, s.seed);
     tracePutU32(out, static_cast<uint32_t>(s.rssCapMb));
-    putString(out, s.cacheDir);
+    framePutString(out, s.cacheDir);
     tracePutU64(out, s.cacheMaxBytes);
     return out;
 }
@@ -239,13 +63,13 @@ wireDecodeSessionInit(const std::vector<uint8_t> &payload)
                          std::to_string(kWireVersion));
     WireSessionInit s;
     s.configHash = traceGetU64(p, end);
-    s.mcfg = getStruct<MachineConfig>(p, end, "MachineConfig");
-    s.scfg = getStruct<SaveConfig>(p, end, "SaveConfig");
+    s.mcfg = frameGetStruct<MachineConfig>(p, end, "MachineConfig");
+    s.scfg = frameGetStruct<SaveConfig>(p, end, "SaveConfig");
     s.tiles = static_cast<int>(traceGetU32(p, end));
     s.cores = static_cast<int>(traceGetU32(p, end));
     s.seed = traceGetU64(p, end);
     s.rssCapMb = static_cast<int>(traceGetU32(p, end));
-    s.cacheDir = getString(p, end);
+    s.cacheDir = frameGetString(p, end);
     s.cacheMaxBytes = traceGetU64(p, end);
     if (p != end)
         throw TraceError("wire: trailing bytes after session init");
@@ -256,7 +80,7 @@ std::vector<uint8_t>
 wireEncodeSliceRequest(const WireSliceRequest &r)
 {
     std::vector<uint8_t> out;
-    putStruct(out, r.key);
+    framePutStruct(out, r.key);
     tracePutU64(out, r.keyHash);
     return out;
 }
@@ -267,7 +91,7 @@ wireDecodeSliceRequest(const std::vector<uint8_t> &payload)
     const uint8_t *p = payload.data();
     const uint8_t *end = p + payload.size();
     WireSliceRequest r;
-    r.key = getStruct<SliceKey>(p, end, "SliceKey");
+    r.key = frameGetStruct<SliceKey>(p, end, "SliceKey");
     r.keyHash = traceGetU64(p, end);
     if (p != end)
         throw TraceError("wire: trailing bytes after slice request");
@@ -283,7 +107,7 @@ wireEncodeSliceResult(const WireSliceResult &r)
     tracePutF64(out, r.coreGhz);
     tracePutU32(out, static_cast<uint32_t>(r.stats.size()));
     for (const auto &[name, value] : r.stats) {
-        putString(out, name);
+        framePutString(out, name);
         tracePutF64(out, value);
     }
     return out;
@@ -309,7 +133,7 @@ wireDecodeSliceResult(const std::vector<uint8_t> &payload)
                          " exceeds remaining payload");
     r.stats.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
-        std::string name = getString(p, end);
+        std::string name = frameGetString(p, end);
         double value = traceGetF64(p, end);
         r.stats.emplace_back(std::move(name), value);
     }
@@ -323,7 +147,7 @@ wireEncodeError(const WireErrorInfo &e)
 {
     std::vector<uint8_t> out;
     out.push_back(static_cast<uint8_t>(e.kind));
-    putString(out, e.what);
+    framePutString(out, e.what);
     return out;
 }
 
@@ -336,7 +160,7 @@ wireDecodeError(const std::vector<uint8_t> &payload)
         throw TraceError("wire: empty error payload");
     WireErrorInfo e;
     e.kind = static_cast<WireErrorKind>(*p++);
-    e.what = getString(p, end);
+    e.what = frameGetString(p, end);
     if (p != end)
         throw TraceError("wire: trailing bytes after error frame");
     return e;

@@ -69,23 +69,12 @@ constexpr int kWorkerExitConfig = 2;
 constexpr int kWorkerExitOom = 24;
 constexpr int kWorkerExitExec = 127;
 
-/** One decoded frame. */
-struct WireFrame
-{
-    uint32_t fourcc = 0;
-    uint32_t arg = 0;
-    std::vector<uint8_t> payload;
-};
+/** One decoded frame (the shared util/frame.h record). */
+using WireFrame = Frame;
 
-/** Outcome of a deadline-bounded frame read. */
-enum class WireRead
-{
-    Ok,
-    /** Clean EOF at a frame boundary (peer closed the pipe). */
-    Eof,
-    /** Deadline expired with no complete frame. */
-    Timeout,
-};
+/** Outcome of a deadline-bounded frame read: Ok, Eof (peer closed the
+ *  pipe at a frame boundary), or Timeout. */
+using WireRead = FrameRead;
 
 /**
  * Write one frame. Returns false with errno preserved on any write

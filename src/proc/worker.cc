@@ -15,6 +15,7 @@
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/posix_io.h"
+#include "util/runtime_options.h"
 
 namespace save {
 
@@ -52,14 +53,12 @@ resolveWorkerBin(const std::string &explicit_path)
                               "' does not exist or is not executable");
         return explicit_path;
     }
-    if (const char *env = std::getenv("SAVE_WORKER_BIN")) {
-        if (*env) {
-            if (!executable(env))
-                throw ConfigError(
-                    std::string("SAVE_WORKER_BIN='") + env +
-                    "' does not exist or is not executable");
-            return env;
-        }
+    const std::string env = RuntimeOptions::fromEnv().workerBin;
+    if (!env.empty()) {
+        if (!executable(env))
+            throw ConfigError("SAVE_WORKER_BIN='" + env +
+                              "' does not exist or is not executable");
+        return env;
     }
     std::string dir = selfExeDir();
     if (!dir.empty()) {

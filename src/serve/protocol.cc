@@ -1,0 +1,173 @@
+#include "serve/protocol.h"
+
+#include "util/error.h"
+
+namespace save {
+
+const char *
+serveKindName(ServeKind k)
+{
+    switch (k) {
+    case ServeKind::Ping:
+        return "ping";
+    case ServeKind::Status:
+        return "status";
+    case ServeKind::Drain:
+        return "drain";
+    case ServeKind::Gemm:
+        return "gemm";
+    case ServeKind::Fig14:
+        return "fig14";
+    }
+    return "?";
+}
+
+const char *
+servePriorityName(ServePriority p)
+{
+    switch (p) {
+    case ServePriority::High:
+        return "high";
+    case ServePriority::Normal:
+        return "normal";
+    case ServePriority::Low:
+        return "low";
+    }
+    return "?";
+}
+
+std::vector<uint8_t>
+serveEncodeRequest(const ServeRequest &r)
+{
+    std::vector<uint8_t> p;
+    framePutU32(p, static_cast<uint32_t>(r.kind));
+    framePutU32(p, static_cast<uint32_t>(r.priority));
+    framePutU32(p, r.deadlineMs);
+    switch (r.kind) {
+    case ServeKind::Ping:
+    case ServeKind::Status:
+    case ServeKind::Drain:
+        break;
+    case ServeKind::Gemm:
+        framePutStruct(p, r.gemm);
+        framePutU32(p, static_cast<uint32_t>(r.cores));
+        framePutU32(p, static_cast<uint32_t>(r.vpus));
+        break;
+    case ServeKind::Fig14:
+        framePutStruct(p, r.fig14);
+        break;
+    }
+    return p;
+}
+
+ServeRequest
+serveDecodeRequest(uint32_t version, const std::vector<uint8_t> &p)
+{
+    if (version != kServeVersion)
+        throw TraceError("serve protocol version mismatch: peer speaks v" +
+                         std::to_string(version) + ", this build is v" +
+                         std::to_string(kServeVersion));
+    const uint8_t *q = p.data();
+    const uint8_t *end = q + p.size();
+    ServeRequest r;
+    uint32_t kind = frameGetU32(q, end);
+    if (kind > static_cast<uint32_t>(ServeKind::Fig14))
+        throw TraceError("serve request: unknown kind " +
+                         std::to_string(kind));
+    r.kind = static_cast<ServeKind>(kind);
+    uint32_t prio = frameGetU32(q, end);
+    if (prio > static_cast<uint32_t>(ServePriority::Low))
+        throw TraceError("serve request: unknown priority " +
+                         std::to_string(prio));
+    r.priority = static_cast<ServePriority>(prio);
+    r.deadlineMs = frameGetU32(q, end);
+    switch (r.kind) {
+    case ServeKind::Ping:
+    case ServeKind::Status:
+    case ServeKind::Drain:
+        break;
+    case ServeKind::Gemm:
+        r.gemm = frameGetStruct<GemmConfig>(q, end, "GemmConfig");
+        r.cores = static_cast<int32_t>(frameGetU32(q, end));
+        r.vpus = static_cast<int32_t>(frameGetU32(q, end));
+        break;
+    case ServeKind::Fig14:
+        r.fig14 = frameGetStruct<Fig14Knobs>(q, end, "Fig14Knobs");
+        break;
+    }
+    if (q != end)
+        throw TraceError("serve request: " +
+                         std::to_string(end - q) +
+                         " trailing byte(s) after payload");
+    return r;
+}
+
+std::vector<uint8_t>
+serveEncodeStatus(const ServeStatus &s)
+{
+    std::vector<uint8_t> p;
+    framePutStruct(p, s);
+    return p;
+}
+
+ServeStatus
+serveDecodeStatus(const std::vector<uint8_t> &p)
+{
+    const uint8_t *q = p.data();
+    const uint8_t *end = q + p.size();
+    return frameGetStruct<ServeStatus>(q, end, "ServeStatus");
+}
+
+std::vector<uint8_t>
+serveEncodeProgress(const ServeProgress &pr)
+{
+    std::vector<uint8_t> p;
+    framePutU32(p, pr.done);
+    framePutU32(p, pr.total);
+    framePutString(p, pr.key);
+    return p;
+}
+
+ServeProgress
+serveDecodeProgress(const std::vector<uint8_t> &p)
+{
+    const uint8_t *q = p.data();
+    const uint8_t *end = q + p.size();
+    ServeProgress pr;
+    pr.done = frameGetU32(q, end);
+    pr.total = frameGetU32(q, end);
+    pr.key = frameGetString(q, end);
+    return pr;
+}
+
+std::vector<uint8_t>
+serveEncodeBusy(const ServeBusyInfo &b)
+{
+    std::vector<uint8_t> p;
+    framePutString(p, b.reason);
+    framePutU32(p, b.queued);
+    framePutU32(p, b.queueCap);
+    return p;
+}
+
+ServeBusyInfo
+serveDecodeBusy(const std::vector<uint8_t> &p)
+{
+    const uint8_t *q = p.data();
+    const uint8_t *end = q + p.size();
+    ServeBusyInfo b;
+    b.reason = frameGetString(q, end);
+    b.queued = frameGetU32(q, end);
+    b.queueCap = frameGetU32(q, end);
+    return b;
+}
+
+bool
+serveKnownFourcc(uint32_t fourcc)
+{
+    return fourcc == kServeRequest || fourcc == kServeResult ||
+           fourcc == kServeError || fourcc == kServeBusy ||
+           fourcc == kServeProgress;
+}
+
+} // namespace save

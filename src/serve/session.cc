@@ -1,0 +1,178 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cache/cas_key.h"
+#include "util/error.h"
+
+namespace save {
+
+std::string
+fig14IsolationName(int32_t code)
+{
+    switch (code) {
+    case 0:
+        return "";
+    case 1:
+        return "none";
+    case 2:
+        return "thread";
+    case 3:
+        return "process";
+    default:
+        throw ConfigError("unknown isolation code " +
+                          std::to_string(code));
+    }
+}
+
+int32_t
+fig14IsolationCode(const std::string &name)
+{
+    if (name.empty())
+        return 0;
+    if (name == "none")
+        return 1;
+    if (name == "thread")
+        return 2;
+    if (name == "process")
+        return 3;
+    throw ConfigError("unknown isolation mode '" + name +
+                      "' (expected none, thread, or process)");
+}
+
+SimSession::SimSession(Options opt) : opt_(std::move(opt))
+{
+    if (opt_.sharedPool != nullptr) {
+        pool_ = opt_.sharedPool;
+    } else {
+        owned_pool_ = std::make_unique<ThreadPool>(
+            std::max(1, opt_.runtime.resolveThreads()));
+        pool_ = owned_pool_.get();
+    }
+    if (opt_.sharedStore != nullptr) {
+        store_ = opt_.sharedStore;
+    } else {
+        // The snapshot is authoritative: resolve "none"/"-" here
+        // instead of via ResultStore::resolveDir, which would consult
+        // the environment again.
+        ResultStore::Options so;
+        if (opt_.runtime.cacheDir != "none" &&
+            opt_.runtime.cacheDir != "-")
+            so.dir = opt_.runtime.cacheDir;
+        so.maxBytes = opt_.runtime.cacheMaxBytes();
+        owned_store_ = std::make_unique<ResultStore>(so);
+        store_ = owned_store_.get();
+    }
+}
+
+SimSession::~SimSession() = default;
+
+KernelResult
+SimSession::runGemm(const GemmConfig &g, int cores, int vpus)
+{
+    // Exactly BenchResultCache's key (bench/bench_util.h): salt 0 for
+    // raw Engine runs, so served and benched repeats share entries.
+    const CasKey key{casHashConfig(opt_.mcfg, opt_.scfg, 0),
+                     casGemmWorkload(g, cores, vpus)};
+    CasValue v;
+    if (store_->lookup(key, &v)) {
+        KernelResult kr;
+        kr.timeNs = v.timeNs;
+        kr.cycles = v.cycles;
+        kr.coreGhz = v.coreGhz;
+        for (const auto &[name, value] : v.stats)
+            kr.stats.set(name, value);
+        return kr;
+    }
+    Engine eng(opt_.mcfg, opt_.scfg);
+    KernelResult kr = eng.runGemm(g, cores, vpus);
+    if (std::isfinite(kr.timeNs)) {
+        v = CasValue{};
+        v.timeNs = kr.timeNs;
+        v.cycles = kr.cycles;
+        v.coreGhz = kr.coreGhz;
+        for (const auto &[name, value] : kr.stats.all())
+            v.stats.emplace_back(name, value);
+        store_->insert(key, v);
+    }
+    return kr;
+}
+
+TrainingEstimator &
+SimSession::estimatorFor(const Fig14Knobs &k)
+{
+    const std::string id =
+        std::to_string(k.gridStep) + "/" + std::to_string(k.kSteps) +
+        "/" + std::to_string(k.tiles) + "/" + std::to_string(k.cores) +
+        "/" + std::to_string(k.seed) + "/" + std::to_string(k.threads) +
+        "/" + std::to_string(k.isolation);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = estimators_.find(id);
+    if (it != estimators_.end())
+        return *it->second;
+
+    EstimatorOptions eo;
+    eo.gridStep = k.gridStep;
+    eo.kSteps = k.kSteps;
+    eo.tiles = k.tiles;
+    eo.cores = k.cores;
+    eo.seed = k.seed;
+    std::string iso = fig14IsolationName(k.isolation);
+    eo.isolation = iso.empty()
+                       ? opt_.runtime.resolveIsolation()
+                       : RuntimeOptions{.isolation = iso}
+                             .resolveIsolation();
+    eo.proc.workerBin = opt_.runtime.workerBin;
+    eo.validate();
+
+    // threads == 0 fans out over the session pool; an explicit
+    // per-request count gets a dedicated estimator-owned pool (the
+    // estimator handles threads <= 1 as its serial path).
+    ThreadPool *pool = nullptr;
+    if (k.threads == 0)
+        pool = pool_;
+    else
+        eo.threads = k.threads;
+
+    auto est = std::make_unique<TrainingEstimator>(
+        opt_.mcfg, opt_.scfg, eo, pool, store_);
+    TrainingEstimator &ref = *est;
+    estimators_.emplace(id, std::move(est));
+    return ref;
+}
+
+std::string
+SimSession::runFig14(const Fig14Knobs &knobs,
+                     const Fig14Progress &progress)
+{
+    TrainingEstimator &est = estimatorFor(knobs);
+    Fig14Eval eval = [&est](const std::string &, const Fig14Entry &e,
+                            bool training) {
+        return training ? est.training(e.net, e.prec)
+                        : est.inference(e.net, e.prec);
+    };
+    return fig14Report(eval, progress);
+}
+
+uint64_t
+SimSession::simulations() const
+{
+    uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &[id, est] : estimators_)
+        n += est->simulations();
+    return n;
+}
+
+uint64_t
+SimSession::sliceFailures() const
+{
+    uint64_t n = 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &[id, est] : estimators_)
+        n += est->failures().size();
+    return n;
+}
+
+} // namespace save

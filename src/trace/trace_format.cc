@@ -6,36 +6,6 @@
 
 namespace save {
 
-namespace {
-
-struct Crc32Table
-{
-    uint32_t t[256];
-
-    constexpr Crc32Table() : t()
-    {
-        for (uint32_t i = 0; i < 256; ++i) {
-            uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-    }
-};
-
-constexpr Crc32Table kCrcTable;
-
-} // namespace
-
-uint32_t
-traceCrc32(const uint8_t *p, size_t n, uint32_t seed)
-{
-    uint32_t c = seed ^ 0xffffffffu;
-    for (size_t i = 0; i < n; ++i)
-        c = kCrcTable.t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
-    return c ^ 0xffffffffu;
-}
-
 void
 tracePutVarint(std::vector<uint8_t> &out, uint64_t v)
 {
@@ -59,61 +29,6 @@ traceGetVarint(const uint8_t *&p, const uint8_t *end)
             return v;
     }
     throw TraceError("varint longer than 64 bits");
-}
-
-void
-tracePutU32(std::vector<uint8_t> &out, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void
-tracePutU64(std::vector<uint8_t> &out, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void
-tracePutF64(std::vector<uint8_t> &out, double v)
-{
-    uint64_t bits;
-    std::memcpy(&bits, &v, 8);
-    tracePutU64(out, bits);
-}
-
-uint32_t
-traceGetU32(const uint8_t *&p, const uint8_t *end)
-{
-    if (end - p < 4)
-        throw TraceError("u32 runs past the end of its section");
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<uint32_t>(p[i]) << (8 * i);
-    p += 4;
-    return v;
-}
-
-uint64_t
-traceGetU64(const uint8_t *&p, const uint8_t *end)
-{
-    if (end - p < 8)
-        throw TraceError("u64 runs past the end of its section");
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<uint64_t>(p[i]) << (8 * i);
-    p += 8;
-    return v;
-}
-
-double
-traceGetF64(const uint8_t *&p, const uint8_t *end)
-{
-    uint64_t bits = traceGetU64(p, end);
-    double v;
-    std::memcpy(&v, &bits, 8);
-    return v;
 }
 
 bool

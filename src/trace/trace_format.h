@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "isa/uop.h"
+#include "util/frame.h"
 
 namespace save {
 
@@ -50,16 +51,14 @@ constexpr uint32_t kTraceVersion = 1;
  *  header CRC). */
 constexpr size_t kTraceHeaderBytes = 8 + 4 + 4 + 8 + 4;
 
-/** Chunk header size (fourcc + arg + payload length + payload CRC). */
-constexpr size_t kTraceChunkHeaderBytes = 4 + 4 + 8 + 4;
+/** Chunk header size — a trace chunk is exactly a util/frame.h frame
+ *  (fourcc + arg + payload length + payload CRC). */
+constexpr size_t kTraceChunkHeaderBytes = kFrameHeaderBytes;
 
 constexpr uint32_t
 traceFourcc(char a, char b, char c, char d)
 {
-    return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
-           static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8 |
-           static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16 |
-           static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24;
+    return frameFourcc(a, b, c, d);
 }
 
 /** Chunk kinds. `arg` is the core id for per-core chunks, else 0. */
@@ -72,7 +71,11 @@ constexpr uint32_t kChunkResult = traceFourcc('R', 'E', 'S', ' ');
 constexpr uint32_t kChunkEnd = traceFourcc('E', 'N', 'D', ' ');
 
 /** CRC-32 (IEEE 802.3, reflected) of n bytes, seedable for chaining. */
-uint32_t traceCrc32(const uint8_t *p, size_t n, uint32_t seed = 0);
+inline uint32_t
+traceCrc32(const uint8_t *p, size_t n, uint32_t seed = 0)
+{
+    return frameCrc32(p, n, seed);
+}
 
 /** Append an LEB128 varint. */
 void tracePutVarint(std::vector<uint8_t> &out, uint64_t v);
@@ -109,13 +112,44 @@ void traceEncodeUop(const Uop &u, uint64_t &prev_addr,
 Uop traceDecodeUop(const uint8_t *&p, const uint8_t *end,
                    uint64_t &prev_addr);
 
-/** Little-endian scalar append helpers. */
-void tracePutU32(std::vector<uint8_t> &out, uint32_t v);
-void tracePutU64(std::vector<uint8_t> &out, uint64_t v);
-void tracePutF64(std::vector<uint8_t> &out, double v);
-uint32_t traceGetU32(const uint8_t *&p, const uint8_t *end);
-uint64_t traceGetU64(const uint8_t *&p, const uint8_t *end);
-double traceGetF64(const uint8_t *&p, const uint8_t *end);
+/** Little-endian scalar append/parse helpers (shared with every other
+ *  framed codec via util/frame.h; kept under the trace names for the
+ *  many existing call sites). */
+inline void
+tracePutU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    framePutU32(out, v);
+}
+
+inline void
+tracePutU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    framePutU64(out, v);
+}
+
+inline void
+tracePutF64(std::vector<uint8_t> &out, double v)
+{
+    framePutF64(out, v);
+}
+
+inline uint32_t
+traceGetU32(const uint8_t *&p, const uint8_t *end)
+{
+    return frameGetU32(p, end);
+}
+
+inline uint64_t
+traceGetU64(const uint8_t *&p, const uint8_t *end)
+{
+    return frameGetU64(p, end);
+}
+
+inline double
+traceGetF64(const uint8_t *&p, const uint8_t *end)
+{
+    return frameGetF64(p, end);
+}
 
 } // namespace save
 

@@ -103,19 +103,23 @@ TraceReader::parseChunks()
 
     bool saw_end = false;
     bool saw_cfg = false;
-    while (p < end) {
-        if (static_cast<size_t>(end - p) < kTraceChunkHeaderBytes)
-            bad(path_, "truncated chunk header");
-        uint32_t fourcc = traceGetU32(p, end);
-        uint32_t arg = traceGetU32(p, end);
-        uint64_t len = traceGetU64(p, end);
-        uint32_t crc = traceGetU32(p, end);
-        if (len > static_cast<uint64_t>(end - p))
-            bad(path_, "chunk payload runs past end of file");
-        if (traceCrc32(p, static_cast<size_t>(len)) != crc)
+    uint64_t off = static_cast<uint64_t>(p - map_);
+    while (off < map_len_) {
+        FrameView v;
+        std::string why;
+        switch (frameParse(map_, map_len_, off, v,
+                           /*max_payload=*/UINT64_MAX, &why)) {
+        case FrameParse::Truncated:
+            bad(path_, why.find("header") != std::string::npos
+                           ? "truncated chunk header"
+                           : "chunk payload runs past end of file");
+        case FrameParse::Corrupt:
             bad(path_, "chunk payload CRC mismatch");
-        Span s{arg, p, static_cast<size_t>(len)};
-        p += len;
+        case FrameParse::Ok:
+            break;
+        }
+        uint32_t fourcc = v.fourcc;
+        Span s{v.arg, v.payload, static_cast<size_t>(v.len)};
         if (fourcc == kChunkEnd) {
             saw_end = true;
             break;

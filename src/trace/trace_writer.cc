@@ -78,10 +78,7 @@ TraceWriter::writeChunk(uint32_t fourcc, uint32_t arg,
         throw TraceError("trace writer already finished: " + path_);
     std::vector<uint8_t> hdr;
     hdr.reserve(kTraceChunkHeaderBytes);
-    tracePutU32(hdr, fourcc);
-    tracePutU32(hdr, arg);
-    tracePutU64(hdr, payload.size());
-    tracePutU32(hdr, traceCrc32(payload.data(), payload.size()));
+    frameAppendHeader(hdr, fourcc, arg, payload.data(), payload.size());
     put(hdr.data(), hdr.size());
     if (!payload.empty())
         put(payload.data(), payload.size());

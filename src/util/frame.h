@@ -1,0 +1,227 @@
+/**
+ * @file
+ * One CRC-framed record codec for every framed byte stream in the
+ * harness.
+ *
+ * Four subsystems ship length-prefixed, CRC-protected records with the
+ * same layout (historically three hand-rolled copies):
+ *
+ *   - `.savtrc` trace chunks (src/trace/trace_format.h)
+ *   - the parent <-> worker pipe protocol (src/proc/wire_codec.h)
+ *   - CAS result-store records (src/cache/result_store.h)
+ *   - the save-serve RPC protocol (src/serve/protocol.h)
+ *
+ * A frame is
+ *
+ *   u32 fourcc, u32 arg, u64 payloadBytes, u32 crc32(payload), payload
+ *
+ * all little-endian, with CRC-32 (IEEE 802.3, reflected) over every
+ * payload byte. `arg` is caller-defined (core id, record version,
+ * attempt number, request id). This header provides the primitives:
+ *
+ *   - little-endian scalar put/get (the get side throws TraceError on
+ *     a short buffer, never reads past `end`),
+ *   - frameAppend / frameAppendHeader for writers that buffer,
+ *   - frameWriteFd: one writeFull(2) of a whole frame,
+ *   - frameReadFd: deadline-bounded frame read from a pipe/socket
+ *     (poll + EINTR-safe), distinguishing clean EOF / timeout from
+ *     corruption (which throws TraceError),
+ *   - frameParse: zero-copy parse for mmap'd files, distinguishing a
+ *     torn tail (a concurrent append still landing) from corruption.
+ *
+ * Policy stays with the caller: which fourccs are legal, how `arg` is
+ * interpreted, and what to do about corruption (throw, quarantine,
+ * drop the connection).
+ */
+
+#ifndef SAVE_UTIL_FRAME_H
+#define SAVE_UTIL_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace save {
+
+/** Frame header size: fourcc + arg + payload length + payload CRC. */
+constexpr size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+
+constexpr uint32_t
+frameFourcc(char a, char b, char c, char d)
+{
+    return static_cast<uint32_t>(static_cast<uint8_t>(a)) |
+           static_cast<uint32_t>(static_cast<uint8_t>(b)) << 8 |
+           static_cast<uint32_t>(static_cast<uint8_t>(c)) << 16 |
+           static_cast<uint32_t>(static_cast<uint8_t>(d)) << 24;
+}
+
+/** "ABCD" rendering of a fourcc for error messages (non-printable
+ *  bytes become '.'), plus the hex value. */
+std::string frameFourccName(uint32_t fourcc);
+
+/** CRC-32 (IEEE 802.3, reflected) of n bytes, seedable for chaining. */
+uint32_t frameCrc32(const uint8_t *p, size_t n, uint32_t seed = 0);
+
+/** Little-endian scalar append helpers. */
+void framePutU32(std::vector<uint8_t> &out, uint32_t v);
+void framePutU64(std::vector<uint8_t> &out, uint64_t v);
+void framePutF64(std::vector<uint8_t> &out, double v);
+
+/** Little-endian scalar parse helpers; advance p. Throw TraceError on
+ *  a short buffer. */
+uint32_t frameGetU32(const uint8_t *&p, const uint8_t *end);
+uint64_t frameGetU64(const uint8_t *&p, const uint8_t *end);
+double frameGetF64(const uint8_t *&p, const uint8_t *end);
+
+/** Raw byte append. */
+inline void
+framePutBytes(std::vector<uint8_t> &out, const void *data, size_t n)
+{
+    if (n == 0)
+        return;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    out.insert(out.end(), p, p + n);
+}
+
+/** Length-prefixed string append/parse. The get side throws TraceError
+ *  when the length runs past the payload. */
+void framePutString(std::vector<uint8_t> &out, const std::string &s);
+std::string frameGetString(const uint8_t *&p, const uint8_t *end);
+
+/** [internal] Throws the struct-shaped TraceError for frameGetStruct. */
+[[noreturn]] void frameStructSizeError(const char *name, uint32_t got,
+                                       size_t expected);
+[[noreturn]] void frameStructShortError(const char *name);
+
+/**
+ * Raw bytes of a trivially-copyable struct, guarded by a size field:
+ * peers built from different source trees are rejected cleanly instead
+ * of misinterpreting each other's layouts.
+ */
+template <typename T>
+void
+framePutStruct(std::vector<uint8_t> &out, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "framed structs travel as raw bytes");
+    framePutU32(out, static_cast<uint32_t>(sizeof(T)));
+    framePutBytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T
+frameGetStruct(const uint8_t *&p, const uint8_t *end, const char *name)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint32_t n = frameGetU32(p, end);
+    if (n != sizeof(T))
+        frameStructSizeError(name, n, sizeof(T));
+    if (static_cast<size_t>(end - p) < n)
+        frameStructShortError(name);
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += n;
+    return v;
+}
+
+/** One decoded (or to-be-encoded) frame with an owned payload. */
+struct Frame
+{
+    uint32_t fourcc = 0;
+    uint32_t arg = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Append just the 20-byte header for `n` payload bytes (the caller
+ *  writes the payload itself, e.g. straight from an existing buffer). */
+void frameAppendHeader(std::vector<uint8_t> &out, uint32_t fourcc,
+                       uint32_t arg, const uint8_t *payload, size_t n);
+
+/** Append a complete frame (header + payload copy). */
+void frameAppend(std::vector<uint8_t> &out, uint32_t fourcc, uint32_t arg,
+                 const uint8_t *payload, size_t n);
+
+inline void
+frameAppend(std::vector<uint8_t> &out, uint32_t fourcc, uint32_t arg,
+            const std::vector<uint8_t> &payload)
+{
+    frameAppend(out, fourcc, arg, payload.data(), payload.size());
+}
+
+/** A complete frame as one contiguous buffer. */
+std::vector<uint8_t> frameEncode(uint32_t fourcc, uint32_t arg,
+                                 const std::vector<uint8_t> &payload);
+
+/**
+ * Write one frame with a single writeFull(2) — safe for O_APPEND
+ * record files and for pipes/sockets shared with a concurrent writer.
+ * Returns false with errno preserved on any write failure (EPIPE when
+ * the peer is dead and SIGPIPE is ignored).
+ */
+bool frameWriteFd(int fd, uint32_t fourcc, uint32_t arg,
+                  const std::vector<uint8_t> &payload);
+
+/** Outcome of a deadline-bounded frame read. */
+enum class FrameRead
+{
+    Ok,
+    /** Clean EOF at a frame boundary (peer closed the stream). */
+    Eof,
+    /** Deadline expired with no complete frame. */
+    Timeout,
+};
+
+/**
+ * Fourcc acceptance predicate for frameReadFd, checked before the
+ * payload is allocated so a corrupt header cannot trigger a bogus
+ * multi-megabyte read.
+ */
+using FrameAccept = bool (*)(uint32_t fourcc);
+
+/**
+ * Read one frame within `timeout_ms` (< 0 waits forever). Returns
+ * Ok/Eof/Timeout; throws TraceError on corruption: a fourcc `accept`
+ * rejects, payload length past `max_payload`, CRC mismatch, EOF inside
+ * a frame, or a hard read error. `who` labels error messages
+ * ("wire", "serve", ...).
+ */
+FrameRead frameReadFd(int fd, Frame &frame, int timeout_ms,
+                      FrameAccept accept, uint64_t max_payload,
+                      const char *who);
+
+/** Zero-copy view of one frame inside a mapped file. */
+struct FrameView
+{
+    uint32_t fourcc = 0;
+    uint32_t arg = 0;
+    const uint8_t *payload = nullptr;
+    uint64_t len = 0;
+};
+
+/** Outcome of an in-memory frame parse. */
+enum class FrameParse
+{
+    Ok,
+    /** The remaining bytes cannot hold a whole frame: either a torn
+     *  tail or a concurrent append still landing — caller's call. */
+    Truncated,
+    /** Length cap exceeded or payload CRC mismatch; `why` explains. */
+    Corrupt,
+};
+
+/**
+ * Parse the frame at `base + off`. On Ok fills `out` (payload points
+ * into the mapped bytes) and advances `off` past the frame. Fourcc
+ * and `arg` validation stay with the caller — unknown kinds may be
+ * legal (trace forward-compat) or corruption (CAS shards).
+ */
+FrameParse frameParse(const uint8_t *base, uint64_t size, uint64_t &off,
+                      FrameView &out, uint64_t max_payload,
+                      std::string *why);
+
+} // namespace save
+
+#endif // SAVE_UTIL_FRAME_H

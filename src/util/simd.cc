@@ -5,6 +5,7 @@
 
 #include "isa/bf16.h"
 #include "util/logging.h"
+#include "util/runtime_options.h"
 
 #if defined(__GNUC__) && defined(__x86_64__)
 #define SAVE_SIMD_X86 1
@@ -441,8 +442,9 @@ state()
 {
     static State s = [] {
         Backend b = bestSupported();
-        const char *env = std::getenv("SAVE_SIMD");
-        if (env && *env) {
+        const std::string env_s = RuntimeOptions::fromEnv().simd;
+        const char *env = env_s.c_str();
+        if (*env) {
             Backend req;
             if (!parseBackend(env, req)) {
                 SAVE_WARN("ignoring SAVE_SIMD='", env,

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "util/logging.h"
+#include "util/runtime_options.h"
 
 namespace save {
 
@@ -158,14 +159,7 @@ ThreadPool::global()
 int
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("SAVE_THREADS")) {
-        int n = std::atoi(env);
-        if (n >= 1)
-            return n;
-        SAVE_WARN("ignoring bad SAVE_THREADS value '", env, "'");
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? static_cast<int>(hw) : 1;
+    return RuntimeOptions::fromEnv().resolveThreads();
 }
 
 } // namespace save

@@ -1,0 +1,771 @@
+/**
+ * @file
+ * save-serve end-to-end tests: protocol round-trip and corruption
+ * rejection, daemon lifecycle (spawned from the real binary),
+ * admission control and load shedding, client disconnect mid-sweep,
+ * graceful drain with in-flight work, SIGHUP config reload, stale
+ * socket reclamation, and the acceptance bar — a served Fig. 14
+ * sweep byte-identical to the in-process report across isolation
+ * modes, with warm repeats answered from the shared CAS store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dnn/fig14_report.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/error.h"
+#include "util/posix_io.h"
+
+using namespace save;
+
+namespace {
+
+std::string
+tmpDir(const char *tag)
+{
+    std::string t = "/tmp/save_serve_test_" + std::string(tag) + "_" +
+                    std::to_string(::getpid()) + "_XXXXXX";
+    std::vector<char> buf(t.begin(), t.end());
+    buf.push_back('\0');
+    const char *d = ::mkdtemp(buf.data());
+    EXPECT_NE(d, nullptr);
+    return d ? d : "";
+}
+
+std::string
+socketPath(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    return "/tmp/ss_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/** The quick sweep knobs every test uses (the CI smoke config). */
+Fig14Knobs
+quickKnobs()
+{
+    Fig14Knobs k;
+    k.gridStep = 9;
+    k.kSteps = 8;
+    k.tiles = 1;
+    return k;
+}
+
+/** In-process reference report for the quick knobs. */
+std::string
+inprocReport(const std::string &cache_dir)
+{
+    EstimatorOptions eo;
+    eo.gridStep = 9;
+    eo.kSteps = 8;
+    eo.tiles = 1;
+    eo.cacheDir = cache_dir.empty() ? "none" : cache_dir;
+    TrainingEstimator est(MachineConfig{}, SaveConfig{}, eo);
+    return fig14Report([&](const std::string &, const Fig14Entry &e,
+                           bool training) {
+        return training ? est.training(e.net, e.prec)
+                        : est.inference(e.net, e.prec);
+    });
+}
+
+/** Spawns the real save-serve binary and manages its lifetime. */
+class DaemonProc
+{
+  public:
+    void
+    start(const std::string &socket,
+          const std::vector<std::string> &extra_args = {})
+    {
+        socket_ = socket;
+        std::vector<std::string> args;
+        args.push_back(SAVE_SERVE_BIN_PATH);
+        args.push_back("--socket=" + socket);
+        for (const std::string &a : extra_args)
+            args.push_back(a);
+        pid_ = ::fork();
+        ASSERT_GE(pid_, 0);
+        if (pid_ == 0) {
+            std::vector<char *> argv;
+            for (std::string &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(SAVE_SERVE_BIN_PATH, argv.data());
+            ::_exit(127);
+        }
+    }
+
+    bool
+    waitReady(int timeout_ms = 15000)
+    {
+        ServeClient client(socket_);
+        ServeRequest ping;
+        ping.kind = ServeKind::Ping;
+        for (int waited = 0; waited < timeout_ms; waited += 50) {
+            try {
+                client.call(ping, nullptr, 2000);
+                return true;
+            } catch (const SimError &) {
+                ::usleep(50 * 1000);
+            }
+        }
+        return false;
+    }
+
+    /** waitpid with a deadline; returns the exit code, or -1 on
+     *  timeout / abnormal death. */
+    int
+    waitExit(int timeout_ms = 60000)
+    {
+        for (int waited = 0; waited <= timeout_ms; waited += 50) {
+            int status = 0;
+            pid_t r = ::waitpid(pid_, &status, WNOHANG);
+            if (r == pid_) {
+                pid_ = -1;
+                return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+            }
+            ::usleep(50 * 1000);
+        }
+        return -1;
+    }
+
+    void
+    signal(int sig)
+    {
+        if (pid_ > 0)
+            ::kill(pid_, sig);
+    }
+
+    pid_t pid() const { return pid_; }
+
+    ~DaemonProc()
+    {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGKILL);
+            int status;
+            ::waitpid(pid_, &status, 0);
+        }
+        if (!socket_.empty())
+            ::unlink(socket_.c_str());
+    }
+
+  private:
+    pid_t pid_ = -1;
+    std::string socket_;
+};
+
+ServeStatus
+getStatus(ServeClient &client)
+{
+    ServeRequest req;
+    req.kind = ServeKind::Status;
+    ServeClient::Reply r = client.call(req, nullptr, 5000);
+    EXPECT_EQ(r.kind, ServeClient::Reply::Kind::Ok);
+    return r.status;
+}
+
+/**
+ * Counters are updated by the worker after the reply frame is
+ * written, so a client that races straight to Status can observe the
+ * pre-increment value; poll until `pred` holds (or the deadline
+ * passes) and return the last snapshot.
+ */
+template <typename Pred>
+ServeStatus
+pollStatus(ServeClient &client, Pred pred, int timeout_ms = 30000)
+{
+    ServeStatus s = getStatus(client);
+    for (int waited = 0; !pred(s) && waited < timeout_ms;
+         waited += 50) {
+        ::usleep(50 * 1000);
+        s = getStatus(client);
+    }
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Protocol codec
+// ---------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTripAllKinds)
+{
+    ServeRequest g;
+    g.kind = ServeKind::Gemm;
+    g.priority = ServePriority::High;
+    g.deadlineMs = 1234;
+    g.gemm.mr = 2;
+    g.gemm.nrVecs = 3;
+    g.gemm.kSteps = 77;
+    g.gemm.bsSparsity = 0.4;
+    g.cores = 3;
+    g.vpus = 1;
+    ServeRequest g2 =
+        serveDecodeRequest(kServeVersion, serveEncodeRequest(g));
+    EXPECT_EQ(g2.kind, ServeKind::Gemm);
+    EXPECT_EQ(g2.priority, ServePriority::High);
+    EXPECT_EQ(g2.deadlineMs, 1234u);
+    EXPECT_EQ(g2.gemm.mr, 2);
+    EXPECT_EQ(g2.gemm.kSteps, 77);
+    EXPECT_DOUBLE_EQ(g2.gemm.bsSparsity, 0.4);
+    EXPECT_EQ(g2.cores, 3);
+    EXPECT_EQ(g2.vpus, 1);
+
+    ServeRequest f;
+    f.kind = ServeKind::Fig14;
+    f.priority = ServePriority::Low;
+    f.fig14.gridStep = 9;
+    f.fig14.kSteps = 8;
+    f.fig14.seed = 42;
+    f.fig14.isolation = fig14IsolationCode("process");
+    ServeRequest f2 =
+        serveDecodeRequest(kServeVersion, serveEncodeRequest(f));
+    EXPECT_EQ(f2.kind, ServeKind::Fig14);
+    EXPECT_EQ(f2.fig14.gridStep, 9);
+    EXPECT_EQ(f2.fig14.seed, 42u);
+    EXPECT_EQ(fig14IsolationName(f2.fig14.isolation), "process");
+
+    for (ServeKind k :
+         {ServeKind::Ping, ServeKind::Status, ServeKind::Drain}) {
+        ServeRequest c;
+        c.kind = k;
+        EXPECT_EQ(
+            serveDecodeRequest(kServeVersion, serveEncodeRequest(c))
+                .kind,
+            k);
+    }
+}
+
+TEST(ServeProtocol, RejectsVersionSkewTruncationAndTrailingBytes)
+{
+    ServeRequest r;
+    r.kind = ServeKind::Gemm;
+    std::vector<uint8_t> p = serveEncodeRequest(r);
+
+    EXPECT_THROW(serveDecodeRequest(kServeVersion + 1, p), TraceError);
+
+    std::vector<uint8_t> trunc(p.begin(), p.begin() + p.size() / 2);
+    EXPECT_THROW(serveDecodeRequest(kServeVersion, trunc), TraceError);
+
+    std::vector<uint8_t> trail = p;
+    trail.push_back(0);
+    EXPECT_THROW(serveDecodeRequest(kServeVersion, trail), TraceError);
+}
+
+TEST(ServeProtocol, StatusProgressBusyRoundTrip)
+{
+    ServeStatus s;
+    s.accepted = 7;
+    s.shed = 3;
+    s.reloads = 2;
+    ServeStatus s2 = serveDecodeStatus(serveEncodeStatus(s));
+    EXPECT_EQ(s2.accepted, 7u);
+    EXPECT_EQ(s2.shed, 3u);
+    EXPECT_EQ(s2.reloads, 2u);
+
+    ServeProgress pr;
+    pr.done = 3;
+    pr.total = 16;
+    pr.key = "train/VGG16 FP32 dense";
+    ServeProgress pr2 = serveDecodeProgress(serveEncodeProgress(pr));
+    EXPECT_EQ(pr2.done, 3u);
+    EXPECT_EQ(pr2.total, 16u);
+    EXPECT_EQ(pr2.key, pr.key);
+
+    ServeBusyInfo b;
+    b.reason = "admission queue full (4/4)";
+    b.queued = 4;
+    b.queueCap = 4;
+    ServeBusyInfo b2 = serveDecodeBusy(serveEncodeBusy(b));
+    EXPECT_EQ(b2.reason, b.reason);
+    EXPECT_EQ(b2.queued, 4u);
+}
+
+TEST(ServeProtocol, FrameReadRejectsBitFlipAndTruncation)
+{
+    ServeRequest r;
+    r.kind = ServeKind::Fig14;
+    std::vector<uint8_t> payload = serveEncodeRequest(r);
+    std::vector<uint8_t> frame =
+        frameEncode(kServeRequest, kServeVersion, payload);
+
+    // Flipped payload bit: the CRC catches it.
+    {
+        std::vector<uint8_t> bad = frame;
+        bad[kFrameHeaderBytes + 2] ^= 0x10;
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        ASSERT_EQ(writeFull(fds[1], bad.data(), bad.size()),
+                  static_cast<ssize_t>(bad.size()));
+        ::close(fds[1]);
+        Frame f;
+        EXPECT_THROW(frameReadFd(fds[0], f, 1000, serveKnownFourcc,
+                                 kServeMaxPayload, "serve"),
+                     TraceError);
+        ::close(fds[0]);
+    }
+
+    // Truncated mid-frame: EOF inside the payload is corruption, not
+    // a clean EOF.
+    {
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        ASSERT_EQ(writeFull(fds[1], frame.data(), frame.size() - 3),
+                  static_cast<ssize_t>(frame.size() - 3));
+        ::close(fds[1]);
+        Frame f;
+        EXPECT_THROW(frameReadFd(fds[0], f, 1000, serveKnownFourcc,
+                                 kServeMaxPayload, "serve"),
+                     TraceError);
+        ::close(fds[0]);
+    }
+
+    // Unknown fourcc is rejected before the payload is read.
+    {
+        std::vector<uint8_t> bad =
+            frameEncode(frameFourcc('J', 'U', 'N', 'K'), 0, payload);
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        ASSERT_EQ(writeFull(fds[1], bad.data(), bad.size()),
+                  static_cast<ssize_t>(bad.size()));
+        ::close(fds[1]);
+        Frame f;
+        EXPECT_THROW(frameReadFd(fds[0], f, 1000, serveKnownFourcc,
+                                 kServeMaxPayload, "serve"),
+                     TraceError);
+        ::close(fds[0]);
+    }
+}
+
+// ---------------------------------------------------------------
+// Daemon end-to-end
+// ---------------------------------------------------------------
+
+TEST(ServeDaemon, PingStatusAndGracefulDrain)
+{
+    std::string sock = socketPath("basic");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=2", "--cache-dir=none"});
+    ASSERT_TRUE(d.waitReady());
+
+    ServeClient client(sock);
+    ServeStatus s = getStatus(client);
+    EXPECT_EQ(s.version, kServeVersion);
+    EXPECT_EQ(s.workers, 1u);
+    EXPECT_EQ(s.queueCap, 2u);
+    EXPECT_EQ(s.draining, 0u);
+
+    ServeRequest drain;
+    drain.kind = ServeKind::Drain;
+    ServeClient::Reply r = client.call(drain, nullptr, 5000);
+    EXPECT_EQ(r.kind, ServeClient::Reply::Kind::Ok);
+    EXPECT_EQ(d.waitExit(), 0);
+}
+
+TEST(ServeDaemon, GemmServedAndWarmRepeatHitsCas)
+{
+    std::string cache = tmpDir("gemmcas");
+    std::string sock = socketPath("gemm");
+    DaemonProc d;
+    d.start(sock,
+            {"--workers=2", "--queue-cap=4", "--cache-dir=" + cache});
+    ASSERT_TRUE(d.waitReady());
+
+    ServeClient client(sock);
+    ServeRequest req;
+    req.kind = ServeKind::Gemm;
+    req.gemm.kSteps = 24;
+    req.gemm.tiles = 1;
+    req.gemm.bsSparsity = 0.3;
+    req.gemm.seed = 11;
+
+    ServeClient::Reply first = client.call(req, nullptr, 60000);
+    ASSERT_EQ(first.kind, ServeClient::Reply::Kind::Ok);
+    EXPECT_GT(first.gemm.timeNs, 0.0);
+    EXPECT_GT(first.gemm.cycles, 0u);
+
+    // The warm repeat must answer from the content-addressed store
+    // (O(1)) and be bit-identical to the simulation it replaces.
+    ServeClient::Reply second = client.call(req, nullptr, 60000);
+    ASSERT_EQ(second.kind, ServeClient::Reply::Kind::Ok);
+    EXPECT_EQ(std::memcmp(&first.gemm.timeNs, &second.gemm.timeNs,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(first.gemm.cycles, second.gemm.cycles);
+    EXPECT_EQ(first.gemm.stats, second.gemm.stats);
+
+    ServeStatus s = pollStatus(
+        client, [](const ServeStatus &st) { return st.completed >= 2; });
+    EXPECT_GE(s.casHits, 1u);
+    EXPECT_GE(s.casInserts, 1u);
+    EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(ServeDaemon, ConcurrentClients)
+{
+    std::string sock = socketPath("conc");
+    DaemonProc d;
+    d.start(sock, {"--workers=2", "--queue-cap=16", "--cache-dir=none"});
+    ASSERT_TRUE(d.waitReady());
+
+    constexpr int kClients = 4;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            ServeClient client(sock);
+            ServeRequest req;
+            req.kind = ServeKind::Gemm;
+            req.gemm.kSteps = 16;
+            req.gemm.tiles = 1;
+            req.gemm.seed = static_cast<uint64_t>(100 + i);
+            ServeClient::Reply r = client.call(req, nullptr, 120000);
+            if (r.kind == ServeClient::Reply::Kind::Ok &&
+                r.gemm.timeNs > 0)
+                ok.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kClients);
+}
+
+TEST(ServeDaemon, QueueFullShedsWithTypedBusy)
+{
+    std::string sock = socketPath("shed");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=1", "--cache-dir=none"});
+    ASSERT_TRUE(d.waitReady());
+
+    // Occupy the single worker with a multi-second sweep.
+    std::thread blocker([&] {
+        ServeClient client(sock);
+        ServeRequest req;
+        req.kind = ServeKind::Fig14;
+        req.fig14 = quickKnobs();
+        req.fig14.gridStep = 3;
+        req.fig14.kSteps = 64;
+        req.fig14.tiles = 4;
+        client.call(req, nullptr, 300000);
+    });
+
+    ServeClient client(sock);
+    ASSERT_GE(pollStatus(client,
+                         [](const ServeStatus &s) {
+                             return s.active >= 1;
+                         })
+                  .active,
+              1u);
+
+    ServeRequest req;
+    req.kind = ServeKind::Gemm;
+    req.gemm.kSteps = 16;
+    req.gemm.tiles = 1;
+
+    // Fill the single queue slot, and wait until the daemon reports
+    // it occupied...
+    std::thread queued([&] {
+        ServeClient c2(sock);
+        ServeRequest q = req;
+        q.gemm.seed = 200;
+        c2.call(q, nullptr, 300000);
+    });
+    ASSERT_GE(pollStatus(client,
+                         [](const ServeStatus &s) {
+                             return s.queued >= 1;
+                         })
+                  .queued,
+              1u);
+
+    // ...so further submissions must be shed with a typed BUSY
+    // reply, never a hang.
+    int busy = 0;
+    for (int i = 0; i < 20 && busy == 0; ++i) {
+        ServeRequest q = req;
+        q.gemm.seed = static_cast<uint64_t>(300 + i);
+        ServeClient::Reply r = client.call(q, nullptr, 300000);
+        if (r.kind == ServeClient::Reply::Kind::Busy) {
+            ++busy;
+            EXPECT_NE(r.busy.reason.find("queue full"),
+                      std::string::npos);
+            EXPECT_GE(r.busy.queueCap, 1u);
+        }
+    }
+    blocker.join();
+    queued.join();
+    EXPECT_GE(busy, 1);
+    EXPECT_GE(getStatus(client).shed, 1u);
+}
+
+TEST(ServeDaemon, MidSweepClientDisconnectKeepsServing)
+{
+    std::string sock = socketPath("disc");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=4", "--cache-dir=none"});
+    ASSERT_TRUE(d.waitReady());
+
+    // Raw client: submit a sweep, then vanish without reading.
+    {
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, sock.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ASSERT_EQ(::connect(fd,
+                            reinterpret_cast<struct sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        ServeRequest req;
+        req.kind = ServeKind::Fig14;
+        req.fig14 = quickKnobs();
+        ASSERT_TRUE(frameWriteFd(fd, kServeRequest, kServeVersion,
+                                 serveEncodeRequest(req)));
+        ::close(fd);
+    }
+
+    // The daemon must notice (pre-execution probe or the first
+    // progress write) and move on to the next client.
+    ServeClient client(sock);
+    for (int waited = 0; waited < 120000; waited += 100) {
+        if (getStatus(client).errors >= 1)
+            break;
+        ::usleep(100 * 1000);
+    }
+    EXPECT_GE(getStatus(client).errors, 1u);
+
+    ServeRequest gemm;
+    gemm.kind = ServeKind::Gemm;
+    gemm.gemm.kSteps = 16;
+    gemm.gemm.tiles = 1;
+    ServeClient::Reply r = client.call(gemm, nullptr, 120000);
+    EXPECT_EQ(r.kind, ServeClient::Reply::Kind::Ok);
+}
+
+TEST(ServeDaemon, DrainWaitsForInflightWork)
+{
+    std::string sock = socketPath("drain");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=4", "--cache-dir=none"});
+    ASSERT_TRUE(d.waitReady());
+
+    std::atomic<bool> sweep_ok{false};
+    std::thread inflight([&] {
+        ServeClient client(sock);
+        ServeRequest req;
+        req.kind = ServeKind::Fig14;
+        req.fig14 = quickKnobs();
+        req.fig14.kSteps = 64; // slow enough to still be in flight
+        req.fig14.tiles = 2;
+        ServeClient::Reply r = client.call(req, nullptr, 300000);
+        if (r.kind == ServeClient::Reply::Kind::Ok &&
+            !r.text.empty())
+            sweep_ok.store(true);
+    });
+
+    ServeClient client(sock);
+    ASSERT_GE(pollStatus(client,
+                         [](const ServeStatus &s) {
+                             return s.active >= 1;
+                         })
+                  .active,
+              1u);
+
+    ServeRequest drain;
+    drain.kind = ServeKind::Drain;
+    EXPECT_EQ(client.call(drain, nullptr, 5000).kind,
+              ServeClient::Reply::Kind::Ok);
+
+    // Drain must let the in-flight sweep finish, then exit 0.
+    EXPECT_EQ(d.waitExit(300000), 0);
+    inflight.join();
+    EXPECT_TRUE(sweep_ok.load());
+}
+
+TEST(ServeDaemon, SighupReloadsConfig)
+{
+    std::string dir = tmpDir("cfg");
+    std::string cfg = dir + "/serve.conf";
+    {
+        FILE *f = std::fopen(cfg.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("# serve config\nqueue_cap=5\n", f);
+        std::fclose(f);
+    }
+    std::string sock = socketPath("hup");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=2", "--cache-dir=none",
+                   "--config=" + cfg});
+    ASSERT_TRUE(d.waitReady());
+
+    ServeClient client(sock);
+    EXPECT_EQ(getStatus(client).queueCap, 2u);
+    d.signal(SIGHUP);
+    for (int waited = 0; waited < 30000; waited += 50) {
+        if (getStatus(client).reloads >= 1)
+            break;
+        ::usleep(50 * 1000);
+    }
+    ServeStatus s = getStatus(client);
+    EXPECT_GE(s.reloads, 1u);
+    EXPECT_EQ(s.queueCap, 5u);
+}
+
+TEST(ServeDaemon, StaleSocketIsReclaimed)
+{
+    std::string sock = socketPath("stale");
+    DaemonProc d1;
+    d1.start(sock, {"--workers=1", "--cache-dir=none"});
+    ASSERT_TRUE(d1.waitReady());
+    d1.signal(SIGKILL);
+    d1.waitExit(30000); // reap; SIGKILL leaves the socket file behind
+
+    struct stat st;
+    ASSERT_EQ(::stat(sock.c_str(), &st), 0)
+        << "SIGKILL should leave the socket file";
+
+    DaemonProc d2;
+    d2.start(sock, {"--workers=1", "--cache-dir=none"});
+    EXPECT_TRUE(d2.waitReady())
+        << "second daemon should reclaim the stale socket";
+}
+
+// ---------------------------------------------------------------
+// Acceptance: served == in-process, byte for byte
+// ---------------------------------------------------------------
+
+TEST(ServeFig14, ServedReportIsByteIdenticalAndWarmFromCas)
+{
+    std::string cache = tmpDir("fig14cas");
+    std::string sock = socketPath("fig14");
+    DaemonProc d;
+    d.start(sock,
+            {"--workers=1", "--queue-cap=4", "--cache-dir=" + cache});
+    ASSERT_TRUE(d.waitReady());
+
+    // Served first (cold: populates the shared store).
+    ServeClient client(sock);
+    ServeRequest req;
+    req.kind = ServeKind::Fig14;
+    req.fig14 = quickKnobs();
+    int progress_frames = 0;
+    ServeClient::Reply served = client.call(
+        req,
+        [&](const ServeProgress &p) {
+            ++progress_frames;
+            EXPECT_EQ(p.total, 16u);
+        },
+        300000);
+    ASSERT_EQ(served.kind, ServeClient::Reply::Kind::Ok);
+    EXPECT_EQ(progress_frames, 16);
+
+    // In-process reference over the SAME store: warm, and the bytes
+    // must match exactly.
+    std::string ref = inprocReport(cache);
+    EXPECT_EQ(served.text, ref);
+
+    // save-ctl must print the identical bytes to stdout.
+    std::string cmd = std::string(SAVE_CTL_BIN_PATH) +
+                      " fig14 --socket=" + sock +
+                      " --grid=9 --ksteps=8 --tiles=1 2>/dev/null";
+    FILE *p = ::popen(cmd.c_str(), "r");
+    ASSERT_NE(p, nullptr);
+    std::string ctl_out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0)
+        ctl_out.append(buf, n);
+    EXPECT_EQ(::pclose(p), 0);
+    EXPECT_EQ(ctl_out, ref);
+
+    // The cold sweep populated the shared store.
+    ServeStatus s = getStatus(client);
+    EXPECT_GE(s.casInserts, 1u);
+
+    // A FRESH daemon on the same cache dir has a cold in-memory
+    // estimator but a warm store: the repeat sweep must be answered
+    // from the CAS (hits, not re-simulation) and still byte-match.
+    ServeRequest drain;
+    drain.kind = ServeKind::Drain;
+    EXPECT_EQ(client.call(drain, nullptr, 5000).kind,
+              ServeClient::Reply::Kind::Ok);
+    EXPECT_EQ(d.waitExit(60000), 0);
+
+    std::string sock2 = socketPath("fig14b");
+    DaemonProc d2;
+    d2.start(sock2,
+             {"--workers=1", "--queue-cap=4", "--cache-dir=" + cache});
+    ASSERT_TRUE(d2.waitReady());
+    ServeClient client2(sock2);
+    ServeClient::Reply warm = client2.call(req, nullptr, 300000);
+    ASSERT_EQ(warm.kind, ServeClient::Reply::Kind::Ok);
+    EXPECT_EQ(warm.text, ref);
+    ServeStatus s2 = getStatus(client2);
+    EXPECT_GE(s2.casHits, 1u);
+}
+
+TEST(ServeFig14, ByteIdenticalAcrossIsolationNoneAndProcess)
+{
+    std::string ref = inprocReport("");
+
+    std::string sock = socketPath("iso");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=4", "--cache-dir=none",
+                   "--worker-bin=" SAVE_WORKER_BIN_PATH});
+    ASSERT_TRUE(d.waitReady());
+
+    ServeClient client(sock);
+    for (const char *iso : {"none", "process"}) {
+        ServeRequest req;
+        req.kind = ServeKind::Fig14;
+        req.fig14 = quickKnobs();
+        req.fig14.isolation = fig14IsolationCode(iso);
+        ServeClient::Reply r = client.call(req, nullptr, 600000);
+        ASSERT_EQ(r.kind, ServeClient::Reply::Kind::Ok)
+            << "isolation=" << iso << ": " << r.error.what;
+        EXPECT_EQ(r.text, ref) << "isolation=" << iso;
+    }
+}
+
+TEST(ServeDaemon, DeadlineExceededReturnsTypedError)
+{
+    std::string sock = socketPath("deadline");
+    DaemonProc d;
+    d.start(sock, {"--workers=1", "--queue-cap=4", "--cache-dir=none"});
+    ASSERT_TRUE(d.waitReady());
+
+    ServeClient client(sock);
+    ServeRequest req;
+    req.kind = ServeKind::Fig14;
+    req.fig14 = quickKnobs();
+    req.deadlineMs = 1; // expires before the sweep can finish
+    ServeClient::Reply r = client.call(req, nullptr, 300000);
+    EXPECT_EQ(r.kind, ServeClient::Reply::Kind::Error);
+    EXPECT_NE(r.error.what.find("deadline"), std::string::npos);
+
+    // The daemon survives and keeps serving.
+    ServeRequest ping;
+    ping.kind = ServeKind::Ping;
+    EXPECT_EQ(client.call(ping, nullptr, 5000).kind,
+              ServeClient::Reply::Kind::Ok);
+}
