@@ -285,24 +285,8 @@ sweepOptions(const Flags &flags)
     return o;
 }
 
-/** Stable id for a sweep's journal: FNV-1a over the bench name and
- *  every flag value that shifts point results. */
-inline uint64_t
-sweepHash(const char *bench, std::initializer_list<int64_t> knobs)
-{
-    uint64_t h = 1469598103934665603ull;
-    auto mix_byte = [&h](unsigned char b) {
-        h ^= b;
-        h *= 1099511628211ull;
-    };
-    for (const char *p = bench; *p; ++p)
-        mix_byte(static_cast<unsigned char>(*p));
-    for (int64_t v : knobs)
-        for (int i = 0; i < 8; ++i)
-            mix_byte(static_cast<unsigned char>(
-                (static_cast<uint64_t>(v) >> (i * 8)) & 0xffu));
-    return h;
-}
+// sweepHash — the stable journal id — lives in util/journal.h now,
+// shared with the shard coordinator so both compute identical ids.
 
 /**
  * Fault-isolated, journaled sweep driver.

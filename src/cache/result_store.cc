@@ -31,9 +31,13 @@ namespace {
 constexpr uint32_t kRecFourcc = traceFourcc('C', 'R', 'E', 'C');
 /** A record larger than this is treated as corruption, not allocated. */
 constexpr uint64_t kMaxPayload = 16ull << 20;
-/** Flight locks older than this are presumed abandoned even when the
- *  recorded pid cannot be probed. */
+/** A flight lock is mtime-stale past this age. Live holders refresh
+ *  the mtime every kFlightHeartbeatSec, so only a dead (or wholly
+ *  wedged) holder ever lets a lock cross it. */
 constexpr long kFlightStaleSec = 120;
+/** Owner heartbeat period; far below kFlightStaleSec so one missed
+ *  beat (scheduler hiccup) cannot make a live lock look stale. */
+constexpr long kFlightHeartbeatSec = 15;
 /** waitForResult poll period. */
 constexpr int kWaitPollMs = 10;
 
@@ -178,6 +182,13 @@ ResultStore::ResultStore(Options opt) : opt_(std::move(opt))
 
 ResultStore::~ResultStore()
 {
+    {
+        std::lock_guard<std::mutex> lk(flightMu_);
+        heartbeatStop_ = true;
+    }
+    heartbeatCv_.notify_all();
+    if (heartbeat_.joinable())
+        heartbeat_.join();
     std::lock_guard<std::mutex> lk(mu_);
     for (Shard &s : shards_)
         if (s.appendFd >= 0) {
@@ -566,34 +577,47 @@ ResultStore::beginFlight(const CasKey &key)
             ::close(fd);
             f.owner_ = true;
             f.path_ = path;
+            f.store_ = this;
+            registerFlight(path);
             return f;
         }
         if (errno != EEXIST)
             break; // unwritable dir etc.: degrade to owner-less wait
 
-        // Someone else holds the flight. Break the lock if its owner
-        // is provably dead or the file is stale (owner on another
-        // host, or pid wrapped); otherwise we are a follower.
+        // Someone else holds the flight. Break the lock ONLY when the
+        // recorded pid is gone AND the heartbeat has stopped (stale
+        // mtime). A dead-looking pid alone is not proof: after pid
+        // reuse the slow original owner may still be simulating, and
+        // breaking its lock would double-simulate the point. A stale
+        // mtime alone is not proof either for a same-host holder whose
+        // pid is provably alive. An unparseable pid (another host, or
+        // a torn write) cannot vouch for liveness, so only the mtime
+        // half protects it — which its heartbeat keeps fresh.
         std::string contents;
-        bool stale = false;
+        bool pid_gone = true;
         if (readFileBytes(path, contents)) {
             pid_t pid =
                 static_cast<pid_t>(std::strtol(contents.c_str(),
                                                nullptr, 10));
-            if (pidDead(pid))
-                stale = true;
+            if (pid > 0)
+                pid_gone = pidDead(pid);
+        } else {
+            // Racing a release: the lock may already be gone. Retry
+            // the open instead of guessing.
+            continue;
         }
-        if (!stale) {
-            struct stat st;
-            if (::stat(path.c_str(), &st) == 0 &&
-                ::time(nullptr) - st.st_mtime > kFlightStaleSec)
-                stale = true;
-        }
-        if (!stale) {
+        bool mtime_stale = false;
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0)
+            mtime_stale = ::time(nullptr) - st.st_mtime >
+                          kFlightStaleSec;
+        if (!(pid_gone && mtime_stale)) {
             f.path_ = path;
             return f; // follower: waitForResult
         }
-        SAVE_WARN("breaking stale cache flight lock ", path);
+        SAVE_WARN("breaking stale cache flight lock ", path,
+                  " (owner dead, no heartbeat for >",
+                  kFlightStaleSec, "s)");
         std::error_code ec;
         std::filesystem::remove(path, ec);
     }
@@ -602,13 +626,65 @@ ResultStore::beginFlight(const CasKey &key)
 }
 
 void
+ResultStore::registerFlight(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(flightMu_);
+    activeFlights_.push_back(path);
+    if (!heartbeat_.joinable() && !heartbeatStop_) {
+        heartbeat_ = std::thread([this] {
+            std::unique_lock<std::mutex> lk(flightMu_);
+            while (!heartbeatStop_) {
+                heartbeatCv_.wait_for(
+                    lk, std::chrono::seconds(kFlightHeartbeatSec));
+                if (heartbeatStop_)
+                    break;
+                lk.unlock();
+                touchActiveFlights();
+                lk.lock();
+            }
+        });
+    }
+}
+
+void
+ResultStore::unregisterFlight(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(flightMu_);
+    auto it = std::find(activeFlights_.begin(), activeFlights_.end(),
+                        path);
+    if (it != activeFlights_.end())
+        activeFlights_.erase(it);
+}
+
+void
+ResultStore::touchActiveFlights()
+{
+    std::vector<std::string> paths;
+    {
+        std::lock_guard<std::mutex> lk(flightMu_);
+        paths = activeFlights_;
+    }
+    for (const std::string &p : paths) {
+        // Refresh both timestamps to "now"; a failure (the lock was
+        // just released, or broken by a peer) is harmless.
+        if (::utimensat(AT_FDCWD, p.c_str(), nullptr, 0) != 0 &&
+            errno != ENOENT)
+            SAVE_WARN("flight heartbeat: cannot touch ", p, ": ",
+                      std::strerror(errno));
+    }
+}
+
+void
 ResultStore::Flight::release()
 {
     if (!owner_ || path_.empty())
         return;
+    if (store_ != nullptr)
+        store_->unregisterFlight(path_);
     std::error_code ec;
     std::filesystem::remove(path_, ec);
     owner_ = false;
+    store_ = nullptr;
 }
 
 bool

@@ -44,8 +44,15 @@
  *  - Cross-process single-flight: beginFlight() takes an O_EXCL
  *    `fl-<key>.lock` file carrying the owner pid; losers wait on
  *    waitForResult(), which polls the shard for the owner's insert.
- *    Locks from dead pids (or older than the staleness window) are
- *    broken, so a crashed owner never wedges the sweep.
+ *    While a flight is owned, a background heartbeat refreshes the
+ *    lock's mtime, and the breaker fires only when the recorded pid
+ *    is provably dead AND the mtime is stale — either signal alone
+ *    is not enough (a recycled pid can look dead while its slow
+ *    original owner still simulates, and a fixed age alone would
+ *    break any sufficiently slow holder). A crashed owner stops
+ *    heartbeating, so its lock goes stale and is broken; liveness
+ *    also never depends on the breaker, because waitForResult()
+ *    times out and lets the caller simulate the point itself.
  *
  * The store is best-effort and never throws: every I/O failure warns
  * and degrades to "no cache". Thread-safe.
@@ -55,10 +62,12 @@
 #define SAVE_CACHE_RESULT_STORE_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -142,20 +151,28 @@ class ResultStore
             release();
             path_ = std::move(o.path_);
             owner_ = o.owner_;
+            store_ = o.store_;
             o.owner_ = false;
+            o.store_ = nullptr;
             o.path_.clear();
             return *this;
         }
         ~Flight() { release(); }
 
         bool owner() const { return owner_; }
-        /** Unlink the lock file (owner only; idempotent). */
+        /** Unlink the lock file and stop its heartbeat (owner only;
+         *  idempotent). */
         void release();
 
       private:
         friend class ResultStore;
         std::string path_;
         bool owner_ = false;
+        /** Owning store, for heartbeat deregistration; null for the
+         *  disabled-store "everyone owns" flights. The store must
+         *  outlive every Flight it hands out (as it already must for
+         *  waitForResult/insert to make sense). */
+        ResultStore *store_ = nullptr;
     };
 
     Flight beginFlight(const CasKey &key);
@@ -198,7 +215,14 @@ class ResultStore
     /** Flight lock-file path for a key (exposed for tests). */
     std::string flightPath(const CasKey &key) const;
 
+    /** One heartbeat pass: refresh the mtime of every owned flight
+     *  lock. Runs periodically on the heartbeat thread; public so
+     *  tests can force a beat without waiting out the interval. */
+    void touchActiveFlights();
+
   private:
+    friend class Flight;
+
     struct Rec
     {
         CasValue val;
@@ -227,11 +251,22 @@ class ResultStore
     void evictLocked();
     uint64_t totalRecordBytesLocked() const;
 
+    void registerFlight(const std::string &path);
+    void unregisterFlight(const std::string &path);
+
     Options opt_;
     mutable std::mutex mu_;
     Shard shards_[kShards];
     uint64_t useClock_ = 0;
     bool warnedWriteFailure_ = false;
+
+    /** Owned flight-lock paths + the lazily-started heartbeat that
+     *  keeps their mtimes fresh while the holders simulate. */
+    std::mutex flightMu_;
+    std::vector<std::string> activeFlights_;
+    std::thread heartbeat_;
+    std::condition_variable heartbeatCv_;
+    bool heartbeatStop_ = false;
 
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};

@@ -79,6 +79,31 @@ fig14PointCount()
                                 fig14GnmtEntries().size());
 }
 
+const std::vector<Fig14Point> &
+fig14Points()
+{
+    static const std::vector<Fig14Point> points = [] {
+        std::vector<Fig14Point> p;
+        auto add = [&](const Fig14Entry &e, bool training) {
+            std::string key =
+                std::string(training ? "train/" : "infer/") + e.label;
+            p.push_back({e, training, std::move(key)});
+        };
+        // Must mirror fig14Report's walk exactly: index == the order
+        // the renderer asks for results.
+        for (const Fig14Entry &e : fig14CnnEntries())
+            add(e, false);
+        for (const Fig14Entry &e : fig14GnmtEntries())
+            add(e, false);
+        for (const Fig14Entry &e : fig14CnnEntries())
+            add(e, true);
+        for (const Fig14Entry &e : fig14GnmtEntries())
+            add(e, true);
+        return p;
+    }();
+    return points;
+}
+
 std::string
 fig14Report(const Fig14Eval &eval, const Fig14Progress &progress)
 {

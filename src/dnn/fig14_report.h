@@ -43,6 +43,23 @@ const std::vector<Fig14Entry> &fig14GnmtEntries();
 int fig14PointCount();
 
 /**
+ * One sweep point in the canonical evaluation order (CNN inference,
+ * GNMT inference, CNN training, GNMT training — the order
+ * fig14Report walks). `key` is the stable id ("infer/VGG16 FP32
+ * dense"): journal key, progress label, and the shard protocol's
+ * point name. Index into this vector IS the wire point index, so the
+ * coordinator and every backend must agree on one build of it.
+ */
+struct Fig14Point
+{
+    Fig14Entry entry;
+    bool training;
+    std::string key;
+};
+
+const std::vector<Fig14Point> &fig14Points();
+
+/**
  * Evaluate one entry. `key` is the stable sweep-point id
  * ("infer/VGG16 FP32 dense", "train/GNMT MP pruned"): journal key in
  * the bench, progress label in the daemon.

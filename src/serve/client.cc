@@ -113,4 +113,81 @@ ServeClient::call(const ServeRequest &req, const ProgressFn &progress,
     return reply;
 }
 
+ServeClient::Reply
+ServeClient::callShard(const ServeShardJob &job, const AckFn &onAck,
+                       int timeout_ms)
+{
+    struct sockaddr_un addr;
+    if (path_.size() >= sizeof(addr.sun_path))
+        throw ConfigError("socket path too long: " + path_);
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path_.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw SimError(std::string("cannot create socket: ") +
+                       std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int e = errno;
+        ::close(fd);
+        std::string hint =
+            (e == ECONNREFUSED || e == ENOENT)
+                ? " (is save-serve running on this socket?)"
+                : "";
+        throw SimError("cannot connect to " + path_ + ": " +
+                       std::strerror(e) + hint);
+    }
+
+    Reply reply;
+    try {
+        if (!frameWriteFd(fd, kServeShardJob, kServeVersion,
+                          serveEncodeShardJob(job)))
+            throw SimError(std::string("shard job write failed: ") +
+                           std::strerror(errno));
+        for (;;) {
+            Frame f;
+            FrameRead r = frameReadFd(fd, f, timeout_ms,
+                                      serveKnownFourcc,
+                                      kServeMaxPayload, "serve");
+            if (r == FrameRead::Eof)
+                throw SimError(
+                    "daemon closed the connection mid-batch");
+            if (r == FrameRead::Timeout)
+                throw SimError(
+                    "no shard ack from " + path_ + " within " +
+                    std::to_string(timeout_ms) + "ms");
+            if (f.fourcc == kServeProgress) {
+                ServeShardAck ack = serveDecodeShardAck(f.payload);
+                if (onAck)
+                    onAck(ack);
+                continue;
+            }
+            if (f.fourcc == kServeResult) {
+                reply.kind = Reply::Kind::Ok;
+                break;
+            }
+            if (f.fourcc == kServeError) {
+                reply.kind = Reply::Kind::Error;
+                reply.error = wireDecodeError(f.payload);
+                break;
+            }
+            if (f.fourcc == kServeBusy) {
+                reply.kind = Reply::Kind::Busy;
+                reply.busy = serveDecodeBusy(f.payload);
+                break;
+            }
+            throw TraceError("serve: unexpected reply frame " +
+                             frameFourccName(f.fourcc));
+        }
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    return reply;
+}
+
 } // namespace save

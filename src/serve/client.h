@@ -61,6 +61,22 @@ class ServeClient
                const ProgressFn &progress = nullptr,
                int timeout_ms = -1);
 
+    /** Per-point ack callback for batched shard jobs (v2). */
+    using AckFn = std::function<void(const ServeShardAck &)>;
+
+    /**
+     * Send one batched SSHD shard job (protocol v2) and stream every
+     * per-point ack through `onAck`; the terminal frame becomes the
+     * Reply exactly as in call(). A v1 daemon answers SSHD with a
+     * typed Trace SERR (unknown fourcc), which surfaces here as
+     * Reply::Kind::Error — the coordinator's cue to stop sending this
+     * backend batches. `timeout_ms` bounds every frame read and
+     * resets at each ack.
+     */
+    Reply callShard(const ServeShardJob &job,
+                    const AckFn &onAck = nullptr,
+                    int timeout_ms = -1);
+
     const std::string &socketPath() const { return path_; }
 
   private:

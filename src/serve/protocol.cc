@@ -63,10 +63,11 @@ serveEncodeRequest(const ServeRequest &r)
 ServeRequest
 serveDecodeRequest(uint32_t version, const std::vector<uint8_t> &p)
 {
-    if (version != kServeVersion)
+    if (version < kServeMinVersion || version > kServeVersion)
         throw TraceError("serve protocol version mismatch: peer speaks v" +
                          std::to_string(version) + ", this build is v" +
-                         std::to_string(kServeVersion));
+                         std::to_string(kServeVersion) + " (oldest v" +
+                         std::to_string(kServeMinVersion) + ")");
     const uint8_t *q = p.data();
     const uint8_t *end = q + p.size();
     ServeRequest r;
@@ -162,8 +163,90 @@ serveDecodeBusy(const std::vector<uint8_t> &p)
     return b;
 }
 
+std::vector<uint8_t>
+serveEncodeShardJob(const ServeShardJob &j)
+{
+    std::vector<uint8_t> p;
+    framePutU32(p, static_cast<uint32_t>(j.priority));
+    framePutU32(p, j.deadlineMs);
+    framePutStruct(p, j.knobs);
+    framePutU32(p, static_cast<uint32_t>(j.points.size()));
+    for (uint32_t idx : j.points)
+        framePutU32(p, idx);
+    return p;
+}
+
+ServeShardJob
+serveDecodeShardJob(uint32_t version, const std::vector<uint8_t> &p)
+{
+    if (version < kServeShardVersion || version > kServeVersion)
+        throw TraceError("serve shard job needs protocol v" +
+                         std::to_string(kServeShardVersion) +
+                         ", peer speaks v" + std::to_string(version) +
+                         ", this build is v" +
+                         std::to_string(kServeVersion));
+    const uint8_t *q = p.data();
+    const uint8_t *end = q + p.size();
+    ServeShardJob j;
+    uint32_t prio = frameGetU32(q, end);
+    if (prio > static_cast<uint32_t>(ServePriority::Low))
+        throw TraceError("serve shard job: unknown priority " +
+                         std::to_string(prio));
+    j.priority = static_cast<ServePriority>(prio);
+    j.deadlineMs = frameGetU32(q, end);
+    j.knobs = frameGetStruct<Fig14Knobs>(q, end, "Fig14Knobs");
+    uint32_t n = frameGetU32(q, end);
+    // Each index needs 4 payload bytes, so a count that outruns the
+    // remaining payload is corruption, not a huge allocation.
+    if (n > static_cast<uint32_t>((end - q) / 4))
+        throw TraceError("serve shard job: point count " +
+                         std::to_string(n) + " exceeds payload");
+    j.points.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        j.points.push_back(frameGetU32(q, end));
+    if (q != end)
+        throw TraceError("serve shard job: " +
+                         std::to_string(end - q) +
+                         " trailing byte(s) after payload");
+    return j;
+}
+
+std::vector<uint8_t>
+serveEncodeShardAck(const ServeShardAck &a)
+{
+    std::vector<uint8_t> p;
+    framePutU32(p, a.index);
+    framePutString(p, a.key);
+    framePutStruct(p, a.result);
+    return p;
+}
+
+ServeShardAck
+serveDecodeShardAck(const std::vector<uint8_t> &p)
+{
+    const uint8_t *q = p.data();
+    const uint8_t *end = q + p.size();
+    ServeShardAck a;
+    a.index = frameGetU32(q, end);
+    a.key = frameGetString(q, end);
+    a.result = frameGetStruct<NetResult>(q, end, "NetResult");
+    if (q != end)
+        throw TraceError("serve shard ack: " +
+                         std::to_string(end - q) +
+                         " trailing byte(s) after payload");
+    return a;
+}
+
 bool
 serveKnownFourcc(uint32_t fourcc)
+{
+    return fourcc == kServeRequest || fourcc == kServeResult ||
+           fourcc == kServeError || fourcc == kServeBusy ||
+           fourcc == kServeProgress || fourcc == kServeShardJob;
+}
+
+bool
+serveKnownFourccV1(uint32_t fourcc)
 {
     return fourcc == kServeRequest || fourcc == kServeResult ||
            fourcc == kServeError || fourcc == kServeBusy ||

@@ -15,6 +15,25 @@
  *                   or SBSY  (admission queue full: typed load-shed,
  *                             never a hang — resubmit later)
  *
+ * Protocol v2 adds the batched shard-job frame for the save-shard
+ * coordinator (DESIGN.md §15):
+ *
+ *   client -> daemon   SSHD  (arg = version >= 2; priority + deadline
+ *                             + Fig14Knobs + a list of sweep-point
+ *                             indices into fig14Points())
+ *   daemon -> client   SPRG* (arg = point index; ServeShardAck
+ *                             payload: index + key + NetResult, one
+ *                             per completed point — the coordinator
+ *                             merges these in config-key order)
+ *   daemon -> client   SRES  (empty: batch complete) or SERR / SBSY
+ *
+ * Version negotiation is one-sided and safe in both directions: a v2
+ * client first reads ServeStatus.version and only sends SSHD to a v2
+ * daemon; a v1 daemon that is sent SSHD anyway rejects the unknown
+ * fourcc with a typed SERR (TraceError) and keeps serving its v1
+ * single-request kinds, which a v2 daemon also still accepts (SREQ
+ * frames with arg = 1 decode unchanged).
+ *
  * Every frame is `u32 fourcc, u32 arg, u64 payloadBytes, u32
  * crc32(payload), payload`; any corruption (truncated frame, flipped
  * bit, unknown fourcc, oversized length, version skew) surfaces as
@@ -44,8 +63,13 @@
 namespace save {
 
 /** Protocol version; bumped on any frame-layout change. Rides in the
- *  SREQ `arg` slot and is echoed in ServeStatus. */
-constexpr uint32_t kServeVersion = 1;
+ *  SREQ/SSHD `arg` slot and is echoed in ServeStatus. v2 adds the
+ *  batched SSHD shard-job frame; v1 requests decode unchanged. */
+constexpr uint32_t kServeVersion = 2;
+/** Oldest request version this build still decodes. */
+constexpr uint32_t kServeMinVersion = 1;
+/** First version that understands SSHD shard jobs. */
+constexpr uint32_t kServeShardVersion = 2;
 
 /** Frame kinds. */
 constexpr uint32_t kServeRequest = frameFourcc('S', 'R', 'E', 'Q');
@@ -53,6 +77,7 @@ constexpr uint32_t kServeResult = frameFourcc('S', 'R', 'E', 'S');
 constexpr uint32_t kServeError = frameFourcc('S', 'E', 'R', 'R');
 constexpr uint32_t kServeBusy = frameFourcc('S', 'B', 'S', 'Y');
 constexpr uint32_t kServeProgress = frameFourcc('S', 'P', 'R', 'G');
+constexpr uint32_t kServeShardJob = frameFourcc('S', 'S', 'H', 'D');
 
 /** Upper bound on a frame payload; larger lengths are corruption. */
 constexpr uint64_t kServeMaxPayload = 64ull << 20;
@@ -154,8 +179,46 @@ struct ServeBusyInfo
 std::vector<uint8_t> serveEncodeBusy(const ServeBusyInfo &b);
 ServeBusyInfo serveDecodeBusy(const std::vector<uint8_t> &p);
 
+/**
+ * SSHD payload (protocol v2): a batched shard job — one subset of the
+ * Fig. 14 sweep, named by indices into fig14Points(). The coordinator
+ * carves the sweep into these and fans them across backends.
+ */
+struct ServeShardJob
+{
+    ServePriority priority = ServePriority::Normal;
+    /** Wall-clock budget for the whole batch, ms; 0 = none. */
+    uint32_t deadlineMs = 0;
+    Fig14Knobs knobs{};
+    /** Indices into fig14Points(); validated against the enumeration
+     *  size on the serving side. */
+    std::vector<uint32_t> points;
+};
+
+std::vector<uint8_t> serveEncodeShardJob(const ServeShardJob &j);
+/** Throws TraceError on malformed payload or a version below
+ *  kServeShardVersion (`version` is the frame's arg slot). */
+ServeShardJob serveDecodeShardJob(uint32_t version,
+                                  const std::vector<uint8_t> &p);
+
+/** Per-point SPRG ack for a shard job: the completed point's index,
+ *  config key, and full result, streamed as soon as it finishes so
+ *  the coordinator can re-dispatch only what is still outstanding. */
+struct ServeShardAck
+{
+    uint32_t index = 0;
+    std::string key;
+    NetResult result{};
+};
+
+std::vector<uint8_t> serveEncodeShardAck(const ServeShardAck &a);
+ServeShardAck serveDecodeShardAck(const std::vector<uint8_t> &p);
+
 /** frameReadFd acceptance predicate for serve-protocol fourccs. */
 bool serveKnownFourcc(uint32_t fourcc);
+/** The v1 predicate (no SSHD) — used by the --v1-compat daemon mode
+ *  so protocol-skew tests exercise a faithful old-daemon rejection. */
+bool serveKnownFourccV1(uint32_t fourcc);
 
 } // namespace save
 

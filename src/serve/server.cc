@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
+#include <thread>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -289,21 +291,32 @@ ServeServer::handleConnection(int fd)
 {
     Frame f;
     ServeRequest req;
+    ServeShardJob shard;
+    bool is_shard = false;
     try {
         // A client that connects and dawdles must not wedge the
-        // accept loop: the whole request has 2s to arrive.
-        FrameRead r = frameReadFd(fd, f, 2000, serveKnownFourcc,
-                                  kServeMaxPayload, "serve");
+        // accept loop: the whole request has 2s to arrive. In
+        // --v1-compat mode the v1 predicate rejects SSHD with the
+        // same unknown-fourcc TraceError a real v1 build raises.
+        FrameRead r = frameReadFd(
+            fd, f, 2000,
+            opt_.v1Compat ? serveKnownFourccV1 : serveKnownFourcc,
+            kServeMaxPayload, "serve");
         if (r != FrameRead::Ok) {
             if (r == FrameRead::Timeout)
                 SAVE_WARN("dropping client: no request within 2s");
             ::close(fd);
             return;
         }
-        if (f.fourcc != kServeRequest)
-            throw TraceError("serve: expected SREQ, got " +
+        if (f.fourcc == kServeShardJob) {
+            shard = serveDecodeShardJob(f.arg, f.payload);
+            is_shard = true;
+        } else if (f.fourcc == kServeRequest) {
+            req = serveDecodeRequest(f.arg, f.payload);
+        } else {
+            throw TraceError("serve: expected SREQ or SSHD, got " +
                              frameFourccName(f.fourcc));
-        req = serveDecodeRequest(f.arg, f.payload);
+        }
     } catch (const std::exception &e) {
         // Corrupt or mismatched request: typed reply, then drop the
         // connection. Never let one bad client kill the daemon.
@@ -313,8 +326,9 @@ ServeServer::handleConnection(int fd)
         return;
     }
 
-    if (req.kind == ServeKind::Ping || req.kind == ServeKind::Status ||
-        req.kind == ServeKind::Drain) {
+    if (!is_shard &&
+        (req.kind == ServeKind::Ping || req.kind == ServeKind::Status ||
+         req.kind == ServeKind::Drain)) {
         controlReply(fd, req);
         ::close(fd);
         return;
@@ -323,6 +337,14 @@ ServeServer::handleConnection(int fd)
     Job job;
     job.fd = fd;
     job.req = req;
+    job.isShard = is_shard;
+    job.shard = std::move(shard);
+    if (is_shard) {
+        // Mirror the batch's class/budget so admission and deadline
+        // bookkeeping below need no shard-specific paths.
+        job.req.priority = job.shard.priority;
+        job.req.deadlineMs = job.shard.deadlineMs;
+    }
     job.admittedNs = nowNs();
     {
         std::lock_guard<std::mutex> lk(qmu_);
@@ -370,6 +392,7 @@ ServeStatus
 ServeServer::statusSnapshot()
 {
     ServeStatus s;
+    s.version = opt_.v1Compat ? 1 : kServeVersion;
     s.workers = static_cast<uint32_t>(opt_.workers);
     s.queueCap = static_cast<uint32_t>(queueCap_.load());
     {
@@ -497,7 +520,42 @@ ServeServer::executeJob(SimSession &session, Job &job)
                            std::to_string(job.req.deadlineMs) +
                            "ms exceeded while queued");
 
-        if (job.req.kind == ServeKind::Gemm) {
+        if (job.isShard) {
+            const std::vector<Fig14Point> &pts = fig14Points();
+            for (uint32_t idx : job.shard.points) {
+                if (deadline_ns != 0 && nowNs() > deadline_ns)
+                    throw SimError(
+                        "deadline of " +
+                        std::to_string(job.shard.deadlineMs) +
+                        "ms exceeded mid-batch");
+                if (clientGone(fd))
+                    throw SimError("client disconnected mid-batch");
+                if (idx >= pts.size())
+                    throw ConfigError(
+                        "shard point index " + std::to_string(idx) +
+                        " out of range [0, " +
+                        std::to_string(pts.size()) + ")");
+                if (opt_.testPointDelayMs > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            opt_.testPointDelayMs));
+                ServeShardAck ack;
+                ack.index = idx;
+                ack.key = pts[idx].key;
+                ack.result = session.runFig14Point(
+                    job.shard.knobs, static_cast<int>(idx));
+                if (!frameWriteFd(fd, kServeProgress, idx,
+                                  serveEncodeShardAck(ack)))
+                    throw SimError(
+                        std::string(
+                            "client disconnected (ack write: ") +
+                        std::strerror(errno) + ")");
+            }
+            if (!frameWriteFd(fd, kServeResult, kServeVersion, {}))
+                throw SimError(
+                    std::string("result write failed: ") +
+                    std::strerror(errno));
+        } else if (job.req.kind == ServeKind::Gemm) {
             KernelResult kr =
                 session.runGemm(job.req.gemm, job.req.cores,
                                 job.req.vpus);
@@ -549,7 +607,8 @@ ServeServer::executeJob(SimSession &session, Job &job)
         completed_.fetch_add(1);
     } catch (const std::exception &e) {
         errors_.fetch_add(1);
-        SAVE_WARN("request ", serveKindName(job.req.kind),
+        SAVE_WARN("request ",
+                  job.isShard ? "shard" : serveKindName(job.req.kind),
                   " failed: ", e.what());
         sendErrorReply(fd, e);
     }

@@ -67,6 +67,15 @@ class ServeServer
         RuntimeOptions runtime{};
         /** Optional key=value config file re-read on SIGHUP. */
         std::string configPath;
+        /** Emulate a protocol-v1 daemon: advertise version 1 in
+         *  Status and reject SSHD frames exactly as a real v1 build
+         *  would (unknown-fourcc TraceError -> typed SERR). Lets the
+         *  version-skew tests run against this binary. */
+        bool v1Compat = false;
+        /** Test hook: sleep this long before every shard point, to
+         *  fake a straggler backend (SAVE_SERVE_TEST_POINT_DELAY_MS).
+         */
+        int testPointDelayMs = 0;
     };
 
     explicit ServeServer(Options opt);
@@ -93,6 +102,10 @@ class ServeServer
         ServeRequest req;
         /** CLOCK_MONOTONIC ns admission stamp; 0 deadline = none. */
         uint64_t admittedNs = 0;
+        /** v2 batched shard job (SSHD); req then only carries the
+         *  mirrored priority/deadline for the queue machinery. */
+        bool isShard = false;
+        ServeShardJob shard;
     };
 
     int bindSocket();

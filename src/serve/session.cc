@@ -155,6 +155,20 @@ SimSession::runFig14(const Fig14Knobs &knobs,
     return fig14Report(eval, progress);
 }
 
+NetResult
+SimSession::runFig14Point(const Fig14Knobs &knobs, int index)
+{
+    const std::vector<Fig14Point> &pts = fig14Points();
+    if (index < 0 || index >= static_cast<int>(pts.size()))
+        throw ConfigError("fig14 point index " + std::to_string(index) +
+                          " out of range [0, " +
+                          std::to_string(pts.size()) + ")");
+    const Fig14Point &p = pts[static_cast<size_t>(index)];
+    TrainingEstimator &est = estimatorFor(knobs);
+    return p.training ? est.training(p.entry.net, p.entry.prec)
+                      : est.inference(p.entry.net, p.entry.prec);
+}
+
 uint64_t
 SimSession::simulations() const
 {

@@ -108,6 +108,15 @@ class SimSession
     std::string runFig14(const Fig14Knobs &knobs,
                          const Fig14Progress &progress = nullptr);
 
+    /**
+     * One Fig. 14 sweep point by canonical index (fig14Points()
+     * order) — the shard-job unit of work. Identical arithmetic to
+     * the same point inside runFig14: same estimator cache, same
+     * store, so a shard-computed point is bit-identical to the
+     * single-host bench's. Throws ConfigError on a bad index.
+     */
+    NetResult runFig14Point(const Fig14Knobs &knobs, int index);
+
     /** Slice simulations actually executed across all estimators this
      *  session created (store misses). */
     uint64_t simulations() const;

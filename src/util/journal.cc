@@ -19,6 +19,11 @@ namespace {
 constexpr const char *kMagic = "SAVEJRNL";
 constexpr int kFormatVersion = 1;
 
+/** Compaction threshold: rewrite when at least half the loaded
+ *  records are superseded duplicates, but never for small files
+ *  where the rewrite costs more than the dead bytes. */
+constexpr size_t kCompactMinRecords = 16;
+
 std::string
 headerLine(uint64_t hash)
 {
@@ -30,6 +35,23 @@ headerLine(uint64_t hash)
 }
 
 } // namespace
+
+uint64_t
+sweepHash(const char *bench, std::initializer_list<int64_t> knobs)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix_byte = [&h](unsigned char b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    for (const char *p = bench; *p; ++p)
+        mix_byte(static_cast<unsigned char>(*p));
+    for (int64_t v : knobs)
+        for (int i = 0; i < 8; ++i)
+            mix_byte(static_cast<unsigned char>(
+                (static_cast<uint64_t>(v) >> (i * 8)) & 0xffu));
+    return h;
+}
 
 std::string
 SweepJournal::encodeBytes(const char *data, size_t n)
@@ -79,6 +101,7 @@ SweepJournal::SweepJournal(const std::string &path, uint64_t config_hash)
         std::filesystem::create_directories(parent, ec);
 
     load(config_hash);
+    maybeCompact(config_hash);
 
     bool fresh = !std::filesystem::exists(path_);
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
@@ -161,6 +184,7 @@ SweepJournal::load(uint64_t config_hash)
         }
         // Last-wins: a later record for the same key supersedes the
         // earlier one (how a resumed run upgrades a failure marker).
+        ++loadedRecords_;
         entries_.insert_or_assign(line.substr(0, tab),
                                   line.substr(tab + 1));
     }
@@ -170,6 +194,40 @@ SweepJournal::load(uint64_t config_hash)
     if (!entries_.empty())
         SAVE_INFORM("sweep journal ", path_, ": resuming with ",
                     entries_.size(), " completed point(s)");
+}
+
+void
+SweepJournal::maybeCompact(uint64_t config_hash)
+{
+    const size_t dupes = loadedRecords_ - entries_.size();
+    if (loadedRecords_ < kCompactMinRecords ||
+        dupes * 2 < loadedRecords_)
+        return;
+
+    std::string image = headerLine(config_hash) + "\n";
+    for (const auto &[key, payload] : entries_)
+        image += key + "\t" + payload + "\n";
+
+    const std::string tmp =
+        path_ + ".compact." + std::to_string(::getpid());
+    std::string why;
+    if (!writeFileBytes(tmp, image.data(), image.size(), &why)) {
+        // Best-effort: an uncompacted journal is correct, just fat.
+        SAVE_WARN("sweep journal compaction skipped: ", why);
+        return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec) {
+        SAVE_WARN("sweep journal compaction: cannot move ", tmp,
+                  " into place: ", ec.message());
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    compacted_ = true;
+    SAVE_INFORM("sweep journal ", path_, ": compacted ",
+                loadedRecords_, " record(s) down to ", entries_.size(),
+                " (", dupes, " superseded)");
 }
 
 bool

@@ -31,18 +31,38 @@
  * mismatch (flags changed between runs) moves the stale journal to
  * <path>.stale and starts fresh — stale results are never replayed
  * into a differently-configured sweep.
+ *
+ * Last-wins duplicates mean a repeatedly-resumed flaky sweep grows
+ * the file without bound (every re-attempt appends, nothing ever
+ * rewrites). open() therefore compacts: when the loaded file carries
+ * enough superseded records (see compactedAtOpen()), the surviving
+ * entries are rewritten to a temp file and renamed over the journal
+ * before the append fd opens. The rename is atomic, so a crash
+ * mid-compaction leaves either the old file or the new one — and the
+ * torn-tail-drop rule still governs whichever survives.
  */
 
 #ifndef SAVE_UTIL_JOURNAL_H
 #define SAVE_UTIL_JOURNAL_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <mutex>
 #include <string>
 #include <type_traits>
 
 namespace save {
+
+/**
+ * Stable id for a sweep's journal: FNV-1a over the bench name and
+ * every knob value that shifts point results. Shared by the bench
+ * harnesses and the shard coordinator so a distributed sweep can
+ * resume a single-host journal (and vice versa) — the hash must be
+ * computed in exactly one place for that to stay true.
+ */
+uint64_t sweepHash(const char *bench,
+                   std::initializer_list<int64_t> knobs);
 
 /** Crash-tolerant key->payload journal for sweep checkpointing. */
 class SweepJournal
@@ -100,14 +120,22 @@ class SweepJournal
     static std::string encodeBytes(const char *data, size_t n);
     static bool decodeBytes(const std::string &hex, char *out, size_t n);
 
+    /** Complete records the last load() parsed, duplicates included. */
+    size_t loadedRecords() const { return loadedRecords_; }
+    /** True when open() rewrote the file to drop superseded records. */
+    bool compactedAtOpen() const { return compacted_; }
+
   private:
     void load(uint64_t config_hash);
+    void maybeCompact(uint64_t config_hash);
     void appendLine(const std::string &line);
 
     std::string path_;
     std::map<std::string, std::string> entries_;
     /** O_APPEND fd for record(); -1 when disabled. */
     int fd_ = -1;
+    size_t loadedRecords_ = 0;
+    bool compacted_ = false;
     mutable std::mutex mu_;
 };
 

@@ -16,6 +16,7 @@
 #define SAVE_UTIL_POSIX_IO_H
 
 #include <cerrno>
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <string>
@@ -76,9 +77,10 @@ writeFull(int fd, const void *buf, size_t n)
 /**
  * Wait until `fd` is readable. `timeout_ms` < 0 waits forever.
  * Returns 1 when readable (or at EOF/hangup — a read will not block),
- * 0 on timeout, -1 with errno set on a hard error. Retries EINTR
- * without extending the deadline beyond one re-poll of the remaining
- * time (callers with precise deadlines recompute and re-call).
+ * 0 on timeout, -1 with errno set on a hard error. An EINTR wakeup
+ * restarts the poll with the REMAINING budget, not the original one:
+ * a signal storm (SIGHUP reloads against a serving daemon) can
+ * neither extend the deadline indefinitely nor shave it short.
  */
 inline int
 pollReadable(int fd, int timeout_ms)
@@ -87,10 +89,29 @@ pollReadable(int fd, int timeout_ms)
     p.fd = fd;
     p.events = POLLIN;
     p.revents = 0;
+    if (timeout_ms < 0) {
+        for (;;) {
+            int r = ::poll(&p, 1, -1);
+            if (r < 0 && errno == EINTR)
+                continue;
+            return r < 0 ? -1 : 1;
+        }
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    int wait = timeout_ms;
     for (;;) {
-        int r = ::poll(&p, 1, timeout_ms);
-        if (r < 0 && errno == EINTR)
+        int r = ::poll(&p, 1, wait);
+        if (r < 0 && errno == EINTR) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            // A final zero-timeout poll settles "became readable at
+            // the deadline" vs "timed out" without blocking again.
+            wait = left < 0 ? 0 : static_cast<int>(left);
             continue;
+        }
         if (r <= 0)
             return r;
         return 1; // POLLIN, POLLHUP or POLLERR: read() will not block

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include "cache/cas_key.h"
@@ -509,28 +511,117 @@ TEST_F(ResultStoreTest, WaitReturnsEarlyWhenOwnerVanishes)
               std::chrono::seconds(5));
 }
 
-TEST_F(ResultStoreTest, StaleFlightLockFromDeadPidIsBroken)
+/** Set a file's mtime (and atime) `sec` seconds into the past. */
+void
+backdate(const std::string &path, long sec)
 {
-    ResultStore store(opts());
-    const CasKey key{55, 66};
+    struct timespec times[2];
+    times[0].tv_sec = ::time(nullptr) - sec;
+    times[0].tv_nsec = 0;
+    times[1] = times[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
 
-    // Manufacture a provably dead pid: fork a child that exits
-    // immediately and reap it.
+long
+mtimeOf(const std::string &path)
+{
+    struct stat st;
+    EXPECT_EQ(::stat(path.c_str(), &st), 0);
+    return static_cast<long>(st.st_mtime);
+}
+
+/** Fork-and-reap: a pid that is provably dead. */
+pid_t
+deadPid()
+{
     pid_t dead = ::fork();
-    ASSERT_GE(dead, 0);
+    EXPECT_GE(dead, 0);
     if (dead == 0)
         ::_exit(0);
     int st = 0;
-    ASSERT_EQ(::waitpid(dead, &st, 0), dead);
+    EXPECT_EQ(::waitpid(dead, &st, 0), dead);
+    return dead;
+}
 
+TEST_F(ResultStoreTest, FlightLockBreakNeedsDeadPidAndStaleMtime)
+{
+    ResultStore store(opts());
+    const CasKey key{55, 66};
+    const std::string lock = store.flightPath(key);
+
+    // Dead pid, fresh mtime: NOT broken. This is the pid-reuse hazard
+    // — the kernel may have recycled the owner's pid, but a fresh
+    // heartbeat proves somebody is still working the point.
     {
-        std::ofstream lock(store.flightPath(key));
-        lock << static_cast<long>(dead) << "\n";
+        std::ofstream f(lock);
+        f << static_cast<long>(deadPid()) << "\n";
     }
-    // A crashed owner must never wedge the sweep: the lock is broken
-    // and ownership claimed.
+    EXPECT_FALSE(store.beginFlight(key).owner());
+
+    // Live pid (ours), stale mtime: NOT broken either — a provably
+    // live holder is just slow.
+    {
+        std::ofstream f(lock);
+        f << static_cast<long>(::getpid()) << "\n";
+    }
+    backdate(lock, 600);
+    EXPECT_FALSE(store.beginFlight(key).owner());
+
+    // Dead pid AND stale mtime: the owner crashed long ago — break
+    // the lock and claim ownership so the sweep never wedges.
+    {
+        std::ofstream f(lock);
+        f << static_cast<long>(deadPid()) << "\n";
+    }
+    backdate(lock, 600);
+    EXPECT_TRUE(store.beginFlight(key).owner());
+}
+
+TEST_F(ResultStoreTest, UnparseableFlightLockBreaksOnlyWhenStale)
+{
+    ResultStore store(opts());
+    const CasKey key{57, 68};
+    const std::string lock = store.flightPath(key);
+
+    // A lock whose pid cannot be parsed (another host, torn write)
+    // cannot vouch for liveness via the pid probe; only its heartbeat
+    // protects it.
+    {
+        std::ofstream f(lock);
+        f << "not-a-pid\n";
+    }
+    EXPECT_FALSE(store.beginFlight(key).owner()); // fresh: follower
+    backdate(lock, 600);
+    EXPECT_TRUE(store.beginFlight(key).owner()); // stale: broken
+}
+
+TEST_F(ResultStoreTest, OwnerHeartbeatRefreshesLockMtime)
+{
+    ResultStore store(opts());
+    const CasKey key{59, 70};
+
     ResultStore::Flight f = store.beginFlight(key);
-    EXPECT_TRUE(f.owner());
+    ASSERT_TRUE(f.owner());
+    const std::string lock = store.flightPath(key);
+
+    // Simulate a long-running owner: age the lock past the staleness
+    // window, then force one heartbeat pass (the background thread
+    // does the same every few seconds).
+    backdate(lock, 600);
+    store.touchActiveFlights();
+    EXPECT_GT(mtimeOf(lock), ::time(nullptr) - 60);
+
+    // With the heartbeat landed, a second store cannot break the lock
+    // even though the pid half alone would not save an aged lock
+    // against e.g. a reused-pid false positive.
+    ResultStore other(opts());
+    EXPECT_FALSE(other.beginFlight(key).owner());
+
+    // After release the heartbeat set shrinks and a beat recreates
+    // nothing.
+    f.release();
+    store.touchActiveFlights();
+    EXPECT_FALSE(fs::exists(lock));
 }
 
 TEST_F(ResultStoreTest, ForkedWritersSingleFlight)

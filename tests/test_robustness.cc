@@ -10,11 +10,16 @@
  * something happens to break.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include "../bench/bench_util.h"
@@ -26,7 +31,9 @@
 #include "kernels/lstm.h"
 #include "util/error.h"
 #include "util/fault_injection.h"
+#include "util/frame.h"
 #include "util/journal.h"
+#include "util/posix_io.h"
 
 namespace save {
 namespace {
@@ -525,6 +532,201 @@ TEST_F(RobustnessTest, SweepRunnerHonorsMaxFailures)
     r.point<double>("two", []() -> double { throw TraceError("y"); });
     EXPECT_EQ(r.finish(), 1); // threshold exceeded
     setQuietLogging(false);
+}
+
+TEST_F(RobustnessTest, JournalCompactsDuplicateHeavyFileOnOpen)
+{
+    std::string path = (dir_ / "fat.jrnl").string();
+    setQuietLogging(true);
+    {
+        SweepJournal j(path, 7);
+        // Two full passes over 10 keys: 20 appended records, 10 of
+        // them superseded (a sweep retried from scratch).
+        for (int pass = 0; pass < 2; ++pass)
+            for (int i = 0; i < 10; ++i)
+                j.record("p" + std::to_string(i),
+                         SweepJournal::encode(pass * 100.0 + i));
+        EXPECT_FALSE(j.compactedAtOpen());
+    }
+    // A SIGKILL mid-append on top of the fat file: compaction must
+    // still drop the torn tail, exactly like a plain reopen.
+    {
+        std::ofstream os(path, std::ios::app | std::ios::binary);
+        os << "half-written\t00ff";
+    }
+    SweepJournal j(path, 7);
+    EXPECT_TRUE(j.compactedAtOpen());
+    EXPECT_EQ(j.loadedRecords(), 20u);
+    EXPECT_EQ(j.size(), 10u);
+    EXPECT_FALSE(j.lookup("half-written"));
+
+    // Surviving records are the last-written values.
+    std::string hex;
+    double v = 0;
+    ASSERT_TRUE(j.lookup("p3", &hex));
+    ASSERT_TRUE(SweepJournal::decode(hex, v));
+    EXPECT_DOUBLE_EQ(v, 103.0);
+
+    // The rewritten file is exactly header + one line per live key.
+    std::ifstream is(path);
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(is, line))
+        ++lines;
+    EXPECT_EQ(lines, 11u);
+
+    // The compact image reloads without re-compacting and keeps
+    // accepting appends.
+    j.record("p10", SweepJournal::encode(42.0));
+    SweepJournal again(path, 7);
+    EXPECT_FALSE(again.compactedAtOpen());
+    EXPECT_EQ(again.loadedRecords(), 11u);
+    EXPECT_EQ(again.size(), 11u);
+    setQuietLogging(false);
+}
+
+TEST_F(RobustnessTest, JournalSkipsCompactionBelowThresholds)
+{
+    setQuietLogging(true);
+    // 10 loaded records is under the 16-record floor, even at a 50%
+    // duplicate ratio: rewriting a tiny file buys nothing.
+    std::string small = (dir_ / "small.jrnl").string();
+    {
+        SweepJournal j(small, 7);
+        for (int pass = 0; pass < 2; ++pass)
+            for (int i = 0; i < 5; ++i)
+                j.record("p" + std::to_string(i),
+                         SweepJournal::encode(pass * 100.0 + i));
+    }
+    SweepJournal j1(small, 7);
+    EXPECT_FALSE(j1.compactedAtOpen());
+    EXPECT_EQ(j1.loadedRecords(), 10u);
+
+    // 20 records with only 4 superseded (20% < 50%): mostly-live
+    // journals are left alone too.
+    std::string lean = (dir_ / "lean.jrnl").string();
+    {
+        SweepJournal j(lean, 7);
+        for (int i = 0; i < 16; ++i)
+            j.record("p" + std::to_string(i),
+                     SweepJournal::encode(1.0 * i));
+        for (int i = 0; i < 4; ++i)
+            j.record("p" + std::to_string(i),
+                     SweepJournal::encode(100.0 + i));
+    }
+    SweepJournal j2(lean, 7);
+    EXPECT_FALSE(j2.compactedAtOpen());
+    EXPECT_EQ(j2.loadedRecords(), 20u);
+    EXPECT_EQ(j2.size(), 16u);
+    setQuietLogging(false);
+}
+
+// ------------------------------------------- deadline-bounded reads
+
+namespace {
+void
+sigusr1Noop(int)
+{
+}
+} // namespace
+
+/** RAII SIGUSR1 handler WITHOUT SA_RESTART (every delivery interrupts
+ *  poll/read with EINTR) plus a thread hammering this thread with it. */
+class SignalStorm
+{
+  public:
+    SignalStorm()
+    {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = sigusr1Noop;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0; // no SA_RESTART
+        sigaction(SIGUSR1, &sa, &old_);
+        pthread_t victim = pthread_self();
+        storm_ = std::thread([this, victim] {
+            while (!stop_.load()) {
+                ::pthread_kill(victim, SIGUSR1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
+
+    ~SignalStorm()
+    {
+        stop_.store(true);
+        storm_.join();
+        sigaction(SIGUSR1, &old_, nullptr);
+    }
+
+  private:
+    struct sigaction old_;
+    std::atomic<bool> stop_{false};
+    std::thread storm_;
+};
+
+TEST_F(RobustnessTest, PollReadableKeepsDeadlineUnderSignalStorm)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    // With ~1ms EINTR wakeups, a poll that restarted with the FULL
+    // timeout after each interruption would never expire. The fix
+    // recomputes the remaining budget, so 200ms means about 200ms.
+    const auto t0 = std::chrono::steady_clock::now();
+    int r;
+    {
+        SignalStorm storm;
+        r = pollReadable(fds[0], 200);
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(r, 0) << "empty pipe must time out, not spuriously wake";
+    EXPECT_GE(elapsed, 180) << "deadline shaved short";
+    EXPECT_LT(elapsed, 2000) << "deadline extended by EINTR restarts";
+
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST_F(RobustnessTest, FrameReadCompletesUnderSignalStormWithSlowPeer)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    std::vector<uint8_t> bytes;
+    frameAppend(bytes, frameFourcc('T', 'E', 'S', 'T'), 7,
+                std::vector<uint8_t>{1, 2, 3, 4});
+
+    // A peer trickling one byte every 2ms while signals hammer the
+    // reader: every partial read gets EINTR'd and retried, and the
+    // overall deadline still holds.
+    std::thread writer([&] {
+        for (uint8_t b : bytes) {
+            (void)!::write(fds[1], &b, 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        ::close(fds[1]);
+    });
+
+    Frame frame;
+    FrameRead rr;
+    {
+        SignalStorm storm;
+        rr = frameReadFd(
+            fds[0], frame, 10000, [](uint32_t) { return true; },
+            1 << 20, "test");
+    }
+    writer.join();
+    ASSERT_EQ(rr, FrameRead::Ok);
+    EXPECT_EQ(frame.fourcc, frameFourcc('T', 'E', 'S', 'T'));
+    EXPECT_EQ(frame.arg, 7u);
+    EXPECT_EQ(frame.payload, (std::vector<uint8_t>{1, 2, 3, 4}));
+
+    ::close(fds[0]);
 }
 
 // --------------------------------------------------- flag parsing
